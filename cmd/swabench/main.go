@@ -1,0 +1,92 @@
+// Command swabench regenerates every table and figure of the paper's
+// evaluation.
+//
+// Usage:
+//
+//	swabench [-preset quick|paper|unit] [-table N] [-figure N]
+//
+// With no selection flags it prints everything. Tables I-III and the lemma
+// checks are analytic and instant; Table IV measures the CPU engines on the
+// chosen preset (the "paper" preset runs the full 32K-pair workload and
+// takes hours on the CPU side, exactly as the paper's own CPU columns did)
+// and extrapolates the GPU simulator's exact kernel statistics to the
+// paper's scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tables"
+	"repro/internal/workload"
+)
+
+func main() {
+	preset := flag.String("preset", "quick", "workload preset: quick, paper or unit")
+	table := flag.Int("table", 0, "print only table N (1-5); 0 = all")
+	figure := flag.Int("figure", 0, "print only figure N (1-2); 0 = all selected by -table")
+	ablations := flag.Bool("ablations", false, "also run the DESIGN.md §5 ablations")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	spec, err := workload.ByName(*preset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "... %s\n", msg)
+		}
+	}
+
+	want := func(n int) bool { return *table == 0 && *figure == 0 || *table == n }
+	wantFig := func(n int) bool { return *table == 0 && *figure == 0 || *figure == n }
+
+	if want(1) {
+		fmt.Println(tables.RenderTableI())
+		fmt.Println(tables.RenderLemmas())
+	}
+	if want(2) {
+		fmt.Println(tables.RenderTableII())
+	}
+	if want(3) {
+		fmt.Println(tables.RenderTableIII())
+	}
+	if wantFig(1) {
+		fmt.Println(tables.RenderFigure1())
+	}
+	if wantFig(2) {
+		fmt.Println(tables.RenderFigure2())
+	}
+	if want(4) || want(5) {
+		iv, err := tables.BuildTableIV(spec, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table IV:", err)
+			os.Exit(1)
+		}
+		if want(4) {
+			fmt.Println(tables.RenderTableIV(iv))
+			if spec.Name != "paper" {
+				fmt.Printf("CPU columns measured on preset %q (%d pairs, n up to %d) and rescaled\n"+
+					"to the paper's 32K pairs; rows beyond the preset's n sweep extrapolate the\n"+
+					"largest measured n linearly. Run -preset paper for fully measured CPU columns.\n\n",
+					spec.Name, spec.Pairs, spec.NList[len(spec.NList)-1])
+			}
+		}
+		if want(5) {
+			fmt.Println(tables.RenderTableV(tables.BuildTableV(iv)))
+		}
+	}
+	if *ablations {
+		progress("ablations")
+		rows, err := tables.BuildAblations(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablations:", err)
+			os.Exit(1)
+		}
+		fmt.Println(tables.RenderAblations(rows))
+	}
+}

@@ -1,0 +1,96 @@
+// Command swalign aligns two DNA sequences with the Smith-Waterman
+// algorithm and prints the optimal local alignment, optionally with the
+// full scoring matrix (the paper's Table II view) and the wavefront
+// schedule (Table III).
+//
+// Usage:
+//
+//	swalign [-match 2] [-mismatch 1] [-gap 1] [-matrix] [-schedule] X Y
+//	swalign -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dna"
+	"repro/internal/swa"
+)
+
+func main() {
+	match := flag.Int("match", 2, "match reward c1")
+	mismatch := flag.Int("mismatch", 1, "mismatch penalty c2 (magnitude)")
+	gap := flag.Int("gap", 1, "gap penalty (magnitude)")
+	matrix := flag.Bool("matrix", false, "print the full scoring matrix")
+	schedule := flag.Bool("schedule", false, "print the wavefront schedule (Table III)")
+	demo := flag.Bool("demo", false, "run the paper's Table II example (X=TACTG, Y=GAACTGA)")
+	flag.Parse()
+
+	var xStr, yStr string
+	if *demo {
+		xStr, yStr = "TACTG", "GAACTGA"
+		*matrix = true
+		*schedule = true
+	} else {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: swalign [flags] X Y   (or swalign -demo)")
+			flag.PrintDefaults()
+			os.Exit(2)
+		}
+		xStr, yStr = flag.Arg(0), flag.Arg(1)
+	}
+
+	x, err := dna.Parse(xStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pattern:", err)
+		os.Exit(1)
+	}
+	y, err := dna.Parse(yStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "text:", err)
+		os.Exit(1)
+	}
+	sc := swa.Scoring{Match: *match, Mismatch: *mismatch, Gap: *gap}
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *matrix {
+		d := swa.Matrix(x, y, sc)
+		fmt.Printf("      ")
+		for _, c := range yStr {
+			fmt.Printf("%3c", c)
+		}
+		fmt.Println()
+		for i, row := range d {
+			if i == 0 {
+				fmt.Printf("   ")
+			} else {
+				fmt.Printf("%2c ", xStr[i-1])
+			}
+			for _, v := range row {
+				fmt.Printf("%3d", v)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	if *schedule {
+		tab := swa.ScheduleTable(len(x), len(y))
+		fmt.Println("wavefront schedule (anti-diagonal step per cell):")
+		for _, row := range tab {
+			for _, v := range row {
+				fmt.Printf("%4d", v)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	a := swa.Align(x, y, sc)
+	fmt.Println(a)
+	fmt.Printf("identity %.1f%%  matches %d  mismatches %d  gaps %d\n",
+		a.Identity()*100, a.Matches, a.Mismatches, a.Gaps)
+}

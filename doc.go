@@ -1,0 +1,13 @@
+// Package repro reproduces "Accelerating the Smith-Waterman Algorithm Using
+// Bitwise Parallel Bulk Computation Technique on GPU" (Nishimura, Bordim,
+// Ito, Nakano — IPDPS Workshops 2017) as a Go library.
+//
+// The library API lives in internal/core; runnable examples are under
+// examples/, command-line tools under cmd/, and the benchmark harness that
+// regenerates every table and figure of the paper is in bench_test.go
+// (run `go test -bench .`) and cmd/swabench.
+//
+// See README.md for an overview, DESIGN.md for the system inventory and the
+// hardware-substitution argument, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package repro

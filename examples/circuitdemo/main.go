@@ -1,0 +1,82 @@
+// circuitdemo: the BPBC idea made literal — compile the Smith-Waterman cell
+// into an AND/OR/XOR/NOT netlist, evaluate it for 32 instances with single
+// word operations, and compare gate counts with the paper's Theorem 6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bitslice"
+	"repro/internal/circuit"
+)
+
+func main() {
+	par := bitslice.Params{S: 9, Match: 2, Mismatch: 1, Gap: 1}
+
+	folded, err := circuit.SWCellCircuit(par, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := circuit.SWCellCircuit(par, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SW cell as a combinational circuit (s=9, DNA characters):")
+	fmt.Printf("  paper Theorem 6:     %4d operations (48s-18)\n", 48*par.S-18)
+	fs, rs := folded.Stats(), raw.Stats()
+	fmt.Printf("  raw netlist:         %4d gates (and=%d or=%d xor=%d andnot=%d not=%d)\n",
+		rs.Ops(), rs.And, rs.Or, rs.Xor, rs.AndNot, rs.Not)
+	fmt.Printf("  folded netlist:      %4d gates (constant propagation + sharing)\n", fs.Ops())
+	fmt.Println()
+
+	// Evaluate the circuit for 32 independent cells at once: inputs are
+	// bit-sliced, one bit per instance per plane.
+	up := bitslice.NewNum[uint32](par.S)
+	left := bitslice.NewNum[uint32](par.S)
+	diag := bitslice.NewNum[uint32](par.S)
+	var xH, xL, yH, yL uint32
+	for k := 0; k < 32; k++ {
+		up.Set(k, uint(k))
+		left.Set(k, uint(31-k))
+		diag.Set(k, uint(k*3%29))
+		// Even lanes compare 'A' with 'A' (all bits zero); odd lanes get a
+		// low-bit mismatch ('A' vs 'T').
+		if k%2 == 1 {
+			yL |= 1 << uint(k)
+		}
+	}
+	inputs := make([]uint32, 0, 3*par.S+4)
+	inputs = append(inputs, up...)
+	inputs = append(inputs, left...)
+	inputs = append(inputs, diag...)
+	inputs = append(inputs, xL, xH, yL, yH)
+	out := circuit.Eval(folded, inputs)
+
+	fmt.Println("one bulk evaluation computed all 32 cells:")
+	result := bitslice.Num[uint32](out)
+	for k := 0; k < 32; k += 8 {
+		fmt.Printf("  lane %2d: max(0, %2d-1, %2d-1, %2d%+d) = %2d\n",
+			k, up.Get(k), left.Get(k), diag.Get(k), wk(k), result.Get(k))
+	}
+
+	// Cross-check against the hand-written bit-sliced code.
+	want := bitslice.NewNum[uint32](par.S)
+	sc := bitslice.NewScratch[uint32](par.S)
+	e := bitslice.MismatchMask(xH, xL, yH, yL)
+	bitslice.SWCell(want, up, left, diag, e, par, sc)
+	for k := 0; k < 32; k++ {
+		if want.Get(k) != result.Get(k) {
+			log.Fatalf("netlist and bit-sliced code disagree at lane %d", k)
+		}
+	}
+	fmt.Println("\nnetlist output identical to the hand-written bit-sliced engine ✓")
+}
+
+func wk(k int) int {
+	if k%2 == 0 {
+		return 2 // match
+	}
+	return -1 // mismatch
+}

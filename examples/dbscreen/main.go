@@ -1,0 +1,71 @@
+// dbscreen: the paper's motivating workload as a library example — screen a
+// synthetic read database against a query with the BPBC bulk engine, then
+// align the survivors in detail on the CPU (§III's two-phase design).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dna"
+)
+
+func main() {
+	const (
+		m       = 32   // query length
+		n       = 512  // database entry length
+		entries = 1024 // database size
+	)
+	rng := rand.New(rand.NewPCG(2017, 5))
+	query := dna.RandSeq(rng, m)
+
+	// Build a database where 3% of entries contain a noisy copy of the
+	// query (5% substitutions, occasional indels).
+	mut := dna.MutationModel{SubRate: 0.05, InsRate: 0.01, DelRate: 0.01}
+	pairs := make([]core.Pair, entries)
+	planted := 0
+	for i := range pairs {
+		text := dna.RandSeq(rng, n)
+		if rng.Float64() < 0.03 {
+			c := mut.Mutate(rng, query)
+			if len(c) > n {
+				c = c[:n]
+			}
+			copy(text[rng.IntN(n-len(c)+1):], c)
+			planted++
+		}
+		pairs[i] = core.Pair{X: query.String(), Y: text.String()}
+	}
+
+	// Phase 1+2: bulk screen at τ = 3/4 of the maximum score, then CPU
+	// traceback for survivors. 64-bit lanes: 64 entries per sweep.
+	tau := core.PaperScoring.MaxScore(m) * 3 / 4
+	hits, err := core.Screen(pairs, tau, core.BulkOptions{Lanes: 64, Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query %s\n", query)
+	fmt.Printf("database: %d entries of length %d, %d with a planted homolog\n", entries, n, planted)
+	fmt.Printf("screen at τ=%d: %d hit(s)\n\n", tau, len(hits))
+	for _, h := range hits {
+		region := h.Alignment
+		fmt.Printf("entry %4d  score %3d  identity %5.1f%%  Y[%d:%d]\n",
+			h.Index, h.Score, region.Identity()*100, region.YStart, region.YEnd)
+	}
+	if len(hits) > 0 {
+		fmt.Println("\nbest alignment:")
+		best := hits[0]
+		for _, h := range hits[1:] {
+			if h.Score > best.Score {
+				best = h
+			}
+		}
+		fmt.Println(best.Alignment)
+	}
+	fmt.Println(strings.Repeat("-", 40))
+	fmt.Println("screen recovered", len(hits), "of", planted, "planted homologs (plus any chance hits)")
+}

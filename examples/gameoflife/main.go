@@ -1,0 +1,64 @@
+// gameoflife: the paper's §I companion application of BPBC — Conway's Game
+// of Life where each word operation advances 64 cells, with the neighbour
+// count accumulated by the same bit-sliced adder the Smith-Waterman engine
+// uses. Prints a glider travelling, then a throughput comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/life"
+)
+
+func main() {
+	// A glider on a small board, printed every two generations.
+	g, err := life.NewGrid(16, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range [][2]int{{1, 0}, {2, 1}, {0, 2}, {1, 2}, {2, 2}} {
+		g.Set(p[0], p[1], true)
+	}
+	for gen := 0; gen <= 8; gen += 2 {
+		fmt.Printf("generation %d:\n%s\n", gen, g)
+		g.Step()
+		g.Step()
+	}
+
+	// Throughput: BPBC step vs cell-by-cell reference on a larger board.
+	rng := rand.New(rand.NewPCG(42, 1))
+	big, err := life.NewGrid(1024, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	big.Randomize(rng, 0.3)
+	naive := big.Clone()
+
+	const gens = 20
+	start := time.Now()
+	for i := 0; i < gens; i++ {
+		big.Step()
+	}
+	bpbcTime := time.Since(start)
+
+	start = time.Now()
+	for i := 0; i < gens; i++ {
+		naive.StepNaive()
+	}
+	naiveTime := time.Since(start)
+
+	if !big.Equal(naive) {
+		log.Fatal("BPBC and naive evolution diverged")
+	}
+	cells := float64(1024*512) * gens
+	fmt.Printf("%d generations of a 1024x512 board:\n", gens)
+	fmt.Printf("  BPBC (64 cells/word op): %8v  (%.0f Mcells/s)\n",
+		bpbcTime.Round(time.Millisecond), cells/bpbcTime.Seconds()/1e6)
+	fmt.Printf("  naive (1 cell at a time): %8v  (%.0f Mcells/s)\n",
+		naiveTime.Round(time.Millisecond), cells/naiveTime.Seconds()/1e6)
+	fmt.Printf("  speedup: %.0fx — both boards identical after evolution ✓\n",
+		float64(naiveTime)/float64(bpbcTime))
+}

@@ -1,0 +1,55 @@
+// gpusim: run a batch through the simulated GPU pipeline (the paper's five
+// steps on the cudasim substrate) and print the Table IV-style stage
+// breakdown, comparing bitwise and wordwise kernels.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"repro/internal/dna"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	const pairs, m, n = 256, 64, 512
+	rng := rand.New(rand.NewPCG(7, 7))
+	batch := dna.RandomPairs(rng, pairs, m, n)
+
+	bw, err := pipeline.RunBitwise[uint32](batch, pipeline.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ww, err := pipeline.RunWordwise(batch, pipeline.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range batch {
+		if bw.Scores[i] != ww.Scores[i] {
+			log.Fatalf("kernels disagree at pair %d: %d vs %d", i, bw.Scores[i], ww.Scores[i])
+		}
+	}
+
+	fmt.Printf("simulated GPU run: %d pairs, m=%d, n=%d (functionally exact)\n\n", pairs, m, n)
+	fmt.Printf("%-22s %10s %10s\n", "stage", "bitwise-32", "wordwise")
+	row := func(name string, a, b any) { fmt.Printf("%-22s %10v %10v\n", name, a, b) }
+	row("H2G (PCIe model)", bw.Times.H2G, ww.Times.H2G)
+	row("W2B kernel", bw.Times.W2B, "-")
+	row("SWA kernel", bw.Times.SWA, ww.Times.SWA)
+	row("B2W kernel", bw.Times.B2W, "-")
+	row("G2H (PCIe model)", bw.Times.G2H, ww.Times.G2H)
+	row("total", bw.Times.Total(), ww.Times.Total())
+
+	fmt.Printf("\nSWA kernel work (exact simulator tallies):\n")
+	fmt.Printf("  bitwise : %12d ALU ops, %8d DRAM transactions, %8d shared cycles\n",
+		bw.SWAStats.ALUOps, bw.SWAStats.GlobalTransactions, bw.SWAStats.SharedCycles)
+	fmt.Printf("  wordwise: %12d ALU ops, %8d DRAM transactions, %8d shared cycles\n",
+		ww.SWAStats.ALUOps, ww.SWAStats.GlobalTransactions, ww.SWAStats.SharedCycles)
+	fmt.Printf("\nscores match the wordwise kernel on all %d pairs ✓\n", pairs)
+	fmt.Printf("example scores: %v\n", bw.Scores[:8])
+	fmt.Println("\nnote: at this tiny scale the bitwise kernel launches only",
+		(pairs+31)/32, "blocks and cannot fill the simulated device, so the wordwise")
+	fmt.Println("kernel (one block per pair) may win on wall clock; at the paper's 32K pairs")
+	fmt.Println("the ordering reverses — run `swabench -table 4` for the full comparison.")
+}

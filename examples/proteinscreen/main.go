@@ -1,0 +1,81 @@
+// proteinscreen: the generic ε-bit engine on the 20-letter protein alphabet
+// (ε = 5). The paper derives its circuits for general character width and
+// evaluates ε=2 (DNA); this example exercises the same machinery where a
+// character costs five planes — per cell only the mismatch flag grows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"repro/internal/alphabet"
+	"repro/internal/bpbc"
+	"repro/internal/swa"
+)
+
+func main() {
+	const m, n, entries = 24, 200, 256
+	rng := rand.New(rand.NewPCG(11, 22))
+
+	randProt := func(n int) alphabet.Seq {
+		s := make(alphabet.Seq, n)
+		for i := range s {
+			s[i] = uint16(rng.IntN(alphabet.Protein.Size()))
+		}
+		return s
+	}
+
+	query := randProt(m)
+	qs, err := alphabet.Protein.Decode(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query peptide (%d aa): %s\n", m, qs)
+
+	// Database with 5%% planted homologs (3 point substitutions each).
+	pairs := make([]alphabet.Pair, entries)
+	planted := map[int]bool{}
+	for i := range pairs {
+		text := randProt(n)
+		if rng.Float64() < 0.05 {
+			c := append(alphabet.Seq(nil), query...)
+			for s := 0; s < 3; s++ {
+				c[rng.IntN(m)] = uint16(rng.IntN(alphabet.Protein.Size()))
+			}
+			copy(text[rng.IntN(n-m+1):], c)
+			planted[i] = true
+		}
+		pairs[i] = alphabet.Pair{X: query, Y: text}
+	}
+
+	res, err := bpbc.BulkScoresGeneric[uint64](alphabet.Protein, pairs, bpbc.GenericOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tau := swa.PaperScoring.MaxScore(m) * 2 / 3
+	fmt.Printf("screened %d entries at τ=%d (ε=%d bit planes per character):\n\n",
+		entries, tau, alphabet.Protein.Bits())
+	hits := 0
+	for i, s := range res.Scores {
+		if s > tau {
+			hits++
+			mark := " "
+			if planted[i] {
+				mark = "planted"
+			}
+			fmt.Printf("  entry %3d  score %3d  %s\n", i, s, mark)
+		}
+	}
+	fmt.Printf("\n%d hits, %d homologs planted\n", hits, len(planted))
+
+	// Cross-check one hit against the scalar reference.
+	for i := range pairs {
+		want := alphabet.Score(pairs[i].X, pairs[i].Y, swa.PaperScoring)
+		if res.Scores[i] != want {
+			log.Fatalf("entry %d: bulk %d != reference %d", i, res.Scores[i], want)
+		}
+	}
+	fmt.Println("all bulk scores verified against the scalar reference ✓")
+}

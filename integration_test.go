@@ -1,0 +1,193 @@
+package repro
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/bitap"
+	"repro/internal/bpbc"
+	"repro/internal/core"
+	"repro/internal/dna"
+	"repro/internal/pipeline"
+	"repro/internal/swa"
+	"repro/internal/workload"
+)
+
+// TestEndToEndConsistency is the repository-wide cross-check: one workload,
+// every engine — reference, wavefront, bulk CPU (both widths, parallel),
+// simulated GPU (both kernel families, with and without shuffle) — must
+// agree on every score.
+func TestEndToEndConsistency(t *testing.T) {
+	spec := workload.Unit
+	pairs := spec.GenerateScreen(spec.NList[0], 0.3)
+
+	ref := make([]int, len(pairs))
+	for i, p := range pairs {
+		ref[i] = swa.Score(p.X, p.Y, swa.PaperScoring)
+		if w := swa.WavefrontScore(p.X, p.Y, swa.PaperScoring); w != ref[i] {
+			t.Fatalf("pair %d: wavefront %d != reference %d", i, w, ref[i])
+		}
+	}
+
+	check := func(name string, scores []int) {
+		t.Helper()
+		if len(scores) != len(ref) {
+			t.Fatalf("%s: %d scores, want %d", name, len(scores), len(ref))
+		}
+		for i := range ref {
+			if scores[i] != ref[i] {
+				t.Fatalf("%s: pair %d = %d, reference %d", name, i, scores[i], ref[i])
+			}
+		}
+	}
+
+	b32, err := bpbc.BulkScores[uint32](pairs, bpbc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("bulk-32", b32.Scores)
+
+	b64, err := bpbc.BulkScores[uint64](pairs, bpbc.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("bulk-64-parallel", b64.Scores)
+
+	ww, err := bpbc.WordwiseScores(pairs, bpbc.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("wordwise", ww.Scores)
+
+	g32, err := pipeline.RunBitwise[uint32](pairs, pipeline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("gpu-bitwise-32", g32.Scores)
+
+	g64, err := pipeline.RunBitwise[uint64](pairs, pipeline.Config{UseShuffle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("gpu-bitwise-64-shuffle", g64.Scores)
+
+	gw, err := pipeline.RunWordwise(pairs, pipeline.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("gpu-wordwise", gw.Scores)
+}
+
+// TestScreenPipelineEndToEnd runs the paper's full use case through the
+// public facade and verifies precision/recall against a brute-force filter.
+func TestScreenPipelineEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 200))
+	const m, n, count = 20, 256, 96
+	dpairs := dna.PlantedPairs(rng, count, m, n, 0.25, dna.MutationModel{SubRate: 0.05})
+	pairs := make([]core.Pair, count)
+	for i, p := range dpairs {
+		pairs[i] = core.Pair{X: p.X.String(), Y: p.Y.String()}
+	}
+	tau := core.PaperScoring.MaxScore(m) * 2 / 3
+
+	hits, err := core.Screen(pairs, tau, core.BulkOptions{Lanes: 64, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := swa.FilterByScore(dpairs, tau, swa.PaperScoring)
+	if len(hits) != len(want) {
+		t.Fatalf("screen found %d hits, brute force %d", len(hits), len(want))
+	}
+	for i, h := range hits {
+		if h.Index != want[i].Index || h.Score != want[i].Score {
+			t.Fatalf("hit %d: (%d,%d) want (%d,%d)",
+				i, h.Index, h.Score, want[i].Index, want[i].Score)
+		}
+		if h.Alignment.Score != h.Score {
+			t.Fatalf("hit %d: alignment score %d != screen score %d",
+				h.Index, h.Alignment.Score, h.Score)
+		}
+	}
+}
+
+// TestBothStrandScreen exercises reverse-complement screening: a hit planted
+// on the reverse strand is invisible to the forward screen and found by the
+// reverse-complement screen.
+func TestBothStrandScreen(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	const m, n = 24, 300
+	x := dna.RandSeq(rng, m)
+	pairs := make([]dna.Pair, 32)
+	for i := range pairs {
+		pairs[i] = dna.Pair{X: x, Y: dna.RandSeq(rng, n)}
+	}
+	// Plant the reverse complement of x into pair 11's text.
+	rc := x.ReverseComplement()
+	copy(pairs[11].Y[100:], rc)
+
+	tau := swa.PaperScoring.MaxScore(m) - 1
+	fwd, err := bpbc.BulkScores[uint32](pairs, bpbc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx := fwd.FilterAbove(tau); len(idx) != 0 {
+		t.Fatalf("forward screen should miss the reverse-strand plant, hit %v", idx)
+	}
+	// Screen with the reverse-complemented query.
+	rcPairs := make([]dna.Pair, len(pairs))
+	for i := range pairs {
+		rcPairs[i] = dna.Pair{X: x.ReverseComplement(), Y: pairs[i].Y}
+	}
+	rev, err := bpbc.BulkScores[uint32](rcPairs, bpbc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := rev.FilterAbove(tau)
+	if len(idx) != 1 || idx[0] != 11 {
+		t.Fatalf("reverse screen hits %v, want [11]", idx)
+	}
+}
+
+// TestIntraVsInterWordParallelism cross-validates the two bit-parallelism
+// styles the repository contains on a shared task: exact occurrence finding.
+func TestIntraVsInterWordParallelism(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	const m, n = 20, 400
+	x := dna.RandSeq(rng, m)
+	texts := make([]dna.Seq, 32)
+	for i := range texts {
+		texts[i] = dna.RandSeq(rng, n)
+		copy(texts[i][i*10:], x)
+	}
+	// Intra-word: Shift-And per text.
+	for k, y := range texts {
+		occ, err := bitap.ShiftAnd(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, o := range occ {
+			if o == k*10 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ShiftAnd missed plant in text %d", k)
+		}
+	}
+	// Inter-instance: BPBC bulk screen finds the same full-score hits.
+	pairs := make([]dna.Pair, 32)
+	for i := range pairs {
+		pairs[i] = dna.Pair{X: x, Y: texts[i]}
+	}
+	res, err := bpbc.BulkScores[uint32](pairs, bpbc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := swa.PaperScoring.MaxScore(m)
+	for i, s := range res.Scores {
+		if s != full {
+			t.Fatalf("BPBC pair %d scored %d, want %d (exact plant)", i, s, full)
+		}
+	}
+}

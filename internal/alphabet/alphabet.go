@@ -1,0 +1,204 @@
+// Package alphabet generalises the engine beyond DNA: the paper's §IV
+// derivation is parameterised by ε, "the number of bits necessary to encode
+// the characters of the input strings", with DNA (ε=2) as the evaluated
+// instance. This package provides arbitrary ε-bit alphabets — including the
+// 20-letter protein alphabet (ε=5) — their bit-transposed representation,
+// and a reference scorer; internal/bpbc builds the generic bulk engine on
+// top.
+package alphabet
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitmat"
+	"repro/internal/swa"
+	"repro/internal/word"
+)
+
+// Alphabet is a finite symbol set with a fixed-width binary code.
+type Alphabet struct {
+	name    string
+	letters []byte
+	bits    int
+	lut     [256]int16 // ASCII -> code, -1 when invalid
+}
+
+// New builds an alphabet from its letters (codes are assigned in order).
+func New(name, letters string) (*Alphabet, error) {
+	if len(letters) < 2 {
+		return nil, fmt.Errorf("alphabet: %q needs at least 2 letters", name)
+	}
+	if len(letters) > 256 {
+		return nil, fmt.Errorf("alphabet: %q has too many letters", name)
+	}
+	a := &Alphabet{name: name, letters: []byte(letters), bits: bits.Len(uint(len(letters) - 1))}
+	for i := range a.lut {
+		a.lut[i] = -1
+	}
+	for code, c := range []byte(letters) {
+		if a.lut[c] != -1 {
+			return nil, fmt.Errorf("alphabet: %q repeats letter %q", name, c)
+		}
+		a.lut[c] = int16(code)
+	}
+	return a, nil
+}
+
+func mustNew(name, letters string) *Alphabet {
+	a, err := New(name, letters)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// DNA is the four-base alphabet in the paper's code order (A=00, T=01,
+// G=10, C=11).
+var DNA = mustNew("DNA", "ATGC")
+
+// Protein is the 20 standard amino acids, ε = 5 bits.
+var Protein = mustNew("protein", "ARNDCQEGHILKMFPSTWYV")
+
+// Name returns the alphabet's name.
+func (a *Alphabet) Name() string { return a.name }
+
+// Bits returns ε, the character code width.
+func (a *Alphabet) Bits() int { return a.bits }
+
+// Size returns the number of letters.
+func (a *Alphabet) Size() int { return len(a.letters) }
+
+// Seq is a sequence of alphabet codes.
+type Seq []uint16
+
+// Encode converts a letter string into codes.
+func (a *Alphabet) Encode(s string) (Seq, error) {
+	out := make(Seq, len(s))
+	for i := 0; i < len(s); i++ {
+		c := a.lut[s[i]]
+		if c < 0 {
+			return nil, fmt.Errorf("alphabet: %q position %d: invalid letter %q", a.name, i, s[i])
+		}
+		out[i] = uint16(c)
+	}
+	return out, nil
+}
+
+// MustEncode is Encode for constant inputs.
+func (a *Alphabet) MustEncode(s string) Seq {
+	out, err := a.Encode(s)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Decode converts codes back into letters.
+func (a *Alphabet) Decode(s Seq) (string, error) {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		if int(c) >= len(a.letters) {
+			return "", fmt.Errorf("alphabet: %q: code %d out of range", a.name, c)
+		}
+		out[i] = a.letters[c]
+	}
+	return string(out), nil
+}
+
+// Pair is one generic-alphabet problem instance.
+type Pair struct {
+	X, Y Seq
+}
+
+// Score computes the reference Smith-Waterman score over codes with
+// match/mismatch scoring — the oracle for the generic bulk engine.
+func Score(x, y Seq, sc swa.Scoring) int {
+	m, n := len(x), len(y)
+	if m == 0 || n == 0 {
+		return 0
+	}
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	best := 0
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			w := -sc.Mismatch
+			if x[i-1] == y[j-1] {
+				w = sc.Match
+			}
+			v := max(0, prev[j]-sc.Gap, cur[j-1]-sc.Gap, prev[j-1]+w)
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// Transposed holds one lane group of equal-length sequences in bit-transpose
+// format: Planes[b][i] carries bit b of position i's code across all lanes.
+type Transposed[W word.Word] struct {
+	Planes [][]W
+	Count  int
+}
+
+// Len returns the common sequence length.
+func (t *Transposed[W]) Len() int {
+	if len(t.Planes) == 0 {
+		return 0
+	}
+	return len(t.Planes[0])
+}
+
+// Lane reconstructs sequence k.
+func (t *Transposed[W]) Lane(k int) Seq {
+	n := t.Len()
+	out := make(Seq, n)
+	for i := 0; i < n; i++ {
+		var code uint16
+		for b, plane := range t.Planes {
+			code |= uint16(plane[i]>>uint(k)&1) << uint(b)
+		}
+		out[i] = code
+	}
+	return out
+}
+
+// TransposeGroup converts up to W equal-length sequences into ε bit planes
+// using one ε-bit-value column transpose per position (the general form of
+// the paper's W2B step). Missing lanes are zero-padded.
+func TransposeGroup[W word.Word](a *Alphabet, seqs []Seq) (*Transposed[W], error) {
+	lanes := word.Lanes[W]()
+	if len(seqs) == 0 || len(seqs) > lanes {
+		return nil, fmt.Errorf("alphabet: TransposeGroup needs 1..%d sequences, got %d", lanes, len(seqs))
+	}
+	n := len(seqs[0])
+	for i, s := range seqs {
+		if len(s) != n {
+			return nil, fmt.Errorf("alphabet: sequence %d has length %d, want %d", i, len(s), n)
+		}
+	}
+	eps := a.bits
+	t := &Transposed[W]{Planes: make([][]W, eps), Count: len(seqs)}
+	for b := range t.Planes {
+		t.Planes[b] = make([]W, n)
+	}
+	plan := bitmat.CachedPlan(lanes, eps, bitmat.ValuesToPlanes)
+	col := make([]W, lanes)
+	for i := 0; i < n; i++ {
+		for k := range col {
+			col[k] = 0
+		}
+		for k, s := range seqs {
+			col[k] = W(s[i])
+		}
+		bitmat.Apply(plan, col)
+		for b := 0; b < eps; b++ {
+			t.Planes[b][i] = col[b]
+		}
+	}
+	return t, nil
+}

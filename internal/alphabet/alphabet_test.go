@@ -1,0 +1,150 @@
+package alphabet
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+	"repro/internal/swa"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("tiny", "A"); err == nil {
+		t.Error("single-letter alphabet should fail")
+	}
+	if _, err := New("dup", "AAB"); err == nil {
+		t.Error("duplicate letters should fail")
+	}
+	a, err := New("bin", "01")
+	if err != nil || a.Bits() != 1 || a.Size() != 2 {
+		t.Errorf("binary alphabet wrong: %v bits=%d", err, a.Bits())
+	}
+}
+
+func TestBuiltinAlphabets(t *testing.T) {
+	if DNA.Bits() != 2 || DNA.Size() != 4 {
+		t.Errorf("DNA: bits=%d size=%d", DNA.Bits(), DNA.Size())
+	}
+	if Protein.Bits() != 5 || Protein.Size() != 20 {
+		t.Errorf("Protein: bits=%d size=%d", Protein.Bits(), Protein.Size())
+	}
+	if DNA.Name() != "DNA" || Protein.Name() != "protein" {
+		t.Error("names wrong")
+	}
+}
+
+func TestDNACodesMatchPaperEncoding(t *testing.T) {
+	// The DNA alphabet's code order must reproduce the paper's encoding
+	// (A=00, T=01, G=10, C=11) so results interoperate with internal/dna.
+	s := DNA.MustEncode("ATGC")
+	for i, want := range []uint16{0, 1, 2, 3} {
+		if s[i] != want {
+			t.Errorf("code %c = %d, want %d", "ATGC"[i], s[i], want)
+		}
+	}
+	// Cross-check against dna.Base.
+	for _, c := range []byte("ACGT") {
+		b, _ := dna.ParseBase(c)
+		code := DNA.MustEncode(string(c))[0]
+		if uint16(b) != code {
+			t.Errorf("%c: dna code %d, alphabet code %d", c, b, code)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := "MKVLAARNDW"
+	codes, err := Protein.Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Protein.Decode(codes)
+	if err != nil || back != s {
+		t.Errorf("round trip: %q %v", back, err)
+	}
+	if _, err := Protein.Encode("MKZ"); err == nil {
+		t.Error("invalid letter should fail")
+	}
+	if _, err := Protein.Decode(Seq{31}); err == nil {
+		t.Error("out-of-range code should fail")
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode should panic on bad input")
+		}
+	}()
+	DNA.MustEncode("AX")
+}
+
+func randSeq(rng *rand.Rand, a *Alphabet, n int) Seq {
+	s := make(Seq, n)
+	for i := range s {
+		s[i] = uint16(rng.IntN(a.Size()))
+	}
+	return s
+}
+
+func TestTransposeGroupRoundTrip(t *testing.T) {
+	for _, a := range []*Alphabet{DNA, Protein} {
+		rng := rand.New(rand.NewPCG(1, uint64(a.Bits())))
+		seqs := make([]Seq, 32)
+		for i := range seqs {
+			seqs[i] = randSeq(rng, a, 40)
+		}
+		tr, err := TransposeGroup[uint32](a, seqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Planes) != a.Bits() || tr.Len() != 40 {
+			t.Fatalf("%s: planes=%d len=%d", a.Name(), len(tr.Planes), tr.Len())
+		}
+		for k, s := range seqs {
+			got := tr.Lane(k)
+			for i := range s {
+				if got[i] != s[i] {
+					t.Fatalf("%s lane %d pos %d: %d != %d", a.Name(), k, i, got[i], s[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTransposeGroupErrors(t *testing.T) {
+	if _, err := TransposeGroup[uint32](DNA, nil); err == nil {
+		t.Error("empty group should fail")
+	}
+	if _, err := TransposeGroup[uint32](DNA, make([]Seq, 40)); err == nil {
+		t.Error("oversized group should fail")
+	}
+	ragged := []Seq{{0, 1}, {0}}
+	if _, err := TransposeGroup[uint32](DNA, ragged); err == nil {
+		t.Error("ragged group should fail")
+	}
+}
+
+func TestScoreMatchesDNAReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 70))
+		m := 1 + rng.IntN(16)
+		n := m + rng.IntN(40)
+		x := dna.RandSeq(rng, m)
+		y := dna.RandSeq(rng, n)
+		// Convert through letters so both paths see identical sequences.
+		ax := DNA.MustEncode(x.String())
+		ay := DNA.MustEncode(y.String())
+		return Score(ax, ay, swa.PaperScoring) == swa.Score(x, y, swa.PaperScoring)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreEmpty(t *testing.T) {
+	if Score(nil, Seq{1}, swa.PaperScoring) != 0 {
+		t.Error("empty pattern should score 0")
+	}
+}

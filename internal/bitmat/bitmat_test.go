@@ -1,0 +1,466 @@
+package bitmat
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransposeInPlaceMatchesNaive32(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		src := make([]uint32, 32)
+		for i := range src {
+			src[i] = rng.Uint32()
+		}
+		want := make([]uint32, 32)
+		TransposeNaive(want, src)
+		got := append([]uint32(nil), src...)
+		TransposeInPlace(got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d word %d: got %#x want %#x", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTransposeInPlaceMatchesNaive64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 100; trial++ {
+		src := make([]uint64, 64)
+		for i := range src {
+			src[i] = rng.Uint64()
+		}
+		want := make([]uint64, 64)
+		TransposeNaive(want, src)
+		got := append([]uint64(nil), src...)
+		TransposeInPlace(got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d word %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestTransposeIsInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		a := make([]uint32, 32)
+		for i := range a {
+			a[i] = rng.Uint32()
+		}
+		orig := append([]uint32(nil), a...)
+		TransposeInPlace(a)
+		TransposeInPlace(a)
+		for i := range a {
+			if a[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullPlanMatchesTransposeInPlace(t *testing.T) {
+	plan := CachedPlan(32, 32, Full)
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 50; trial++ {
+		a := make([]uint32, 32)
+		for i := range a {
+			a[i] = rng.Uint32()
+		}
+		b := append([]uint32(nil), a...)
+		TransposeInPlace(a)
+		Apply(plan, b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d word %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+// TestLemma1 verifies the paper's Lemma 1: a 32×32 bit matrix is transposed
+// by 80 swaps = 560 operations.
+func TestLemma1(t *testing.T) {
+	p := CachedPlan(32, 32, Full)
+	c := p.Counts()
+	if c.Swaps != 80 || c.Copies != 0 || c.CopyDowns != 0 {
+		t.Errorf("full 32x32 plan = %+v, want 80 swaps only", c)
+	}
+	if got := c.BitOps(); got != 560 {
+		t.Errorf("full 32x32 plan costs %d ops, want 560 (Lemma 1)", got)
+	}
+}
+
+// TestTableICounts checks the planner against the rows of the paper's
+// Table I that are stated unambiguously. Our backward-liveness planner
+// matches the paper exactly at s = 2, 4, 8 and 32; the paper's hand-made
+// schedules for the remaining widths exploit extra freedom (plane
+// permutation), so there we only require the planner not to exceed the
+// naive count; the achieved numbers are recorded in EXPERIMENTS.md.
+func TestTableICounts(t *testing.T) {
+	exact := map[int]int{
+		32: 560,
+		8:  180,
+		4:  140,
+		2:  127,
+	}
+	for s, want := range exact {
+		p := CachedPlan(32, s, ValuesToPlanes)
+		if got := p.Counts().BitOps(); got != want {
+			t.Errorf("s=%d: planner costs %d ops, paper Table I says %d", s, got, want)
+		}
+	}
+	paper := map[int]int{16: 272, 7: 177, 6: 168, 5: 164, 3: 131}
+	for s, paperOps := range paper {
+		p := CachedPlan(32, s, ValuesToPlanes)
+		got := p.Counts().BitOps()
+		if got > 560 {
+			t.Errorf("s=%d: planner costs %d ops, exceeds full transpose", s, got)
+		}
+		t.Logf("s=%d: planner %d ops, paper %d ops", s, got, paperOps)
+	}
+}
+
+// TestTableIStructure checks the swap/copy composition of the rows our
+// planner reproduces exactly.
+func TestTableIStructure(t *testing.T) {
+	cases := []struct {
+		s             int
+		swaps, copies int
+	}{
+		{32, 80, 0},
+		{8, 12, 24},
+		{4, 4, 28},
+		{2, 1, 30},
+	}
+	for _, tc := range cases {
+		c := CachedPlan(32, tc.s, ValuesToPlanes).Counts()
+		if c.Swaps != tc.swaps || c.Copies+c.CopyDowns != tc.copies {
+			t.Errorf("s=%d: got %d swaps %d copies, want %d swaps %d copies",
+				tc.s, c.Swaps, c.Copies+c.CopyDowns, tc.swaps, tc.copies)
+		}
+	}
+}
+
+func valuesToPlanesNaive32(vals []uint32, s int) []uint32 {
+	planes := make([]uint32, s)
+	for k, v := range vals {
+		for h := 0; h < s; h++ {
+			if v>>uint(h)&1 != 0 {
+				planes[h] |= 1 << uint(k)
+			}
+		}
+	}
+	return planes
+}
+
+func TestValuesToPlanesAllS32(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for s := 1; s <= 32; s++ {
+		for trial := 0; trial < 10; trial++ {
+			vals := make([]uint32, 32)
+			for i := range vals {
+				vals[i] = rng.Uint32() & (uint32(1)<<uint(s) - 1)
+				if s == 32 {
+					vals[i] = rng.Uint32()
+				}
+			}
+			want := valuesToPlanesNaive32(vals, s)
+			a := append([]uint32(nil), vals...)
+			ValuesToPlanesInPlace(a, s)
+			for h := 0; h < s; h++ {
+				if a[h] != want[h] {
+					t.Fatalf("s=%d trial %d plane %d: got %#x want %#x", s, trial, h, a[h], want[h])
+				}
+			}
+		}
+	}
+}
+
+func TestValuesToPlanesAllS64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for s := 1; s <= 64; s++ {
+		vals := make([]uint64, 64)
+		for i := range vals {
+			if s == 64 {
+				vals[i] = rng.Uint64()
+			} else {
+				vals[i] = rng.Uint64() & (uint64(1)<<uint(s) - 1)
+			}
+		}
+		a := append([]uint64(nil), vals...)
+		ValuesToPlanesInPlace(a, s)
+		for h := 0; h < s; h++ {
+			var wantPlane uint64
+			for k, v := range vals {
+				if v>>uint(h)&1 != 0 {
+					wantPlane |= 1 << uint(k)
+				}
+			}
+			if a[h] != wantPlane {
+				t.Fatalf("s=%d plane %d mismatch", s, h)
+			}
+		}
+	}
+}
+
+func TestPlanesToValuesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for _, lanes := range []int{32, 64} {
+		for s := 1; s <= lanes; s++ {
+			if lanes == 64 && s > 1 && s < 64 && s%7 != 0 && s != 9 && s != 32 {
+				continue // sample s for 64 lanes to keep the test quick
+			}
+			if lanes == 32 {
+				vals := make([]uint32, 32)
+				for i := range vals {
+					vals[i] = rng.Uint32()
+				}
+				MaskValues(vals, s)
+				a := append([]uint32(nil), vals...)
+				ValuesToPlanesInPlace(a, s)
+				for h := s; h < 32; h++ {
+					a[h] = 0 // planes beyond s are zero by construction
+				}
+				PlanesToValuesInPlace(a, s)
+				for k := range vals {
+					if a[k] != vals[k] {
+						t.Fatalf("lanes=32 s=%d lane %d: got %#x want %#x", s, k, a[k], vals[k])
+					}
+				}
+			} else {
+				vals := make([]uint64, 64)
+				for i := range vals {
+					vals[i] = rng.Uint64()
+				}
+				MaskValues(vals, s)
+				a := append([]uint64(nil), vals...)
+				ValuesToPlanesInPlace(a, s)
+				for h := s; h < 64; h++ {
+					a[h] = 0
+				}
+				PlanesToValuesInPlace(a, s)
+				for k := range vals {
+					if a[k] != vals[k] {
+						t.Fatalf("lanes=64 s=%d lane %d mismatch", s, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNewPlanValidatesArgs(t *testing.T) {
+	if _, err := NewPlan(16, 4, Full); err == nil {
+		t.Error("NewPlan(16,...) should fail")
+	}
+	if _, err := NewPlan(32, 0, ValuesToPlanes); err == nil {
+		t.Error("NewPlan(s=0) should fail")
+	}
+	if _, err := NewPlan(32, 33, ValuesToPlanes); err == nil {
+		t.Error("NewPlan(s=33) should fail")
+	}
+}
+
+func TestCachedPlanReturnsSameInstance(t *testing.T) {
+	a := CachedPlan(32, 9, ValuesToPlanes)
+	b := CachedPlan(32, 9, ValuesToPlanes)
+	if a != b {
+		t.Error("CachedPlan did not cache")
+	}
+	// Full ignores s.
+	if CachedPlan(32, 5, Full) != CachedPlan(32, 31, Full) {
+		t.Error("Full plans with different s should be identical")
+	}
+}
+
+func TestMaskValues(t *testing.T) {
+	a := []uint32{0xFFFFFFFF, 0x12345678}
+	MaskValues(a, 9)
+	if a[0] != 0x1FF || a[1] != 0x78 {
+		t.Errorf("MaskValues wrong: %#x %#x", a[0], a[1])
+	}
+}
+
+func TestTranspose8x8(t *testing.T) {
+	var a [8]uint8
+	rng := rand.New(rand.NewPCG(13, 14))
+	for i := range a {
+		a[i] = uint8(rng.Uint32())
+	}
+	orig := a
+	stages := 0
+	Transpose8x8(&a, func(stage int, _ [8]uint8) { stages++ })
+	if stages != 3 {
+		t.Errorf("expected 3 trace stages, got %d", stages)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			got := a[i] >> uint(j) & 1
+			want := orig[j] >> uint(i) & 1
+			if got != want {
+				t.Fatalf("bit (%d,%d): got %d want %d", i, j, got, want)
+			}
+		}
+	}
+	// Involution.
+	Transpose8x8(&a, nil)
+	if a != orig {
+		t.Error("Transpose8x8 twice is not identity")
+	}
+}
+
+func TestPlanCostsAreMonotonicInS(t *testing.T) {
+	// More value bits can never make the conversion cheaper.
+	prev := 0
+	for s := 1; s <= 32; s++ {
+		ops := CachedPlan(32, s, ValuesToPlanes).Counts().BitOps()
+		if ops < prev {
+			t.Errorf("s=%d costs %d < s=%d costs %d", s, ops, s-1, prev)
+		}
+		prev = ops
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpSwap.String() != "swap" || OpCopy.String() != "copy" || OpCopyDown.String() != "copydown" {
+		t.Error("OpKind strings wrong")
+	}
+	if OpSwap.Cost() != 7 || OpCopy.Cost() != 4 || OpCopyDown.Cost() != 4 {
+		t.Error("OpKind costs wrong")
+	}
+	if Full.String() != "full" || ValuesToPlanes.String() != "values->planes" || PlanesToValues.String() != "planes->values" {
+		t.Error("PlanKind strings wrong")
+	}
+}
+
+func TestApplyPanicsOnWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Apply with wrong length did not panic")
+		}
+	}()
+	Apply(CachedPlan(32, 32, Full), make([]uint32, 16))
+}
+
+func BenchmarkTransposeInPlace32(b *testing.B) {
+	a := make([]uint32, 32)
+	for i := range a {
+		a[i] = uint32(i) * 0x9E3779B9
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TransposeInPlace(a)
+	}
+}
+
+func BenchmarkTransposeInPlace64(b *testing.B) {
+	a := make([]uint64, 64)
+	for i := range a {
+		a[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TransposeInPlace(a)
+	}
+}
+
+func BenchmarkValuesToPlanesS2(b *testing.B) {
+	a := make([]uint32, 32)
+	for i := range a {
+		a[i] = uint32(i) & 3
+	}
+	plan := CachedPlan(32, 2, ValuesToPlanes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Apply(plan, a)
+	}
+}
+
+// TestTableICounts64 extends Table I's reasoning to 64-lane words: the full
+// 64×64 transpose needs 6 stages × 32 swaps = 1344 operations, and the
+// 2-bit specialisation degrades all but the final stage to copies.
+func TestTableICounts64(t *testing.T) {
+	full := CachedPlan(64, 64, Full).Counts()
+	if full.Swaps != 192 || full.BitOps() != 1344 {
+		t.Errorf("full 64x64: %+v (%d ops), want 192 swaps / 1344 ops", full, full.BitOps())
+	}
+	s2 := CachedPlan(64, 2, ValuesToPlanes).Counts()
+	// Copies 32+16+8+4+2 = 62, one final swap: 62*4 + 7 = 255.
+	if s2.Swaps != 1 || s2.Copies+s2.CopyDowns != 62 || s2.BitOps() != 255 {
+		t.Errorf("64-lane s=2: %+v (%d ops), want 1 swap + 62 copies = 255", s2, s2.BitOps())
+	}
+}
+
+// TestPlanWorksForEveryS64 exhaustively validates 64-lane plans.
+func TestPlanWorksForEveryS64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(99, 100))
+	for s := 1; s <= 64; s++ {
+		vals := make([]uint64, 64)
+		for i := range vals {
+			vals[i] = rng.Uint64()
+		}
+		MaskValues(vals, s)
+		a := append([]uint64(nil), vals...)
+		ValuesToPlanesInPlace(a, s)
+		for h := 0; h < s; h++ {
+			var want uint64
+			for k, v := range vals {
+				if v>>uint(h)&1 != 0 {
+					want |= 1 << uint(k)
+				}
+			}
+			if a[h] != want {
+				t.Fatalf("s=%d plane %d wrong", s, h)
+			}
+		}
+	}
+}
+
+// TestCopyDownPrimitive exercises the reverse-direction copy on a plan that
+// needs it (PlanesToValues produces them for small s).
+func TestCopyDownPrimitive(t *testing.T) {
+	sawCopyDown := false
+	for s := 1; s <= 32; s++ {
+		for _, op := range CachedPlan(32, s, PlanesToValues).Ops {
+			if op.Kind == OpCopyDown {
+				sawCopyDown = true
+			}
+		}
+	}
+	for s := 1; s <= 32 && !sawCopyDown; s++ {
+		for _, op := range CachedPlan(32, s, ValuesToPlanes).Ops {
+			if op.Kind == OpCopyDown {
+				sawCopyDown = true
+			}
+		}
+	}
+	if !sawCopyDown {
+		t.Skip("no plan currently emits copydown; primitive covered by Apply test below")
+	}
+}
+
+// TestApplyCopyDownSemantics checks the OpCopyDown executor directly.
+func TestApplyCopyDownSemantics(t *testing.T) {
+	plan := &Plan{Lanes: 32, S: 32, Kind: Full, Ops: []Op{
+		{Kind: OpCopyDown, A: 0, B: 1, Shift: 16, Mask: 0x0000FFFF},
+	}}
+	a := make([]uint32, 32)
+	a[0], a[1] = 0xABCD1234, 0xFFFF0000
+	want1 := uint32(0xFFFF0000&^0x0000FFFF) | (a[0]>>16)&0x0000FFFF
+	orig0 := a[0]
+	Apply(plan, a)
+	if a[0] != orig0 {
+		t.Error("copydown must not modify A")
+	}
+	if a[1] != want1 {
+		t.Errorf("copydown B = %#x, want %#x", a[1], want1)
+	}
+}

@@ -1,0 +1,120 @@
+package bitmat
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// Apply executes a compiled plan on a in place. len(a) must equal the plan's
+// lane count, and the word type's width must match as well.
+func Apply[W word.Word](p *Plan, a []W) {
+	if len(a) != p.Lanes || word.Lanes[W]() != p.Lanes {
+		panic(fmt.Sprintf("bitmat: Apply: plan is %d-lane, got %d words of %d lanes",
+			p.Lanes, len(a), word.Lanes[W]()))
+	}
+	for _, op := range p.Ops {
+		mask := W(op.Mask)
+		k := uint(op.Shift)
+		switch op.Kind {
+		case OpSwap:
+			c := ((a[op.A] >> k) ^ a[op.B]) & mask
+			a[op.A] ^= c << k
+			a[op.B] ^= c
+		case OpCopy:
+			a[op.A] = (a[op.A] & mask) | ((a[op.B] & mask) << k)
+		case OpCopyDown:
+			a[op.B] = (a[op.B] &^ mask) | ((a[op.A] >> k) & mask)
+		}
+	}
+}
+
+// TransposeInPlace performs the full w×w bit-matrix transpose of a, where
+// w is the lane width of W and len(a) == w. After the call, bit j of a[i]
+// holds what was bit i of a[j]. This is the unrolled masked-swap network of
+// Hacker's Delight §7.3 (80 swaps / 560 bitwise operations for 32×32,
+// Lemma 1 of the paper).
+func TransposeInPlace[W word.Word](a []W) {
+	lanes := word.Lanes[W]()
+	if len(a) != lanes {
+		panic(fmt.Sprintf("bitmat: TransposeInPlace: need %d words, got %d", lanes, len(a)))
+	}
+	for d := lanes / 2; d >= 1; d >>= 1 {
+		mask := word.HalfMask[W](d)
+		k := uint(d)
+		for i := 0; i < lanes; i++ {
+			if i&d != 0 {
+				continue
+			}
+			c := ((a[i] >> k) ^ a[i+d]) & mask
+			a[i] ^= c << k
+			a[i+d] ^= c
+		}
+	}
+}
+
+// TransposeNaive is the reference bit-by-bit transpose used to validate the
+// fast paths. dst and src must both have length w and must not alias.
+func TransposeNaive[W word.Word](dst, src []W) {
+	lanes := word.Lanes[W]()
+	if len(dst) != lanes || len(src) != lanes {
+		panic("bitmat: TransposeNaive: wrong length")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < lanes; i++ {
+		for j := 0; j < lanes; j++ {
+			if src[i]>>uint(j)&1 != 0 {
+				dst[j] |= W(1) << uint(i)
+			}
+		}
+	}
+}
+
+// ValuesToPlanesInPlace converts w words, each holding an s-bit value in its
+// low s bits (higher bits MUST be zero — see MaskValues), into bit-plane
+// form: afterwards a[h] (h < s) holds plane h, i.e. bit k of a[h] is bit h of
+// the value that was in a[k]. Words a[s..] hold unspecified data.
+func ValuesToPlanesInPlace[W word.Word](a []W, s int) {
+	Apply(CachedPlan(word.Lanes[W](), s, ValuesToPlanes), a)
+}
+
+// PlanesToValuesInPlace is the inverse of ValuesToPlanesInPlace: a[0..s-1]
+// hold bit planes (a[s..] must be zero); afterwards a[k] holds the s-bit
+// value of lane k in its low s bits, with higher bits cleaned to zero.
+func PlanesToValuesInPlace[W word.Word](a []W, s int) {
+	Apply(CachedPlan(word.Lanes[W](), s, PlanesToValues), a)
+	MaskValues(a, s)
+}
+
+// MaskValues clears every bit at position >= s in each word of a,
+// establishing the precondition of ValuesToPlanesInPlace.
+func MaskValues[W word.Word](a []W, s int) {
+	m := word.LowMask[W](s)
+	for i := range a {
+		a[i] &= m
+	}
+}
+
+// Transpose8x8 transposes an 8×8 bit matrix held in eight bytes, the small
+// worked example of the paper's Figure 1. If trace is non-nil it is invoked
+// with the matrix state after each of the three stages.
+func Transpose8x8(a *[8]uint8, trace func(stage int, state [8]uint8)) {
+	step := func(d int, mask uint8, stage int) {
+		for i := 0; i < 8; i++ {
+			if i&d != 0 {
+				continue
+			}
+			c := ((a[i] >> uint(d)) ^ a[i+d]) & mask
+			a[i] ^= c << uint(d)
+			a[i+d] ^= c
+		}
+		if trace != nil {
+			trace(stage, *a)
+		}
+	}
+	step(4, 0x0F, 1)
+	step(2, 0x33, 2)
+	step(1, 0x55, 3)
+}

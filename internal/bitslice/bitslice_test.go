@@ -1,0 +1,481 @@
+package bitslice
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/word"
+)
+
+const testS = 9 // bit width used by most tests (the paper config's width)
+
+func randNum[W word.Word](rng *rand.Rand, s int) Num[W] {
+	n := NewNum[W](s)
+	for k := 0; k < word.Lanes[W](); k++ {
+		n.Set(k, uint(rng.Uint64N(1<<uint(s))))
+	}
+	return n
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	n := NewNum[uint32](testS)
+	for k := 0; k < 32; k++ {
+		n.Set(k, uint(k*13)%512)
+	}
+	for k := 0; k < 32; k++ {
+		if got := n.Get(k); got != uint(k*13)%512 {
+			t.Fatalf("lane %d: got %d", k, got)
+		}
+	}
+}
+
+func TestSetPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Set with oversized value did not panic")
+		}
+	}()
+	NewNum[uint32](4).Set(0, 16)
+}
+
+func TestSetAll(t *testing.T) {
+	n := NewNum[uint64](7)
+	n.SetAll(93)
+	for _, v := range n.Lanes() {
+		if v != 93 {
+			t.Fatalf("lane holds %d, want 93", v)
+		}
+	}
+}
+
+func TestGreaterEqExhaustiveSmall(t *testing.T) {
+	// Exhaustive over all pairs of 4-bit values, one pair per lane batch.
+	const s = 4
+	a := NewNum[uint32](s)
+	b := NewNum[uint32](s)
+	for base := 0; base < 256; base += 32 {
+		for k := 0; k < 32; k++ {
+			pair := base + k
+			a.Set(k, uint(pair>>4))
+			b.Set(k, uint(pair&15))
+		}
+		ge := GreaterEq(a, b)
+		for k := 0; k < 32; k++ {
+			pair := base + k
+			want := (pair >> 4) >= (pair & 15)
+			if word.Lane(ge, k) != want {
+				t.Fatalf("GreaterEq(%d,%d) lane says %v", pair>>4, pair&15, !want)
+			}
+		}
+	}
+}
+
+func TestMaxProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		a := randNum[uint64](rng, testS)
+		b := randNum[uint64](rng, testS)
+		dst := NewNum[uint64](testS)
+		Max(dst, a, b)
+		for k := 0; k < 64; k++ {
+			want := max(a.Get(k), b.Get(k))
+			if dst.Get(k) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxAliasing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := randNum[uint32](rng, testS)
+	b := randNum[uint32](rng, testS)
+	want := NewNum[uint32](testS)
+	Max(want, a, b)
+	aCopy := NewNum[uint32](testS)
+	aCopy.CopyFrom(a)
+	Max(aCopy, aCopy, b) // dst aliases a
+	for k := 0; k < 32; k++ {
+		if aCopy.Get(k) != want.Get(k) {
+			t.Fatalf("aliased Max wrong at lane %d", k)
+		}
+	}
+}
+
+func TestAddProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		// Keep inputs small enough that no lane overflows s bits.
+		a := NewNum[uint32](testS)
+		b := NewNum[uint32](testS)
+		for k := 0; k < 32; k++ {
+			a.Set(k, uint(rng.Uint64N(1<<(testS-1))))
+			b.Set(k, uint(rng.Uint64N(1<<(testS-1))))
+		}
+		dst := NewNum[uint32](testS)
+		Add(dst, a, b)
+		for k := 0; k < 32; k++ {
+			if dst.Get(k) != a.Get(k)+b.Get(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddWrapsModuloS(t *testing.T) {
+	a := NewNum[uint32](4)
+	b := NewNum[uint32](4)
+	a.SetAll(12)
+	b.SetAll(9)
+	dst := NewNum[uint32](4)
+	Add(dst, a, b)
+	if got := dst.Get(0); got != (12+9)%16 {
+		t.Errorf("Add wrap: got %d want %d", got, (12+9)%16)
+	}
+}
+
+func TestAddScalarMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, v := range []uint{0, 1, 2, 5, 255} {
+		a := NewNum[uint64](testS)
+		for k := 0; k < 64; k++ {
+			a.Set(k, uint(rng.Uint64N(1<<8)))
+		}
+		b := NewNum[uint64](testS)
+		b.SetAll(v)
+		want := NewNum[uint64](testS)
+		Add(want, a, b)
+		got := NewNum[uint64](testS)
+		AddScalar(got, a, v)
+		for k := 0; k < 64; k++ {
+			if got.Get(k) != want.Get(k) {
+				t.Fatalf("AddScalar(%d) lane %d: got %d want %d", v, k, got.Get(k), want.Get(k))
+			}
+		}
+	}
+}
+
+func TestSSubProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		a := randNum[uint32](rng, testS)
+		b := randNum[uint32](rng, testS)
+		dst := NewNum[uint32](testS)
+		SSub(dst, a, b)
+		for k := 0; k < 32; k++ {
+			av, bv := a.Get(k), b.Get(k)
+			want := uint(0)
+			if av > bv {
+				want = av - bv
+			}
+			if dst.Get(k) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSubScalarMatchesSSub(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 7))
+	for _, v := range []uint{0, 1, 3, 100, 511} {
+		a := randNum[uint32](rng, testS)
+		b := NewNum[uint32](testS)
+		b.SetAll(v)
+		want := NewNum[uint32](testS)
+		SSub(want, a, b)
+		got := NewNum[uint32](testS)
+		SSubScalar(got, a, v)
+		for k := 0; k < 32; k++ {
+			if got.Get(k) != want.Get(k) {
+				t.Fatalf("SSubScalar(%d) lane %d mismatch", v, k)
+			}
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	a := NewNum[uint32](4)
+	b := NewNum[uint32](4)
+	a.SetAll(3)
+	b.SetAll(12)
+	dst := NewNum[uint32](4)
+	var cond uint32 = 0xAAAAAAAA // odd lanes take b
+	Select(dst, a, b, cond)
+	for k := 0; k < 32; k++ {
+		want := uint(3)
+		if k%2 == 1 {
+			want = 12
+		}
+		if dst.Get(k) != want {
+			t.Fatalf("Select lane %d: got %d want %d", k, dst.Get(k), want)
+		}
+	}
+}
+
+func TestMismatchMask(t *testing.T) {
+	// Lane 0: equal chars; lane 1: high bit differs; lane 2: low differs.
+	var xH, xL, yH, yL uint32
+	xH, xL = 0b010, 0b100
+	yH, yL = 0b000, 0b000
+	e := MismatchMask(xH, xL, yH, yL)
+	if word.Lane(e, 0) {
+		t.Error("lane 0 should match")
+	}
+	if !word.Lane(e, 1) || !word.Lane(e, 2) {
+		t.Error("lanes 1,2 should mismatch")
+	}
+}
+
+var paperParams = Params{S: testS, Match: 2, Mismatch: 1, Gap: 1}
+
+func TestParamsValidate(t *testing.T) {
+	if err := paperParams.Validate(); err != nil {
+		t.Fatalf("paper params invalid: %v", err)
+	}
+	bad := []Params{
+		{S: 0, Match: 1},
+		{S: 4, Match: 0},
+		{S: 4, Match: 16},
+		{S: 4, Match: 1, Mismatch: 16},
+		{S: 4, Match: 1, Gap: 16},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d should be invalid: %+v", i, p)
+		}
+	}
+}
+
+// refSWCell is the plain-integer Smith-Waterman recurrence used as oracle.
+func refSWCell(up, left, diag int, match bool, par Params) int {
+	w := -int(par.Mismatch)
+	if match {
+		w = int(par.Match)
+	}
+	return max(0, up-int(par.Gap), left-int(par.Gap), diag+w)
+}
+
+func TestMatchingProperty(t *testing.T) {
+	sc := NewScratch[uint32](testS)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 8))
+		c := NewNum[uint32](testS)
+		var e uint32
+		for k := 0; k < 32; k++ {
+			c.Set(k, uint(rng.Uint64N(1<<8))) // headroom for +Match
+			e = word.SetLane(e, k, rng.Uint64()&1 != 0)
+		}
+		dst := NewNum[uint32](testS)
+		Matching(dst, c, e, paperParams, sc)
+		for k := 0; k < 32; k++ {
+			cv := int(c.Get(k))
+			var want int
+			if word.Lane(e, k) {
+				want = max(cv-int(paperParams.Mismatch), 0)
+			} else {
+				want = cv + int(paperParams.Match)
+			}
+			if int(dst.Get(k)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchingSaturationIsSafe demonstrates the design note from DESIGN.md:
+// clamping C-c2 at zero inside matching_B never changes the SW recurrence
+// outcome, because the outer max already includes 0.
+func TestMatchingSaturationIsSafe(t *testing.T) {
+	par := paperParams
+	for diag := 0; diag <= 4; diag++ {
+		for up := 0; up <= 4; up++ {
+			for left := 0; left <= 4; left++ {
+				// Exact (non-saturating) mismatch arithmetic:
+				exact := max(0, up-int(par.Gap), left-int(par.Gap), diag-int(par.Mismatch))
+				sat := max(0, up-int(par.Gap), left-int(par.Gap), max(diag-int(par.Mismatch), 0))
+				if exact != sat {
+					t.Fatalf("saturation changed result at diag=%d up=%d left=%d", diag, up, left)
+				}
+			}
+		}
+	}
+}
+
+func TestSWCellProperty32(t *testing.T) {
+	testSWCellProperty[uint32](t)
+}
+
+func TestSWCellProperty64(t *testing.T) {
+	testSWCellProperty[uint64](t)
+}
+
+func testSWCellProperty[W word.Word](t *testing.T) {
+	t.Helper()
+	sc := NewScratch[W](testS)
+	lanes := word.Lanes[W]()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		up := NewNum[W](testS)
+		left := NewNum[W](testS)
+		diag := NewNum[W](testS)
+		var e W
+		for k := 0; k < lanes; k++ {
+			up.Set(k, uint(rng.Uint64N(257)))
+			left.Set(k, uint(rng.Uint64N(257)))
+			diag.Set(k, uint(rng.Uint64N(255))) // ≤254 so +2 fits
+			e = word.SetLane(e, k, rng.Uint64()&1 != 0)
+		}
+		dst := NewNum[W](testS)
+		SWCell(dst, up, left, diag, e, paperParams, sc)
+		for k := 0; k < lanes; k++ {
+			want := refSWCell(int(up.Get(k)), int(left.Get(k)), int(diag.Get(k)),
+				!word.Lane(e, k), paperParams)
+			if int(dst.Get(k)) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSWCellAliasesDst(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 11))
+	sc := NewScratch[uint32](testS)
+	up := widen(randNum[uint32](rng, 8))
+	left := widen(randNum[uint32](rng, 8))
+	diag := widen(randNum[uint32](rng, 8))
+	var e uint32 = 0x0F0F0F0F
+	want := NewNum[uint32](testS)
+	SWCell(want, up, left, diag, e, paperParams, sc)
+	leftCopy := NewNum[uint32](testS)
+	leftCopy.CopyFrom(left)
+	SWCell(leftCopy, up, leftCopy, diag, e, paperParams, sc)
+	for k := 0; k < 32; k++ {
+		if leftCopy.Get(k) != want.Get(k) {
+			t.Fatalf("dst aliasing left broke SWCell at lane %d", k)
+		}
+	}
+}
+
+func widen(n Num[uint32]) Num[uint32] {
+	out := NewNum[uint32](testS)
+	copy(out, n)
+	return out[:testS]
+}
+
+func TestRequiredBits(t *testing.T) {
+	// Paper config: c1=2, m=128 → max score 256 → 9 bits.
+	if got := RequiredBits(2, 128); got != 9 {
+		t.Errorf("RequiredBits(2,128) = %d, want 9", got)
+	}
+	// The paper's own formula yields 8 for the same config.
+	if got := PaperRequiredBits(2, 128); got != 8 {
+		t.Errorf("PaperRequiredBits(2,128) = %d, want 8", got)
+	}
+	if got := RequiredBits(2, 100); got != 8 {
+		t.Errorf("RequiredBits(2,100) = %d, want 8 (max 200)", got)
+	}
+	if got := PaperRequiredBits(2, 100); got != 8 {
+		t.Errorf("PaperRequiredBits(2,100) = %d, want 8", got)
+	}
+}
+
+// TestPaperWidthOverflows demonstrates why RequiredBits adds the extra bit:
+// with the paper's 8-bit width and c1=2, m=128, a perfect match overflows.
+func TestPaperWidthOverflows(t *testing.T) {
+	const s = 8
+	par := Params{S: s, Match: 2, Mismatch: 1, Gap: 1}
+	sc := NewScratch[uint32](s)
+	diag := NewNum[uint32](s)
+	diag.SetAll(254) // score after 127 consecutive matches
+	up := NewNum[uint32](s)
+	left := NewNum[uint32](s)
+	dst := NewNum[uint32](s)
+	SWCell(dst, up, left, diag, 0 /* all match */, par, sc)
+	if dst.Get(0) == 256 {
+		t.Fatal("impossible: 256 cannot be represented in 8 bits")
+	}
+	if dst.Get(0) != (254+2)%256 {
+		t.Errorf("expected wrap to %d, got %d", (254+2)%256, dst.Get(0))
+	}
+}
+
+func TestOpCounts(t *testing.T) {
+	rows := OpCounts(9, 2)
+	byName := map[string]OpCount{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Paper formulas at s=9.
+	checks := map[string]int{
+		"greaterthan": 5*9 - 2,
+		"max_B":       9*9 - 2,
+		"add_B":       6*9 - 5,
+		"SSub_B":      9*9 - 4,
+		"matching_B":  21*9 - 9,
+		"SW":          48*9 - 18,
+	}
+	for name, paper := range checks {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing op count for %s", name)
+		}
+		if r.Paper != paper {
+			t.Errorf("%s: paper formula gives %d, row says %d", name, paper, r.Paper)
+		}
+		if r.Ours <= 0 || r.Ours > 2*paper {
+			t.Errorf("%s: our count %d implausible vs paper %d", name, r.Ours, paper)
+		}
+	}
+	// Our exact counts must track the paper's within the documented deltas.
+	if byName["greaterthan"].Ours != byName["greaterthan"].Paper {
+		t.Error("greaterthan count should match the paper exactly")
+	}
+	if byName["max_B"].Ours != byName["max_B"].Paper {
+		t.Error("max_B count should match the paper exactly")
+	}
+}
+
+func BenchmarkSWCell32(b *testing.B) {
+	benchSWCell[uint32](b)
+}
+
+func BenchmarkSWCell64(b *testing.B) {
+	benchSWCell[uint64](b)
+}
+
+func benchSWCell[W word.Word](b *testing.B) {
+	rng := rand.New(rand.NewPCG(12, 13))
+	sc := NewScratch[W](testS)
+	up := randNum[W](rng, testS)
+	left := randNum[W](rng, testS)
+	diag := NewNum[W](testS)
+	dst := NewNum[W](testS)
+	var e W
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SWCell(dst, up, left, diag, e, paperParams, sc)
+	}
+	lanes := word.Lanes[W]()
+	b.ReportMetric(float64(b.N)*float64(lanes)/b.Elapsed().Seconds()/1e9, "Gcells/s")
+}

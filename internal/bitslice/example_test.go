@@ -1,0 +1,43 @@
+package bitslice_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitslice"
+)
+
+// ExampleSWCell evaluates the Smith-Waterman recurrence for 32 independent
+// cells with one pass of word operations — the essence of BPBC.
+func ExampleSWCell() {
+	par := bitslice.Params{S: 9, Match: 2, Mismatch: 1, Gap: 1}
+	up := bitslice.NewNum[uint32](par.S)
+	left := bitslice.NewNum[uint32](par.S)
+	diag := bitslice.NewNum[uint32](par.S)
+	dst := bitslice.NewNum[uint32](par.S)
+
+	// Lane 0: all zeros, matching characters -> 0+2 = 2.
+	// Lane 1: diag=5 with a mismatch -> max(0, 5-1) = 4.
+	diag.Set(1, 5)
+	var e uint32 = 1 << 1 // mismatch only in lane 1
+
+	sc := bitslice.NewScratch[uint32](par.S)
+	bitslice.SWCell(dst, up, left, diag, e, par, sc)
+	fmt.Println(dst.Get(0), dst.Get(1))
+	// Output:
+	// 2 4
+}
+
+// ExampleMax shows per-lane maximum of two bit-sliced numbers.
+func ExampleMax() {
+	a := bitslice.NewNum[uint32](4)
+	b := bitslice.NewNum[uint32](4)
+	a.Set(0, 3)
+	b.Set(0, 9)
+	a.Set(1, 7)
+	b.Set(1, 2)
+	dst := bitslice.NewNum[uint32](4)
+	bitslice.Max(dst, a, b)
+	fmt.Println(dst.Get(0), dst.Get(1))
+	// Output:
+	// 9 7
+}

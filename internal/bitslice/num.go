@@ -1,0 +1,249 @@
+// Package bitslice implements the bit-sliced ("bit-parallel") arithmetic of
+// the paper's §IV-A: comparison, maximum, addition, saturating subtraction,
+// the matching function, and the full Smith-Waterman cell update, all
+// operating on s-plane numbers.
+//
+// A bit-sliced number holds W independent s-bit values, one per lane: plane
+// h (a machine word) carries bit h of every lane's value. Evaluating a
+// boolean circuit once over the planes evaluates it for all W lanes
+// simultaneously — the essence of Bitwise Parallel Bulk Computation.
+package bitslice
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/word"
+)
+
+// Num is a bit-sliced unsigned number of s = len(n) bits: n[h] is bit-plane
+// h, i.e. lane k of n[h] is bit h of the value held by lane k.
+type Num[W word.Word] []W
+
+// NewNum allocates an all-zero s-plane number.
+func NewNum[W word.Word](s int) Num[W] {
+	if s < 1 {
+		panic("bitslice: number width must be >= 1")
+	}
+	return make(Num[W], s)
+}
+
+// Bits returns the bit width s of n.
+func (n Num[W]) Bits() int { return len(n) }
+
+// Zero clears every lane of n.
+func (n Num[W]) Zero() {
+	for i := range n {
+		n[i] = 0
+	}
+}
+
+// CopyFrom copies src into n. Both must have the same width.
+func (n Num[W]) CopyFrom(src Num[W]) {
+	if len(n) != len(src) {
+		panic("bitslice: CopyFrom width mismatch")
+	}
+	copy(n, src)
+}
+
+// Get extracts the value held by lane k.
+func (n Num[W]) Get(k int) uint {
+	var v uint
+	for h, plane := range n {
+		if word.Lane(plane, k) {
+			v |= 1 << uint(h)
+		}
+	}
+	return v
+}
+
+// Set stores v into lane k. It panics if v does not fit in the number's
+// width, which would silently corrupt results otherwise.
+func (n Num[W]) Set(k int, v uint) {
+	if bits.Len(v) > len(n) {
+		panic(fmt.Sprintf("bitslice: value %d does not fit in %d bits", v, len(n)))
+	}
+	for h := range n {
+		n[h] = word.SetLane(n[h], k, v>>uint(h)&1 != 0)
+	}
+}
+
+// SetAll stores v into every lane.
+func (n Num[W]) SetAll(v uint) {
+	if bits.Len(v) > len(n) {
+		panic(fmt.Sprintf("bitslice: value %d does not fit in %d bits", v, len(n)))
+	}
+	for h := range n {
+		n[h] = word.Broadcast[W](v>>uint(h)&1 != 0)
+	}
+}
+
+// Lanes returns all lane values as a slice (mostly for tests and examples).
+func (n Num[W]) Lanes() []uint {
+	out := make([]uint, word.Lanes[W]())
+	for k := range out {
+		out[k] = n.Get(k)
+	}
+	return out
+}
+
+// GreaterEq returns, per lane, 1 where a >= b and 0 where a < b. It is the
+// paper's "greaterthan" compare function: p accumulates the borrow of a-b
+// from the least significant plane, so the final p is 1 exactly when a < b,
+// and the complement is returned. Cost: 5s-2 operations (Lemma 2's
+// comparator part).
+func GreaterEq[W word.Word](a, b Num[W]) W {
+	s := mustSameWidth(a, b)
+	p := ^a[0] & b[0]
+	for i := 1; i < s; i++ {
+		p = (b[i] & p) | (^a[i] & (b[i] ^ p))
+	}
+	return ^p
+}
+
+// GreaterThan returns, per lane, 1 where a > b strictly (the complement of
+// b >= a).
+func GreaterThan[W word.Word](a, b Num[W]) W {
+	return ^GreaterEq(b, a)
+}
+
+// Max stores max(a, b) into dst, per lane. dst may alias a or b.
+// Cost: 9s-2 operations (Lemma 2).
+func Max[W word.Word](dst, a, b Num[W]) {
+	s := mustSameWidth(a, b)
+	mustWidth(dst, s)
+	p := GreaterEq(a, b) // 1 where a >= b
+	for i := 0; i < s; i++ {
+		dst[i] = (a[i] & p) | (b[i] &^ p)
+	}
+}
+
+// Add stores a+b into dst, per lane, modulo 2^s. The caller is responsible
+// for choosing s wide enough that no lane overflows (see RequiredBits).
+// dst may alias a or b. Cost: 6s-5 operations (Lemma 3).
+func Add[W word.Word](dst, a, b Num[W]) {
+	s := mustSameWidth(a, b)
+	mustWidth(dst, s)
+	a0, b0 := a[0], b[0]
+	p := a0 ^ b0
+	dst[0] = p
+	p = a0 & b0 // carry out of plane 0 (the paper folds this into plane 1)
+	for i := 1; i < s; i++ {
+		ai, bi := a[i], b[i]
+		dst[i] = ai ^ bi ^ p
+		p = (ai & (bi ^ p)) | (bi & p)
+	}
+}
+
+// AddScalar stores a+v into dst, per lane, modulo 2^s, broadcasting the
+// scalar constant v across all lanes (constant planes are all-ones or
+// all-zero words). dst may alias a.
+func AddScalar[W word.Word](dst, a Num[W], v uint) {
+	s := len(a)
+	mustWidth(dst, s)
+	if bits.Len(v) > s {
+		panic(fmt.Sprintf("bitslice: AddScalar constant %d does not fit in %d bits", v, s))
+	}
+	a0 := a[0]
+	b0 := word.Broadcast[W](v&1 != 0)
+	dst[0] = a0 ^ b0
+	p := a0 & b0
+	for i := 1; i < s; i++ {
+		ai := a[i]
+		bi := word.Broadcast[W](v>>uint(i)&1 != 0)
+		dst[i] = ai ^ bi ^ p
+		p = (ai & (bi ^ p)) | (bi & p)
+	}
+}
+
+// SSub stores max(a-b, 0) into dst, per lane: an s-bit subtraction whose
+// result is forced to zero in lanes that would underflow ("saturation
+// subtraction", the paper's SSub_B). dst may alias a or b.
+// Cost: 9s-4 operations (Lemma 4).
+func SSub[W word.Word](dst, a, b Num[W]) {
+	s := mustSameWidth(a, b)
+	mustWidth(dst, s)
+	a0, b0 := a[0], b[0]
+	dst[0] = a0 ^ b0
+	p := ^a0 & b0
+	for i := 1; i < s; i++ {
+		ai, bi := a[i], b[i]
+		dst[i] = ai ^ bi ^ p
+		p = (^ai & (bi ^ p)) | (bi & p)
+	}
+	np := ^p // p = final borrow: lanes where a < b saturate to zero
+	for i := 0; i < s; i++ {
+		dst[i] &= np
+	}
+}
+
+// SSubScalar stores max(a-v, 0) into dst per lane, broadcasting the scalar v.
+// dst may alias a.
+func SSubScalar[W word.Word](dst, a Num[W], v uint) {
+	s := len(a)
+	mustWidth(dst, s)
+	if bits.Len(v) > s {
+		panic(fmt.Sprintf("bitslice: SSubScalar constant %d does not fit in %d bits", v, s))
+	}
+	a0 := a[0]
+	b0 := word.Broadcast[W](v&1 != 0)
+	dst[0] = a0 ^ b0
+	p := ^a0 & b0
+	for i := 1; i < s; i++ {
+		ai := a[i]
+		bi := word.Broadcast[W](v>>uint(i)&1 != 0)
+		dst[i] = ai ^ bi ^ p
+		p = (^ai & (bi ^ p)) | (bi & p)
+	}
+	np := ^p
+	for i := 0; i < s; i++ {
+		dst[i] &= np
+	}
+}
+
+// Select stores, per lane, a where cond is 0 and b where cond is 1.
+// dst may alias a or b.
+func Select[W word.Word](dst, a, b Num[W], cond W) {
+	s := mustSameWidth(a, b)
+	mustWidth(dst, s)
+	for i := 0; i < s; i++ {
+		dst[i] = (a[i] &^ cond) | (b[i] & cond)
+	}
+}
+
+func mustSameWidth[W word.Word](a, b Num[W]) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bitslice: width mismatch %d vs %d", len(a), len(b)))
+	}
+	return len(a)
+}
+
+func mustWidth[W word.Word](n Num[W], s int) {
+	if len(n) != s {
+		panic(fmt.Sprintf("bitslice: want width %d, got %d", s, len(n)))
+	}
+}
+
+// RequiredBits returns the bit width s needed so that no Smith-Waterman
+// score can overflow: the maximum reachable score with match reward c1 and
+// pattern length m is c1*m, so s = ⌈log2(c1*m + 1)⌉ = bits.Len(c1*m).
+//
+// Note: the paper states s = ⌈log2(c1·m)⌉, which is one bit short exactly
+// when c1·m is a power of two (e.g. the paper's own c1=2, m=128 ⇒ max score
+// 256 needs 9 bits, not 8). See EXPERIMENTS.md.
+func RequiredBits(c1 uint, m int) int {
+	if c1 == 0 || m <= 0 {
+		panic("bitslice: RequiredBits needs positive c1 and m")
+	}
+	return bits.Len(c1 * uint(m))
+}
+
+// PaperRequiredBits returns the paper's (off-by-one prone) width formula
+// ⌈log2(c1·m)⌉, provided so the original configuration can be reproduced.
+func PaperRequiredBits(c1 uint, m int) int {
+	if c1 == 0 || m <= 0 {
+		panic("bitslice: PaperRequiredBits needs positive c1 and m")
+	}
+	v := c1*uint(m) - 1
+	return bits.Len(v)
+}

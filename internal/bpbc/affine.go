@@ -1,0 +1,143 @@
+package bpbc
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"repro/internal/bitslice"
+	"repro/internal/dna"
+	"repro/internal/swa"
+	"repro/internal/word"
+)
+
+// AffineOptions configures the bit-sliced Gotoh (affine-gap) bulk engine, a
+// beyond-paper extension (the paper's recurrence is linear-gap only and
+// names such couplings as future work). The recurrence
+//
+//	E[i][j] = max(E[i][j-1] - extend, H[i][j-1] - open)
+//	F[i][j] = max(F[i-1][j] - extend, H[i-1][j] - open)
+//	H[i][j] = max(0, H[i-1][j-1] + w(x,y), E[i][j], F[i][j])
+//
+// is evaluated entirely with the paper's saturating bit-sliced primitives.
+// Saturation is sound here for the same reason as in matching_B: clamping E
+// and F at zero can only replace a negative value with 0, and 0 already
+// participates in H's outer max; the clamped chains satisfy
+// E' = max(E_true, 0) inductively, so H is unchanged.
+type AffineOptions struct {
+	Scoring swa.AffineScoring // zero value = PaperScoring.Linear()
+	SBits   int               // 0 = bitslice.RequiredBits
+}
+
+func (o AffineOptions) scoring() swa.AffineScoring {
+	if o.Scoring == (swa.AffineScoring{}) {
+		return swa.PaperScoring.Linear()
+	}
+	return o.Scoring
+}
+
+// BulkScoresAffine computes max local-alignment scores under affine gaps for
+// every pair, W lanes at a time.
+func BulkScoresAffine[W word.Word](pairs []dna.Pair, opt AffineOptions) (*Result, error) {
+	m, n, err := checkUniform(pairs)
+	if err != nil {
+		return nil, err
+	}
+	sc := opt.scoring()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	s := opt.SBits
+	if s == 0 {
+		s = bitslice.RequiredBits(uint(sc.Match), m)
+	}
+	par := bitslice.Params{S: s, Match: uint(sc.Match), Mismatch: uint(sc.Mismatch)}
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	if bits.Len(uint(sc.GapOpen)) > s || bits.Len(uint(sc.GapExtend)) > s {
+		return nil, fmt.Errorf("bpbc: affine gap penalties do not fit in %d bits", s)
+	}
+	lanes := word.Lanes[W]()
+	res := &Result{Scores: make([]int, len(pairs)), Lanes: lanes, SBits: s}
+
+	// Row state: H and F for the previous and current row, E as a running
+	// register within a row.
+	hPrev := make([]W, (n+1)*s)
+	hCur := make([]W, (n+1)*s)
+	fPrev := make([]W, (n+1)*s)
+	fCur := make([]W, (n+1)*s)
+	e := bitslice.NewNum[W](s)
+	tmp := bitslice.NewNum[W](s)
+	best := bitslice.NewNum[W](s)
+	scratch := bitslice.NewScratch[W](s)
+	unt := make([]W, lanes)
+
+	groups := (len(pairs) + lanes - 1) / lanes
+	for gi := 0; gi < groups; gi++ {
+		lo := gi * lanes
+		hi := min(lo+lanes, len(pairs))
+		xsSeqs := make([]dna.Seq, hi-lo)
+		ysSeqs := make([]dna.Seq, hi-lo)
+		for i := lo; i < hi; i++ {
+			xsSeqs[i-lo] = pairs[i].X
+			ysSeqs[i-lo] = pairs[i].Y
+		}
+		t0 := time.Now()
+		xs, err := dna.TransposeGroup[W](xsSeqs)
+		if err != nil {
+			return nil, err
+		}
+		ys, err := dna.TransposeGroup[W](ysSeqs)
+		if err != nil {
+			return nil, err
+		}
+		t1 := time.Now()
+
+		zero(hPrev)
+		zero(hCur)
+		zero(fPrev)
+		zero(fCur)
+		best.Zero()
+		for i := 1; i <= m; i++ {
+			xH, xL := xs.H[i-1], xs.L[i-1]
+			e.Zero()
+			for j := 1; j <= n; j++ {
+				// E = max(E - extend, H[i][j-1] - open), clamped at 0.
+				bitslice.SSubScalar(e, e, uint(sc.GapExtend))
+				bitslice.SSubScalar(tmp, num(hCur, j-1, s), uint(sc.GapOpen))
+				bitslice.Max(e, e, tmp)
+				// F = max(F[i-1][j] - extend, H[i-1][j] - open), clamped.
+				f := num(fCur, j, s)
+				bitslice.SSubScalar(f, num(fPrev, j, s), uint(sc.GapExtend))
+				bitslice.SSubScalar(tmp, num(hPrev, j, s), uint(sc.GapOpen))
+				bitslice.Max(f, f, tmp)
+				// H = max(matching(H_diag), E, F); matching saturates, and
+				// 0 is implied by the saturating operands.
+				mmask := bitslice.MismatchMask(xH, xL, ys.H[j-1], ys.L[j-1])
+				h := num(hCur, j, s)
+				bitslice.Matching(h, num(hPrev, j-1, s), mmask, par, scratch)
+				bitslice.Max(h, h, e)
+				bitslice.Max(h, h, f)
+				bitslice.Max(best, best, h)
+			}
+			hPrev, hCur = hCur, hPrev
+			fPrev, fCur = fCur, fPrev
+		}
+		t2 := time.Now()
+
+		extractPlanes(best, unt, hi-lo, res.Scores[lo:hi])
+		t3 := time.Now()
+
+		res.Timing.W2B += t1.Sub(t0)
+		res.Timing.SWA += t2.Sub(t1)
+		res.Timing.B2W += t3.Sub(t2)
+	}
+	return res, nil
+}
+
+func zero[W word.Word](w []W) {
+	for i := range w {
+		w[i] = 0
+	}
+}

@@ -1,0 +1,331 @@
+package bpbc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitslice"
+	"repro/internal/dna"
+	"repro/internal/swa"
+)
+
+func refScores(pairs []dna.Pair, sc swa.Scoring) []int {
+	out := make([]int, len(pairs))
+	for i, p := range pairs {
+		out[i] = swa.Score(p.X, p.Y, sc)
+	}
+	return out
+}
+
+func TestBulkScoresMatchesReference32(t *testing.T) {
+	testBulkMatchesReference[uint32](t)
+}
+
+func TestBulkScoresMatchesReference64(t *testing.T) {
+	testBulkMatchesReference[uint64](t)
+}
+
+func testBulkMatchesReference[W wordConstraint](t *testing.T) {
+	t.Helper()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		count := 1 + rng.IntN(70)
+		m := 1 + rng.IntN(20)
+		n := m + rng.IntN(60)
+		pairs := dna.PlantedPairs(rng, count, m, n, 0.5,
+			dna.MutationModel{SubRate: 0.1})
+		res, err := BulkScores[W](pairs, Options{})
+		if err != nil {
+			t.Logf("BulkScores error: %v", err)
+			return false
+		}
+		want := refScores(pairs, swa.PaperScoring)
+		for i := range want {
+			if res.Scores[i] != want[i] {
+				t.Logf("pair %d: got %d want %d (m=%d n=%d count=%d)",
+					i, res.Scores[i], want[i], m, n, count)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkScoresCustomScoring(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	sc := swa.Scoring{Match: 3, Mismatch: 2, Gap: 1}
+	pairs := dna.RandomPairs(rng, 40, 12, 48)
+	res, err := BulkScores[uint32](pairs, Options{Scoring: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refScores(pairs, sc)
+	for i := range want {
+		if res.Scores[i] != want[i] {
+			t.Fatalf("pair %d: got %d want %d", i, res.Scores[i], want[i])
+		}
+	}
+	if res.SBits != bitslice.RequiredBits(3, 12) {
+		t.Errorf("SBits = %d, want %d", res.SBits, bitslice.RequiredBits(3, 12))
+	}
+}
+
+func TestBulkScoresParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	pairs := dna.RandomPairs(rng, 200, 16, 64)
+	seq, err := BulkScores[uint32](pairs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BulkScores[uint32](pairs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Scores {
+		if seq.Scores[i] != par.Scores[i] {
+			t.Fatalf("pair %d: sequential %d, parallel %d", i, seq.Scores[i], par.Scores[i])
+		}
+	}
+}
+
+func TestBulkScoresPartialLastGroup(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	// 33 pairs on a 32-lane engine: second group has one real lane.
+	pairs := dna.RandomPairs(rng, 33, 8, 32)
+	res, err := BulkScores[uint32](pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refScores(pairs, swa.PaperScoring)
+	for i := range want {
+		if res.Scores[i] != want[i] {
+			t.Fatalf("pair %d: got %d want %d", i, res.Scores[i], want[i])
+		}
+	}
+}
+
+func TestBulkScoresPerfectMatchHitsMaxScore(t *testing.T) {
+	// The overflow regression: a pattern that matches the text perfectly
+	// must report exactly c1*m, which requires the widened SBits default.
+	rng := rand.New(rand.NewPCG(7, 8))
+	const m = 128
+	x := dna.RandSeq(rng, m)
+	y := append(x.Clone(), dna.RandSeq(rng, 64)...)
+	pairs := make([]dna.Pair, 32)
+	for i := range pairs {
+		pairs[i] = dna.Pair{X: x, Y: y}
+	}
+	res, err := BulkScores[uint32](pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := swa.PaperScoring.MaxScore(m) // 256
+	for i, s := range res.Scores {
+		if s != want {
+			t.Fatalf("pair %d: score %d, want %d", i, s, want)
+		}
+	}
+	if res.SBits != 9 {
+		t.Errorf("SBits = %d, want 9", res.SBits)
+	}
+}
+
+func TestBulkScoresPaperWidthWraps(t *testing.T) {
+	// With the paper's 8-bit width the same workload wraps — kept as a
+	// demonstration of the s = ⌈log2(c1·m)⌉ off-by-one (EXPERIMENTS.md).
+	rng := rand.New(rand.NewPCG(9, 10))
+	const m = 128
+	x := dna.RandSeq(rng, m)
+	y := append(x.Clone(), dna.RandSeq(rng, 64)...)
+	pairs := []dna.Pair{{X: x, Y: y}}
+	res, err := BulkScores[uint32](pairs, Options{SBits: bitslice.PaperRequiredBits(2, m)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[0] == swa.PaperScoring.MaxScore(m) {
+		t.Errorf("8-bit engine reported %d; expected wrap-around corruption", res.Scores[0])
+	}
+}
+
+func TestBulkScoresErrors(t *testing.T) {
+	if _, err := BulkScores[uint32](nil, Options{}); err == nil {
+		t.Error("empty batch should fail")
+	}
+	rng := rand.New(rand.NewPCG(11, 12))
+	ragged := []dna.Pair{
+		{X: dna.RandSeq(rng, 8), Y: dna.RandSeq(rng, 32)},
+		{X: dna.RandSeq(rng, 9), Y: dna.RandSeq(rng, 32)},
+	}
+	if _, err := BulkScores[uint32](ragged, Options{}); err == nil {
+		t.Error("ragged batch should fail")
+	}
+	longPattern := []dna.Pair{{X: dna.RandSeq(rng, 8), Y: dna.RandSeq(rng, 4)}}
+	if _, err := BulkScores[uint32](longPattern, Options{}); err == nil {
+		t.Error("m > n should fail")
+	}
+	badScoring := Options{Scoring: swa.Scoring{Match: -1}}
+	ok := []dna.Pair{{X: dna.RandSeq(rng, 4), Y: dna.RandSeq(rng, 8)}}
+	if _, err := BulkScores[uint32](ok, badScoring); err == nil {
+		t.Error("invalid scoring should fail")
+	}
+	if _, err := BulkScores[uint32](ok, Options{SBits: 1}); err == nil {
+		t.Error("SBits too small for Match should fail")
+	}
+}
+
+func TestTimingPopulated(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	pairs := dna.RandomPairs(rng, 64, 32, 256)
+	res, err := BulkScores[uint32](pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timing.SWA <= 0 {
+		t.Error("SWA timing not recorded")
+	}
+	if res.Timing.W2B <= 0 {
+		t.Error("W2B timing not recorded")
+	}
+	if res.Timing.Total() < res.Timing.SWA {
+		t.Error("Total inconsistent")
+	}
+}
+
+func TestWordwiseScoresMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	pairs := dna.RandomPairs(rng, 50, 16, 80)
+	res, err := WordwiseScores(pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refScores(pairs, swa.PaperScoring)
+	for i := range want {
+		if res.Scores[i] != want[i] {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+	par, err := WordwiseScores(pairs, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if par.Scores[i] != want[i] {
+			t.Fatalf("parallel wordwise pair %d mismatch", i)
+		}
+	}
+	if _, err := WordwiseScores(nil, Options{}); err == nil {
+		t.Error("empty batch should fail")
+	}
+	if _, err := WordwiseScores(pairs, Options{Scoring: swa.Scoring{Match: -3}}); err == nil {
+		t.Error("bad scoring should fail")
+	}
+}
+
+func TestFilterAbove(t *testing.T) {
+	r := &Result{Scores: []int{5, 20, 7, 20, 3}}
+	got := r.FilterAbove(7)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("FilterAbove = %v, want [1 3]", got)
+	}
+	if r.FilterAbove(100) != nil {
+		t.Error("FilterAbove above max should be empty")
+	}
+}
+
+func TestScreenAndAlign(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	const m, n = 24, 160
+	planted := dna.PlantedPairs(rng, 6, m, n, 1.0, dna.MutationModel{SubRate: 0.05})
+	noise := dna.RandomPairs(rng, 26, m, n)
+	pairs := append(planted, noise...)
+	tau := swa.PaperScoring.MaxScore(m) * 3 / 4
+	hits, err := ScreenAndAlign[uint32](pairs, tau, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) < 6 {
+		t.Fatalf("expected >= 6 hits, got %d", len(hits))
+	}
+	for _, h := range hits {
+		if h.Alignment.Score != h.Score {
+			t.Errorf("hit %d: alignment score %d != screen score %d",
+				h.Index, h.Alignment.Score, h.Score)
+		}
+		if h.Score <= tau {
+			t.Errorf("hit %d below threshold", h.Index)
+		}
+	}
+	if _, err := ScreenAndAlign[uint32](nil, 0, Options{}); err == nil {
+		t.Error("empty batch should fail")
+	}
+}
+
+// TestLaneWidthsAgree cross-checks the two lane widths on one workload.
+func TestLaneWidthsAgree(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 20))
+	pairs := dna.RandomPairs(rng, 96, 20, 100)
+	r32, err := BulkScores[uint32](pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r64, err := BulkScores[uint64](pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if r32.Scores[i] != r64.Scores[i] {
+			t.Fatalf("pair %d: 32-lane %d, 64-lane %d", i, r32.Scores[i], r64.Scores[i])
+		}
+	}
+}
+
+func benchPairs(b *testing.B, count, m, n int) []dna.Pair {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(21, 22))
+	return dna.RandomPairs(rng, count, m, n)
+}
+
+func BenchmarkBulkScores32(b *testing.B) {
+	pairs := benchPairs(b, 32, 128, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkScores[uint32](pairs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGCUPS(b, len(pairs), 128, 1024)
+}
+
+func BenchmarkBulkScores64(b *testing.B) {
+	pairs := benchPairs(b, 64, 128, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkScores[uint64](pairs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGCUPS(b, len(pairs), 128, 1024)
+}
+
+func BenchmarkWordwise(b *testing.B) {
+	pairs := benchPairs(b, 32, 128, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WordwiseScores(pairs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGCUPS(b, len(pairs), 128, 1024)
+}
+
+func reportGCUPS(b *testing.B, pairs, m, n int) {
+	cells := float64(b.N) * float64(pairs) * float64(m) * float64(n)
+	b.ReportMetric(cells/b.Elapsed().Seconds()/1e9, "GCUPS")
+}

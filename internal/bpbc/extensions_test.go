@@ -1,0 +1,203 @@
+package bpbc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+	"repro/internal/swa"
+)
+
+// refArgmax returns the maximum of the scoring matrix and the first
+// (row-major) cell attaining it, matching BulkScoresPos's tie-breaking.
+func refArgmax(x, y dna.Seq, sc swa.Scoring) (best, bi, bj int) {
+	d := swa.Matrix(x, y, sc)
+	for i := range d {
+		for j := range d[i] {
+			if d[i][j] > best {
+				best, bi, bj = d[i][j], i, j
+			}
+		}
+	}
+	return best, bi, bj
+}
+
+func TestBulkScoresPosMatchesReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 20))
+		count := 1 + rng.IntN(40)
+		m := 1 + rng.IntN(16)
+		n := m + rng.IntN(48)
+		pairs := dna.PlantedPairs(rng, count, m, n, 0.5, dna.MutationModel{SubRate: 0.15})
+		res, err := BulkScoresPos[uint32](pairs, Options{})
+		if err != nil {
+			return false
+		}
+		for i, p := range pairs {
+			score, bi, bj := refArgmax(p.X, p.Y, swa.PaperScoring)
+			if res.Scores[i] != score {
+				t.Logf("pair %d: score %d want %d", i, res.Scores[i], score)
+				return false
+			}
+			if res.EndI[i] != bi || res.EndJ[i] != bj {
+				t.Logf("pair %d: pos (%d,%d) want (%d,%d) score %d",
+					i, res.EndI[i], res.EndJ[i], bi, bj, score)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkScoresPos64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	pairs := dna.PlantedPairs(rng, 70, 12, 50, 0.7, dna.MutationModel{})
+	res, err := BulkScoresPos[uint64](pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		score, bi, bj := refArgmax(p.X, p.Y, swa.PaperScoring)
+		if res.Scores[i] != score || res.EndI[i] != bi || res.EndJ[i] != bj {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+	if res.Lanes != 64 {
+		t.Errorf("Lanes = %d", res.Lanes)
+	}
+}
+
+func TestBulkScoresPosZeroScore(t *testing.T) {
+	// All-mismatch inputs: score 0, position (0,0).
+	x := dna.Seq{dna.A, dna.A, dna.A}
+	y := dna.Seq{dna.C, dna.C, dna.C, dna.C}
+	pairs := []dna.Pair{{X: x, Y: y}}
+	res, err := BulkScoresPos[uint32](pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scores[0] != 0 || res.EndI[0] != 0 || res.EndJ[0] != 0 {
+		t.Errorf("zero-score pair reported %d at (%d,%d)",
+			res.Scores[0], res.EndI[0], res.EndJ[0])
+	}
+}
+
+func TestBulkScoresPosErrors(t *testing.T) {
+	if _, err := BulkScoresPos[uint32](nil, Options{}); err == nil {
+		t.Error("empty batch should fail")
+	}
+	rng := rand.New(rand.NewPCG(23, 24))
+	ok := []dna.Pair{{X: dna.RandSeq(rng, 4), Y: dna.RandSeq(rng, 8)}}
+	if _, err := BulkScoresPos[uint32](ok, Options{SBits: 1}); err == nil {
+		t.Error("bad SBits should fail")
+	}
+}
+
+func TestBulkScoresAffineMatchesGotoh(t *testing.T) {
+	aff := swa.AffineScoring{Match: 2, Mismatch: 1, GapOpen: 3, GapExtend: 1}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 30))
+		count := 1 + rng.IntN(40)
+		m := 1 + rng.IntN(14)
+		n := m + rng.IntN(40)
+		pairs := dna.PlantedPairs(rng, count, m, n, 0.5,
+			dna.MutationModel{SubRate: 0.1, InsRate: 0.05, DelRate: 0.05})
+		res, err := BulkScoresAffine[uint32](pairs, AffineOptions{Scoring: aff})
+		if err != nil {
+			return false
+		}
+		for i, p := range pairs {
+			want := swa.ScoreAffine(p.X, p.Y, aff)
+			if res.Scores[i] != want {
+				t.Logf("pair %d: got %d want %d (m=%d n=%d)", i, res.Scores[i], want, m, n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkScoresAffine64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	aff := swa.AffineScoring{Match: 3, Mismatch: 2, GapOpen: 4, GapExtend: 1}
+	pairs := dna.RandomPairs(rng, 100, 10, 60)
+	res, err := BulkScoresAffine[uint64](pairs, AffineOptions{Scoring: aff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		if want := swa.ScoreAffine(p.X, p.Y, aff); res.Scores[i] != want {
+			t.Fatalf("pair %d: got %d want %d", i, res.Scores[i], want)
+		}
+	}
+}
+
+// TestBulkScoresAffineDefaultsToLinear checks the zero-value option matches
+// the paper's linear scheme.
+func TestBulkScoresAffineDefaultsToLinear(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	pairs := dna.RandomPairs(rng, 33, 8, 40)
+	aff, err := BulkScoresAffine[uint32](pairs, AffineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := BulkScores[uint32](pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if aff.Scores[i] != lin.Scores[i] {
+			t.Fatalf("pair %d: affine-as-linear %d, linear %d", i, aff.Scores[i], lin.Scores[i])
+		}
+	}
+}
+
+func TestBulkScoresAffineErrors(t *testing.T) {
+	if _, err := BulkScoresAffine[uint32](nil, AffineOptions{}); err == nil {
+		t.Error("empty batch should fail")
+	}
+	rng := rand.New(rand.NewPCG(35, 36))
+	ok := []dna.Pair{{X: dna.RandSeq(rng, 4), Y: dna.RandSeq(rng, 8)}}
+	bad := AffineOptions{Scoring: swa.AffineScoring{Match: 2, GapOpen: 1, GapExtend: 2}}
+	if _, err := BulkScoresAffine[uint32](ok, bad); err == nil {
+		t.Error("extend > open should fail validation")
+	}
+	tooNarrow := AffineOptions{
+		Scoring: swa.AffineScoring{Match: 1, Mismatch: 1, GapOpen: 200, GapExtend: 1},
+		SBits:   4,
+	}
+	if _, err := BulkScoresAffine[uint32](ok, tooNarrow); err == nil {
+		t.Error("gap penalty exceeding SBits should fail")
+	}
+}
+
+func BenchmarkBulkScoresAffine32(b *testing.B) {
+	pairs := benchPairs(b, 32, 128, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkScoresAffine[uint32](pairs, AffineOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGCUPS(b, len(pairs), 128, 1024)
+}
+
+func BenchmarkBulkScoresPos32(b *testing.B) {
+	pairs := benchPairs(b, 32, 128, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkScoresPos[uint32](pairs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGCUPS(b, len(pairs), 128, 1024)
+}

@@ -1,0 +1,122 @@
+package bpbc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/alphabet"
+	"repro/internal/bitslice"
+	"repro/internal/swa"
+	"repro/internal/word"
+)
+
+// GenericOptions configures the arbitrary-alphabet bulk engine.
+type GenericOptions struct {
+	Scoring swa.Scoring // zero value = swa.PaperScoring
+	SBits   int         // 0 = bitslice.RequiredBits
+}
+
+// BulkScoresGeneric scores pairs over any ε-bit alphabet — the paper's §IV
+// formulation with ε left general instead of fixed at 2. The per-cell cost
+// grows only in the mismatch flag (2ε-1 operations), so protein scoring
+// (ε=5) costs three word operations per cell more than DNA.
+func BulkScoresGeneric[W word.Word](a *alphabet.Alphabet, pairs []alphabet.Pair, opt GenericOptions) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("bpbc: nil alphabet")
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("bpbc: no pairs")
+	}
+	m, n := len(pairs[0].X), len(pairs[0].Y)
+	if m == 0 || n == 0 || m > n {
+		return nil, fmt.Errorf("bpbc: need 0 < m <= n, got m=%d n=%d", m, n)
+	}
+	for i, p := range pairs {
+		if len(p.X) != m || len(p.Y) != n {
+			return nil, fmt.Errorf("bpbc: pair %d has shape (%d,%d), want (%d,%d)",
+				i, len(p.X), len(p.Y), m, n)
+		}
+		for _, c := range p.X {
+			if int(c) >= a.Size() {
+				return nil, fmt.Errorf("bpbc: pair %d pattern has code %d outside alphabet %s", i, c, a.Name())
+			}
+		}
+		for _, c := range p.Y {
+			if int(c) >= a.Size() {
+				return nil, fmt.Errorf("bpbc: pair %d text has code %d outside alphabet %s", i, c, a.Name())
+			}
+		}
+	}
+	sc := opt.Scoring
+	if sc == (swa.Scoring{}) {
+		sc = swa.PaperScoring
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	s := opt.SBits
+	if s == 0 {
+		s = bitslice.RequiredBits(uint(sc.Match), m)
+	}
+	par := bitslice.Params{S: s, Match: uint(sc.Match), Mismatch: uint(sc.Mismatch), Gap: uint(sc.Gap)}
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+
+	lanes := word.Lanes[W]()
+	eps := a.Bits()
+	res := &Result{Scores: make([]int, len(pairs)), Lanes: lanes, SBits: s}
+	g := newGroupState[W](par, n)
+	xCol := make([]W, eps)
+
+	groups := (len(pairs) + lanes - 1) / lanes
+	for gi := 0; gi < groups; gi++ {
+		lo := gi * lanes
+		hi := min(lo+lanes, len(pairs))
+		xsSeqs := make([]alphabet.Seq, hi-lo)
+		ysSeqs := make([]alphabet.Seq, hi-lo)
+		for i := lo; i < hi; i++ {
+			xsSeqs[i-lo] = pairs[i].X
+			ysSeqs[i-lo] = pairs[i].Y
+		}
+		t0 := time.Now()
+		xs, err := alphabet.TransposeGroup[W](a, xsSeqs)
+		if err != nil {
+			return nil, err
+		}
+		ys, err := alphabet.TransposeGroup[W](a, ysSeqs)
+		if err != nil {
+			return nil, err
+		}
+		t1 := time.Now()
+
+		g.reset()
+		for i := 1; i <= m; i++ {
+			for b := 0; b < eps; b++ {
+				xCol[b] = xs.Planes[b][i-1]
+			}
+			for j := 1; j <= n; j++ {
+				var e W
+				for b := 0; b < eps; b++ {
+					e |= xCol[b] ^ ys.Planes[b][j-1]
+				}
+				bitslice.SWCell(
+					num(g.cur, j, s),
+					num(g.prev, j, s),
+					num(g.cur, j-1, s),
+					num(g.prev, j-1, s),
+					e, par, g.scratch)
+				bitslice.Max(g.best, g.best, num(g.cur, j, s))
+			}
+			g.prev, g.cur = g.cur, g.prev
+		}
+		t2 := time.Now()
+		extractScores(g, hi-lo, res.Scores[lo:hi])
+		t3 := time.Now()
+
+		res.Timing.W2B += t1.Sub(t0)
+		res.Timing.SWA += t2.Sub(t1)
+		res.Timing.B2W += t3.Sub(t2)
+	}
+	return res, nil
+}

@@ -1,0 +1,149 @@
+package bpbc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/alphabet"
+	"repro/internal/swa"
+)
+
+func randAlphaSeq(rng *rand.Rand, a *alphabet.Alphabet, n int) alphabet.Seq {
+	s := make(alphabet.Seq, n)
+	for i := range s {
+		s[i] = uint16(rng.IntN(a.Size()))
+	}
+	return s
+}
+
+func TestGenericMatchesReferenceProtein(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 80))
+		count := 1 + rng.IntN(40)
+		m := 1 + rng.IntN(14)
+		n := m + rng.IntN(36)
+		pairs := make([]alphabet.Pair, count)
+		for i := range pairs {
+			x := randAlphaSeq(rng, alphabet.Protein, m)
+			y := randAlphaSeq(rng, alphabet.Protein, n)
+			if rng.Uint32()&1 == 0 {
+				copy(y[rng.IntN(n-m+1):], x) // plant a homolog
+			}
+			pairs[i] = alphabet.Pair{X: x, Y: y}
+		}
+		res, err := BulkScoresGeneric[uint32](alphabet.Protein, pairs, GenericOptions{})
+		if err != nil {
+			return false
+		}
+		for i, p := range pairs {
+			want := alphabet.Score(p.X, p.Y, swa.PaperScoring)
+			if res.Scores[i] != want {
+				t.Logf("pair %d: got %d want %d", i, res.Scores[i], want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenericMatchesDNAEngine(t *testing.T) {
+	// The generic engine at ε=2 must agree with the specialised DNA engine.
+	rng := rand.New(rand.NewPCG(81, 82))
+	const count, m, n = 40, 12, 48
+	dnaPairs := make([]alphabet.Pair, count)
+	for i := range dnaPairs {
+		x := randAlphaSeq(rng, alphabet.DNA, m)
+		y := randAlphaSeq(rng, alphabet.DNA, n)
+		dnaPairs[i] = alphabet.Pair{X: x, Y: y}
+	}
+	gen, err := BulkScoresGeneric[uint64](alphabet.DNA, dnaPairs, GenericOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range dnaPairs {
+		want := alphabet.Score(p.X, p.Y, swa.PaperScoring)
+		if gen.Scores[i] != want {
+			t.Fatalf("pair %d: generic %d, reference %d", i, gen.Scores[i], want)
+		}
+	}
+}
+
+func TestGenericCustomScoringAndWidth(t *testing.T) {
+	rng := rand.New(rand.NewPCG(83, 84))
+	sc := swa.Scoring{Match: 4, Mismatch: 2, Gap: 1}
+	pairs := make([]alphabet.Pair, 16)
+	for i := range pairs {
+		pairs[i] = alphabet.Pair{
+			X: randAlphaSeq(rng, alphabet.Protein, 10),
+			Y: randAlphaSeq(rng, alphabet.Protein, 30),
+		}
+	}
+	res, err := BulkScoresGeneric[uint32](alphabet.Protein, pairs, GenericOptions{Scoring: sc, SBits: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		if want := alphabet.Score(p.X, p.Y, sc); res.Scores[i] != want {
+			t.Fatalf("pair %d: got %d want %d", i, res.Scores[i], want)
+		}
+	}
+	if res.SBits != 7 {
+		t.Errorf("SBits = %d", res.SBits)
+	}
+}
+
+func TestGenericErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(85, 86))
+	ok := []alphabet.Pair{{
+		X: randAlphaSeq(rng, alphabet.Protein, 4),
+		Y: randAlphaSeq(rng, alphabet.Protein, 8),
+	}}
+	if _, err := BulkScoresGeneric[uint32](nil, ok, GenericOptions{}); err == nil {
+		t.Error("nil alphabet should fail")
+	}
+	if _, err := BulkScoresGeneric[uint32](alphabet.Protein, nil, GenericOptions{}); err == nil {
+		t.Error("empty batch should fail")
+	}
+	ragged := []alphabet.Pair{ok[0], {X: randAlphaSeq(rng, alphabet.Protein, 5), Y: ok[0].Y}}
+	if _, err := BulkScoresGeneric[uint32](alphabet.Protein, ragged, GenericOptions{}); err == nil {
+		t.Error("ragged batch should fail")
+	}
+	outOfRange := []alphabet.Pair{{X: alphabet.Seq{25}, Y: alphabet.Seq{0, 1}}}
+	if _, err := BulkScoresGeneric[uint32](alphabet.Protein, outOfRange, GenericOptions{}); err == nil {
+		t.Error("out-of-alphabet code in X should fail")
+	}
+	outOfRangeY := []alphabet.Pair{{X: alphabet.Seq{1}, Y: alphabet.Seq{0, 25}}}
+	if _, err := BulkScoresGeneric[uint32](alphabet.Protein, outOfRangeY, GenericOptions{}); err == nil {
+		t.Error("out-of-alphabet code in Y should fail")
+	}
+	bad := GenericOptions{Scoring: swa.Scoring{Match: -1}}
+	if _, err := BulkScoresGeneric[uint32](alphabet.Protein, ok, bad); err == nil {
+		t.Error("invalid scoring should fail")
+	}
+	if _, err := BulkScoresGeneric[uint32](alphabet.Protein, ok, GenericOptions{SBits: 1}); err == nil {
+		t.Error("too-narrow SBits should fail")
+	}
+}
+
+func BenchmarkGenericProtein(b *testing.B) {
+	rng := rand.New(rand.NewPCG(87, 88))
+	pairs := make([]alphabet.Pair, 32)
+	for i := range pairs {
+		pairs[i] = alphabet.Pair{
+			X: randAlphaSeq(rng, alphabet.Protein, 128),
+			Y: randAlphaSeq(rng, alphabet.Protein, 1024),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkScoresGeneric[uint32](alphabet.Protein, pairs, GenericOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGCUPS(b, len(pairs), 128, 1024)
+}

@@ -1,0 +1,127 @@
+package bpbc
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/bitmat"
+	"repro/internal/bitslice"
+	"repro/internal/dna"
+	"repro/internal/word"
+)
+
+// PosResult extends the bulk score with the coordinates of the best cell —
+// what a screening pipeline needs to seed a banded re-alignment around the
+// hit instead of re-scanning the whole text. The paper notes the traceback
+// can be computed "along with the scoring matrix"; tracking the argmax in
+// bit-sliced form is the bulk analogue.
+type PosResult struct {
+	Scores []int
+	// EndI[i], EndJ[i] are the 1-based matrix coordinates of the first
+	// (row-major) cell attaining Scores[i]; both are 0 when the score is 0.
+	EndI, EndJ []int
+	Timing     Timing
+	Lanes      int
+	SBits      int
+}
+
+// BulkScoresPos computes, per pair, the maximum local-alignment score and
+// the position of the first cell attaining it, all in bit-sliced form:
+// alongside the running-max planes it maintains bit-sliced row and column
+// registers updated under the strict-greater mask.
+func BulkScoresPos[W word.Word](pairs []dna.Pair, opt Options) (*PosResult, error) {
+	m, n, err := checkUniform(pairs)
+	if err != nil {
+		return nil, err
+	}
+	par, err := opt.params(m)
+	if err != nil {
+		return nil, err
+	}
+	lanes := word.Lanes[W]()
+	res := &PosResult{
+		Scores: make([]int, len(pairs)),
+		EndI:   make([]int, len(pairs)),
+		EndJ:   make([]int, len(pairs)),
+		Lanes:  lanes,
+		SBits:  par.S,
+	}
+	iBits := bits.Len(uint(m))
+	jBits := bits.Len(uint(n))
+
+	g := newGroupState[W](par, n)
+	bestI := bitslice.NewNum[W](iBits)
+	bestJ := bitslice.NewNum[W](jBits)
+	iConst := bitslice.NewNum[W](iBits)
+	jConsts := make([]bitslice.Num[W], n+1)
+	for j := 1; j <= n; j++ {
+		jConsts[j] = bitslice.NewNum[W](jBits)
+		jConsts[j].SetAll(uint(j))
+	}
+
+	groups := (len(pairs) + lanes - 1) / lanes
+	for gi := 0; gi < groups; gi++ {
+		lo := gi * lanes
+		hi := min(lo+lanes, len(pairs))
+		xsSeqs := make([]dna.Seq, hi-lo)
+		ysSeqs := make([]dna.Seq, hi-lo)
+		for i := lo; i < hi; i++ {
+			xsSeqs[i-lo] = pairs[i].X
+			ysSeqs[i-lo] = pairs[i].Y
+		}
+		t0 := time.Now()
+		xs, err := dna.TransposeGroup[W](xsSeqs)
+		if err != nil {
+			return nil, err
+		}
+		ys, err := dna.TransposeGroup[W](ysSeqs)
+		if err != nil {
+			return nil, err
+		}
+		t1 := time.Now()
+
+		s := par.S
+		g.reset()
+		bestI.Zero()
+		bestJ.Zero()
+		for i := 1; i <= m; i++ {
+			xH, xL := xs.H[i-1], xs.L[i-1]
+			iConst.SetAll(uint(i))
+			for j := 1; j <= n; j++ {
+				e := bitslice.MismatchMask(xH, xL, ys.H[j-1], ys.L[j-1])
+				cur := num(g.cur, j, s)
+				bitslice.SWCell(cur,
+					num(g.prev, j, s), num(g.cur, j-1, s), num(g.prev, j-1, s),
+					e, par, g.scratch)
+				gt := bitslice.GreaterThan(cur, g.best)
+				bitslice.Select(g.best, g.best, cur, gt)
+				bitslice.Select(bestI, bestI, iConst, gt)
+				bitslice.Select(bestJ, bestJ, jConsts[j], gt)
+			}
+			g.prev, g.cur = g.cur, g.prev
+		}
+		t2 := time.Now()
+
+		extractScores(g, hi-lo, res.Scores[lo:hi])
+		extractPlanes(bestI, g.unt, hi-lo, res.EndI[lo:hi])
+		extractPlanes(bestJ, g.unt, hi-lo, res.EndJ[lo:hi])
+		t3 := time.Now()
+
+		res.Timing.W2B += t1.Sub(t0)
+		res.Timing.SWA += t2.Sub(t1)
+		res.Timing.B2W += t3.Sub(t2)
+	}
+	return res, nil
+}
+
+// extractPlanes un-transposes an arbitrary bit-sliced number into integers.
+func extractPlanes[W word.Word](v bitslice.Num[W], scratch []W, count int, out []int) {
+	for i := range scratch {
+		scratch[i] = 0
+	}
+	copy(scratch[:len(v)], v)
+	bitmat.PlanesToValuesInPlace(scratch, len(v))
+	for k := 0; k < count; k++ {
+		out[k] = int(scratch[k])
+	}
+}

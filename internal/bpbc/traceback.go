@@ -1,0 +1,195 @@
+package bpbc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitslice"
+	"repro/internal/dna"
+	"repro/internal/swa"
+	"repro/internal/word"
+)
+
+// Direction codes recorded per cell, matching the reference traceback's
+// branch priority (diagonal, then up, then left).
+const (
+	dirStop = 0 // cell value is 0
+	dirDiag = 1
+	dirUp   = 2
+	dirLeft = 3
+)
+
+// maxTracebackCells bounds the direction-plane storage: 2 words per cell
+// per lane group. The screen-then-align flow should band-realign large
+// texts instead (see swa.AlignBanded).
+const maxTracebackCells = 1 << 22
+
+// BulkAlign scores every pair AND records a bit-transposed traceback
+// matrix alongside (the paper notes "the traceback matrix can be computed
+// along with the scoring matrix"); it then reconstructs each lane's optimal
+// local alignment from the recorded direction planes without re-running any
+// dynamic program. All pairs must share one shape, and m*n is capped at
+// 2^22 cells because the direction planes hold the full matrix.
+func BulkAlign[W word.Word](pairs []dna.Pair, opt Options) ([]swa.Alignment, error) {
+	m, n, err := checkUniform(pairs)
+	if err != nil {
+		return nil, err
+	}
+	if m*n > maxTracebackCells {
+		return nil, fmt.Errorf("bpbc: BulkAlign matrix %d×%d exceeds the %d-cell cap; use BulkScoresPos + swa.AlignBanded",
+			m, n, maxTracebackCells)
+	}
+	par, err := opt.params(m)
+	if err != nil {
+		return nil, err
+	}
+	lanes := word.Lanes[W]()
+	s := par.S
+	iBits := bits.Len(uint(m))
+	jBits := bits.Len(uint(n))
+
+	out := make([]swa.Alignment, len(pairs))
+
+	g := newGroupState[W](par, n)
+	// Direction planes, (m+1)×(n+1) cells, row-major; row/col 0 unused.
+	dirH := make([]W, (m+1)*(n+1))
+	dirL := make([]W, (m+1)*(n+1))
+	mt := bitslice.NewNum[W](s)  // matching(diag) recomputation
+	sst := bitslice.NewNum[W](s) // SSub(up, gap) recomputation
+	bestI := bitslice.NewNum[W](iBits)
+	bestJ := bitslice.NewNum[W](jBits)
+	iConst := bitslice.NewNum[W](iBits)
+	jConst := bitslice.NewNum[W](jBits)
+
+	groups := (len(pairs) + lanes - 1) / lanes
+	for gi := 0; gi < groups; gi++ {
+		lo := gi * lanes
+		hi := min(lo+lanes, len(pairs))
+		xsSeqs := make([]dna.Seq, hi-lo)
+		ysSeqs := make([]dna.Seq, hi-lo)
+		for i := lo; i < hi; i++ {
+			xsSeqs[i-lo] = pairs[i].X
+			ysSeqs[i-lo] = pairs[i].Y
+		}
+		xs, err := dna.TransposeGroup[W](xsSeqs)
+		if err != nil {
+			return nil, err
+		}
+		ys, err := dna.TransposeGroup[W](ysSeqs)
+		if err != nil {
+			return nil, err
+		}
+
+		g.reset()
+		bestI.Zero()
+		bestJ.Zero()
+		for i := 1; i <= m; i++ {
+			xH, xL := xs.H[i-1], xs.L[i-1]
+			iConst.SetAll(uint(i))
+			for j := 1; j <= n; j++ {
+				e := bitslice.MismatchMask(xH, xL, ys.H[j-1], ys.L[j-1])
+				cur := num(g.cur, j, s)
+				up := num(g.prev, j, s)
+				left := num(g.cur, j-1, s)
+				diag := num(g.prev, j-1, s)
+				bitslice.SWCell(cur, up, left, diag, e, par, g.scratch)
+
+				// Recompute the two candidate branches to classify which
+				// one produced the cell, per lane.
+				bitslice.Matching(mt, diag, e, par, g.scratch)
+				bitslice.SSubScalar(sst, up, par.Gap)
+				zero := isZero(cur)
+				dDiag := eq(cur, mt) &^ zero
+				dUp := eq(cur, sst) &^ zero &^ dDiag
+				dLeft := ^zero &^ dDiag &^ dUp
+				idx := i*(n+1) + j
+				dirH[idx] = dUp | dLeft
+				dirL[idx] = dDiag | dLeft
+
+				gt := bitslice.GreaterThan(cur, g.best)
+				bitslice.Select(g.best, g.best, cur, gt)
+				bitslice.Select(bestI, bestI, iConst, gt)
+				jConst.SetAll(uint(j))
+				bitslice.Select(bestJ, bestJ, jConst, gt)
+			}
+			g.prev, g.cur = g.cur, g.prev
+		}
+
+		scores := make([]int, hi-lo)
+		endI := make([]int, hi-lo)
+		endJ := make([]int, hi-lo)
+		extractScores(g, hi-lo, scores)
+		extractPlanes(bestI, g.unt, hi-lo, endI)
+		extractPlanes(bestJ, g.unt, hi-lo, endJ)
+
+		for k := 0; k < hi-lo; k++ {
+			out[lo+k] = walkDirections(pairs[lo+k], scores[k], endI[k], endJ[k],
+				dirH, dirL, n, k)
+		}
+	}
+	return out, nil
+}
+
+// isZero returns, per lane, 1 where the bit-sliced number is zero.
+func isZero[W word.Word](a bitslice.Num[W]) W {
+	var or W
+	for _, p := range a {
+		or |= p
+	}
+	return ^or
+}
+
+// eq returns, per lane, 1 where a == b.
+func eq[W word.Word](a, b bitslice.Num[W]) W {
+	var diff W
+	for h := range a {
+		diff |= a[h] ^ b[h]
+	}
+	return ^diff
+}
+
+// walkDirections replays lane k's recorded directions from its best cell.
+func walkDirections[W word.Word](p dna.Pair, score, ei, ej int, dirH, dirL []W, n, lane int) swa.Alignment {
+	a := swa.Alignment{Score: score}
+	if score == 0 {
+		return a
+	}
+	var ax, ay []byte
+	i, j := ei, ej
+	for i > 0 && j > 0 {
+		idx := i*(n+1) + j
+		hiBit := int(dirH[idx]>>uint(lane)&1)<<1 | int(dirL[idx]>>uint(lane)&1)
+		switch hiBit {
+		case dirDiag:
+			ax = append(ax, p.X[i-1].Byte())
+			ay = append(ay, p.Y[j-1].Byte())
+			if p.X[i-1] == p.Y[j-1] {
+				a.Matches++
+			} else {
+				a.Mismatches++
+			}
+			i, j = i-1, j-1
+		case dirUp:
+			ax = append(ax, p.X[i-1].Byte())
+			ay = append(ay, '-')
+			a.Gaps++
+			i--
+		case dirLeft:
+			ax = append(ax, '-')
+			ay = append(ay, p.Y[j-1].Byte())
+			a.Gaps++
+			j--
+		default: // dirStop
+			goto done
+		}
+	}
+done:
+	a.XStart, a.XEnd = i, ei
+	a.YStart, a.YEnd = j, ej
+	for l, r := 0, len(ax)-1; l < r; l, r = l+1, r-1 {
+		ax[l], ax[r] = ax[r], ax[l]
+		ay[l], ay[r] = ay[r], ay[l]
+	}
+	a.AlignedX, a.AlignedY = string(ax), string(ay)
+	return a
+}

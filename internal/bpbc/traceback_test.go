@@ -1,0 +1,189 @@
+package bpbc
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+	"repro/internal/swa"
+)
+
+// rescore recomputes an alignment's score from its rendered columns.
+func rescore(a swa.Alignment, sc swa.Scoring) int {
+	s := 0
+	for i := 0; i < len(a.AlignedX); i++ {
+		cx, cy := a.AlignedX[i], a.AlignedY[i]
+		switch {
+		case cx == '-' || cy == '-':
+			s -= sc.Gap
+		case cx == cy:
+			s += sc.Match
+		default:
+			s -= sc.Mismatch
+		}
+	}
+	return s
+}
+
+func TestBulkAlignMatchesReferenceScores(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 60))
+		count := 1 + rng.IntN(40)
+		m := 1 + rng.IntN(14)
+		n := m + rng.IntN(40)
+		pairs := dna.PlantedPairs(rng, count, m, n, 0.6, dna.MutationModel{SubRate: 0.15})
+		aligns, err := BulkAlign[uint32](pairs, Options{})
+		if err != nil {
+			return false
+		}
+		for i, p := range pairs {
+			want := swa.Score(p.X, p.Y, swa.PaperScoring)
+			a := aligns[i]
+			if a.Score != want {
+				t.Logf("pair %d: score %d want %d", i, a.Score, want)
+				return false
+			}
+			// The reconstructed alignment must itself score to the
+			// reported value.
+			if want > 0 && rescore(a, swa.PaperScoring) != want {
+				t.Logf("pair %d: alignment rescored to %d, want %d (%q/%q)",
+					i, rescore(a, swa.PaperScoring), want, a.AlignedX, a.AlignedY)
+				return false
+			}
+			// Coordinates must be consistent with the rendered strings.
+			gapsInX := 0
+			for _, c := range a.AlignedX {
+				if c == '-' {
+					gapsInX++
+				}
+			}
+			if a.XEnd-a.XStart != len(a.AlignedX)-gapsInX {
+				t.Logf("pair %d: X span inconsistent", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulkAlign64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(61, 62))
+	pairs := dna.PlantedPairs(rng, 70, 10, 36, 0.8, dna.MutationModel{})
+	aligns, err := BulkAlign[uint64](pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		if aligns[i].Score != swa.Score(p.X, p.Y, swa.PaperScoring) {
+			t.Fatalf("pair %d score mismatch", i)
+		}
+	}
+}
+
+// TestBulkAlignExactPlant checks a perfect plant reconstructs a gapless
+// full-identity alignment at the planted coordinates.
+func TestBulkAlignExactPlant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(63, 64))
+	const m, n, at = 16, 120, 40
+	x := dna.RandSeq(rng, m)
+	y := dna.RandSeq(rng, n)
+	copy(y[at:], x)
+	pairs := make([]dna.Pair, 33) // exercise a partial second group
+	for i := range pairs {
+		pairs[i] = dna.Pair{X: x, Y: y}
+	}
+	aligns, err := BulkAlign[uint32](pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range aligns {
+		if a.Score != swa.PaperScoring.MaxScore(m) {
+			t.Fatalf("lane %d: score %d", i, a.Score)
+		}
+		if a.Gaps != 0 || a.Mismatches != 0 || a.Matches != m {
+			t.Fatalf("lane %d: stats %d/%d/%d", i, a.Matches, a.Mismatches, a.Gaps)
+		}
+		if a.YStart != at || a.YEnd != at+m || a.XStart != 0 || a.XEnd != m {
+			t.Fatalf("lane %d: coords X[%d:%d] Y[%d:%d]", i, a.XStart, a.XEnd, a.YStart, a.YEnd)
+		}
+	}
+}
+
+func TestBulkAlignZeroScore(t *testing.T) {
+	pairs := []dna.Pair{{
+		X: dna.Seq{dna.A, dna.A},
+		Y: dna.Seq{dna.C, dna.C, dna.C},
+	}}
+	aligns, err := BulkAlign[uint32](pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aligns[0].Score != 0 || aligns[0].AlignedX != "" {
+		t.Errorf("zero-score alignment wrong: %+v", aligns[0])
+	}
+}
+
+func TestBulkAlignCap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(65, 66))
+	pairs := []dna.Pair{{X: dna.RandSeq(rng, 1024), Y: dna.RandSeq(rng, 8192)}}
+	if _, err := BulkAlign[uint32](pairs, Options{}); err == nil {
+		t.Error("oversized matrix should hit the traceback cap")
+	}
+	if _, err := BulkAlign[uint32](nil, Options{}); err == nil {
+		t.Error("empty batch should fail")
+	}
+	ok := []dna.Pair{{X: dna.RandSeq(rng, 4), Y: dna.RandSeq(rng, 8)}}
+	if _, err := BulkAlign[uint32](ok, Options{SBits: 1}); err == nil {
+		t.Error("bad SBits should fail")
+	}
+}
+
+// TestPosThenBandedRealign exercises the recommended large-text flow: bulk
+// argmax, then a banded re-alignment around the hit diagonal.
+func TestPosThenBandedRealign(t *testing.T) {
+	rng := rand.New(rand.NewPCG(67, 68))
+	const m, n = 24, 2048
+	x := dna.RandSeq(rng, m)
+	pairs := make([]dna.Pair, 32)
+	plantAt := make([]int, 32)
+	for i := range pairs {
+		y := dna.RandSeq(rng, n)
+		at := rng.IntN(n - m)
+		copy(y[at:], x)
+		pairs[i] = dna.Pair{X: x, Y: y}
+		plantAt[i] = at
+	}
+	pos, err := BulkScoresPos[uint32](pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		band := swa.Band{Offset: pos.EndJ[i] - pos.EndI[i], Width: 8}
+		a, err := swa.AlignBanded(pairs[i].X, pairs[i].Y, swa.PaperScoring, band)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Score != pos.Scores[i] {
+			t.Fatalf("pair %d: banded realign %d, bulk %d", i, a.Score, pos.Scores[i])
+		}
+		if a.YStart != plantAt[i] {
+			t.Fatalf("pair %d: realigned at %d, planted at %d", i, a.YStart, plantAt[i])
+		}
+	}
+}
+
+func BenchmarkBulkAlign32(b *testing.B) {
+	pairs := benchPairs(b, 32, 64, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkAlign[uint32](pairs, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportGCUPS(b, len(pairs), 64, 512)
+}

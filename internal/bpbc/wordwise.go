@@ -1,0 +1,87 @@
+package bpbc
+
+import (
+	"time"
+
+	"repro/internal/dna"
+	"repro/internal/swa"
+)
+
+// WordwiseScores is the conventional baseline the paper compares against:
+// each pair is scored independently with the plain integer recurrence
+// (one 32-bit word per matrix cell, no transposes). Workers > 1 spreads
+// pairs over goroutines; the paper's configuration is Workers = 1.
+func WordwiseScores(pairs []dna.Pair, opt Options) (*Result, error) {
+	if _, _, err := checkUniform(pairs); err != nil {
+		return nil, err
+	}
+	sc := opt.scoring()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Scores: make([]int, len(pairs)), Lanes: 1, SBits: 32}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	start := time.Now()
+	if workers == 1 {
+		for i, p := range pairs {
+			res.Scores[i] = swa.Score(p.X, p.Y, sc)
+		}
+	} else {
+		work := make(chan int)
+		done := make(chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range work {
+					res.Scores[i] = swa.Score(pairs[i].X, pairs[i].Y, sc)
+				}
+				done <- struct{}{}
+			}()
+		}
+		for i := range pairs {
+			work <- i
+		}
+		close(work)
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+	}
+	res.Timing.SWA = time.Since(start)
+	return res, nil
+}
+
+// ScreenAndAlign runs the paper's full use case: a bulk BPBC screen at
+// threshold tau followed by detailed CPU alignment of the survivors.
+// The W type parameter selects the screen's lane width.
+func ScreenAndAlign[W wordConstraint](pairs []dna.Pair, tau int, opt Options) ([]ScreenHit, error) {
+	res, err := BulkScores[W](pairs, opt)
+	if err != nil {
+		return nil, err
+	}
+	sc := opt.scoring()
+	var hits []ScreenHit
+	for _, idx := range res.FilterAbove(tau) {
+		a := swa.Align(pairs[idx].X, pairs[idx].Y, sc)
+		hits = append(hits, ScreenHit{Index: idx, Score: res.Scores[idx], Alignment: a})
+	}
+	return hits, nil
+}
+
+// ScreenHit is one pair that passed the bulk screen, with its detailed
+// alignment.
+type ScreenHit struct {
+	Index     int
+	Score     int // score reported by the bulk screen
+	Alignment swa.Alignment
+}
+
+// wordConstraint mirrors word.Word locally so the public generic signature
+// reads cleanly.
+type wordConstraint interface {
+	~uint32 | ~uint64
+}

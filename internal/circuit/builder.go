@@ -1,0 +1,333 @@
+// Package circuit provides an explicit combinational-circuit representation
+// of the BPBC computations. The paper's framing is that bulk computation
+// "simulates a combinational logic circuit" for all word lanes at once; this
+// package makes that literal: it builds AND/OR/XOR/NOT netlists for the
+// paper's arithmetic blocks (§IV-A) and evaluates them in bulk, one word
+// operation per gate. It cross-validates the hand-written bit-sliced code in
+// internal/bitslice and provides exact gate counts for the paper's
+// Lemmas 2-5 and Theorem 6.
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// GateOp is the operation of one circuit node.
+type GateOp uint8
+
+const (
+	OpInput GateOp = iota // external input
+	OpZero                // constant 0
+	OpOne                 // constant 1 (all lanes set)
+	OpAnd
+	OpOr
+	OpXor
+	OpAndNot // a AND NOT b, counted as one operation like the others
+	OpNot
+)
+
+func (op GateOp) String() string {
+	switch op {
+	case OpInput:
+		return "input"
+	case OpZero:
+		return "zero"
+	case OpOne:
+		return "one"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpXor:
+		return "xor"
+	case OpAndNot:
+		return "andnot"
+	case OpNot:
+		return "not"
+	}
+	return fmt.Sprintf("GateOp(%d)", uint8(op))
+}
+
+// Node identifies a circuit node within its Builder.
+type Node int32
+
+// Builder incrementally constructs a combinational circuit. When Fold is
+// true (the default from NewBuilder), trivial identities involving the
+// constants 0 and 1 are simplified and structurally identical gates are
+// shared (hash-consing); disable it to count the raw, unoptimised gate
+// structure.
+type Builder struct {
+	gates  []gate
+	inputs []Node
+	Fold   bool
+	memo   map[gate]Node
+}
+
+type gate struct {
+	op   GateOp
+	a, b Node
+}
+
+// NewBuilder returns an empty builder with folding enabled.
+func NewBuilder() *Builder {
+	b := &Builder{Fold: true, memo: make(map[gate]Node)}
+	// Reserve nodes 0 and 1 for the constants.
+	b.gates = append(b.gates, gate{op: OpZero}, gate{op: OpOne})
+	return b
+}
+
+// Zero returns the constant-0 node.
+func (b *Builder) Zero() Node { return 0 }
+
+// One returns the constant-1 node.
+func (b *Builder) One() Node { return 1 }
+
+// Const returns the constant node for bit v.
+func (b *Builder) Const(v bool) Node {
+	if v {
+		return b.One()
+	}
+	return b.Zero()
+}
+
+// Input allocates a fresh external input node.
+func (b *Builder) Input() Node {
+	n := b.add(gate{op: OpInput, a: Node(len(b.inputs))})
+	b.inputs = append(b.inputs, n)
+	return n
+}
+
+// Inputs allocates k input nodes.
+func (b *Builder) Inputs(k int) []Node {
+	out := make([]Node, k)
+	for i := range out {
+		out[i] = b.Input()
+	}
+	return out
+}
+
+func (b *Builder) add(g gate) Node {
+	if g.op != OpInput && b.Fold {
+		if n, ok := b.memo[g]; ok {
+			return n
+		}
+	}
+	n := Node(len(b.gates))
+	b.gates = append(b.gates, g)
+	if g.op != OpInput && b.Fold {
+		b.memo[g] = n
+	}
+	return n
+}
+
+func (b *Builder) isZero(n Node) bool { return b.gates[n].op == OpZero }
+func (b *Builder) isOne(n Node) bool  { return b.gates[n].op == OpOne }
+
+func (b *Builder) binary(op GateOp, x, y Node) Node {
+	if b.Fold {
+		// Canonicalise operand order for commutative gates so that
+		// hash-consing catches (x op y) == (y op x).
+		if op != OpAndNot && x > y {
+			x, y = y, x
+		}
+		switch op {
+		case OpAnd:
+			switch {
+			case b.isZero(x) || b.isZero(y):
+				return b.Zero()
+			case b.isOne(x):
+				return y
+			case b.isOne(y):
+				return x
+			case x == y:
+				return x
+			}
+		case OpOr:
+			switch {
+			case b.isOne(x) || b.isOne(y):
+				return b.One()
+			case b.isZero(x):
+				return y
+			case b.isZero(y):
+				return x
+			case x == y:
+				return x
+			}
+		case OpXor:
+			switch {
+			case b.isZero(x):
+				return y
+			case b.isZero(y):
+				return x
+			case b.isOne(x):
+				return b.Not(y)
+			case b.isOne(y):
+				return b.Not(x)
+			case x == y:
+				return b.Zero()
+			}
+		case OpAndNot: // x &^ y
+			switch {
+			case b.isZero(x) || b.isOne(y):
+				return b.Zero()
+			case b.isZero(y):
+				return x
+			case b.isOne(x):
+				return b.Not(y)
+			case x == y:
+				return b.Zero()
+			}
+		}
+	}
+	return b.add(gate{op: op, a: x, b: y})
+}
+
+// And returns x AND y.
+func (b *Builder) And(x, y Node) Node { return b.binary(OpAnd, x, y) }
+
+// Or returns x OR y.
+func (b *Builder) Or(x, y Node) Node { return b.binary(OpOr, x, y) }
+
+// Xor returns x XOR y.
+func (b *Builder) Xor(x, y Node) Node { return b.binary(OpXor, x, y) }
+
+// AndNot returns x AND NOT y (one operation on real hardware and in Go).
+func (b *Builder) AndNot(x, y Node) Node { return b.binary(OpAndNot, x, y) }
+
+// Not returns NOT x.
+func (b *Builder) Not(x Node) Node {
+	if b.Fold {
+		switch {
+		case b.isZero(x):
+			return b.One()
+		case b.isOne(x):
+			return b.Zero()
+		case b.gates[x].op == OpNot:
+			return b.gates[x].a // double negation
+		}
+	}
+	return b.add(gate{op: OpNot, a: x})
+}
+
+// Mux returns (a AND NOT sel) OR (b AND sel): b where sel is 1, else a.
+func (b *Builder) Mux(sel, x, y Node) Node {
+	return b.Or(b.AndNot(x, sel), b.And(y, sel))
+}
+
+// Build freezes the circuit with the given output nodes.
+func (b *Builder) Build(outputs []Node) *Circuit {
+	outs := append([]Node(nil), outputs...)
+	return &Circuit{
+		gates:   append([]gate(nil), b.gates...),
+		inputs:  append([]Node(nil), b.inputs...),
+		outputs: outs,
+	}
+}
+
+// Circuit is an immutable compiled netlist. It is safe for concurrent
+// evaluation (each Eval uses its own scratch).
+type Circuit struct {
+	gates   []gate
+	inputs  []Node
+	outputs []Node
+}
+
+// NumInputs returns the number of external inputs.
+func (c *Circuit) NumInputs() int { return len(c.inputs) }
+
+// NumOutputs returns the number of outputs.
+func (c *Circuit) NumOutputs() int { return len(c.outputs) }
+
+// Stats tallies the circuit's gates by operation.
+type Stats struct {
+	And, Or, Xor, AndNot, Not int
+	Inputs                    int
+}
+
+// Ops returns the total gate count — the circuit-simulation analogue of the
+// paper's bitwise-operation counts.
+func (s Stats) Ops() int { return s.And + s.Or + s.Xor + s.AndNot + s.Not }
+
+// Stats computes the gate tally of the circuit, counting only gates
+// reachable from the outputs (dead gates cost nothing at evaluation time in
+// hardware terms and are excluded, mirroring how the paper counts only the
+// operations actually performed).
+func (c *Circuit) Stats() Stats {
+	reach := make([]bool, len(c.gates))
+	var mark func(n Node)
+	mark = func(n Node) {
+		if reach[n] {
+			return
+		}
+		reach[n] = true
+		g := c.gates[n]
+		switch g.op {
+		case OpAnd, OpOr, OpXor, OpAndNot:
+			mark(g.a)
+			mark(g.b)
+		case OpNot:
+			mark(g.a)
+		}
+	}
+	for _, o := range c.outputs {
+		mark(o)
+	}
+	var s Stats
+	for i, g := range c.gates {
+		if !reach[i] {
+			continue
+		}
+		switch g.op {
+		case OpAnd:
+			s.And++
+		case OpOr:
+			s.Or++
+		case OpXor:
+			s.Xor++
+		case OpAndNot:
+			s.AndNot++
+		case OpNot:
+			s.Not++
+		case OpInput:
+			s.Inputs++
+		}
+	}
+	return s
+}
+
+// Eval evaluates the circuit in bulk: every input and output word carries
+// one bit per lane, so a single call computes the function for all
+// word.Lanes[W] instances simultaneously — the BPBC technique itself.
+func Eval[W word.Word](c *Circuit, inputs []W) []W {
+	if len(inputs) != len(c.inputs) {
+		panic(fmt.Sprintf("circuit: Eval: want %d inputs, got %d", len(c.inputs), len(inputs)))
+	}
+	vals := make([]W, len(c.gates))
+	for i, g := range c.gates {
+		switch g.op {
+		case OpZero:
+			vals[i] = 0
+		case OpOne:
+			vals[i] = word.Ones[W]()
+		case OpInput:
+			vals[i] = inputs[g.a]
+		case OpAnd:
+			vals[i] = vals[g.a] & vals[g.b]
+		case OpOr:
+			vals[i] = vals[g.a] | vals[g.b]
+		case OpXor:
+			vals[i] = vals[g.a] ^ vals[g.b]
+		case OpAndNot:
+			vals[i] = vals[g.a] &^ vals[g.b]
+		case OpNot:
+			vals[i] = ^vals[g.a]
+		}
+	}
+	out := make([]W, len(c.outputs))
+	for i, o := range c.outputs {
+		out[i] = vals[o]
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package circuit
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitslice"
+	"repro/internal/word"
+)
+
+func TestConstantsAndBasicGates(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input()
+	y := b.Input()
+	c := b.Build([]Node{
+		b.And(x, y), b.Or(x, y), b.Xor(x, y), b.Not(x), b.AndNot(x, y),
+		b.Zero(), b.One(),
+	})
+	out := Eval(c, []uint32{0b1100, 0b1010})
+	want := []uint32{
+		0b1000, 0b1110, 0b0110, ^uint32(0b1100), 0b0100, 0, ^uint32(0),
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("output %d = %#x, want %#x", i, out[i], want[i])
+		}
+	}
+}
+
+func TestFoldingIdentities(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input()
+	if b.And(x, b.Zero()) != b.Zero() {
+		t.Error("x AND 0 should fold to 0")
+	}
+	if b.And(x, b.One()) != x {
+		t.Error("x AND 1 should fold to x")
+	}
+	if b.Or(x, b.Zero()) != x {
+		t.Error("x OR 0 should fold to x")
+	}
+	if b.Or(x, b.One()) != b.One() {
+		t.Error("x OR 1 should fold to 1")
+	}
+	if b.Xor(x, b.Zero()) != x {
+		t.Error("x XOR 0 should fold to x")
+	}
+	if b.Xor(x, x) != b.Zero() {
+		t.Error("x XOR x should fold to 0")
+	}
+	if b.Not(b.Not(x)) != x {
+		t.Error("double negation should fold")
+	}
+	if b.AndNot(x, x) != b.Zero() {
+		t.Error("x AND NOT x should fold to 0")
+	}
+	// Hash-consing: the same gate twice is shared.
+	y := b.Input()
+	g1 := b.And(x, y)
+	g2 := b.And(y, x)
+	if g1 != g2 {
+		t.Error("commutative gates not shared")
+	}
+}
+
+func TestNoFoldKeepsGates(t *testing.T) {
+	b := NewBuilder()
+	b.Fold = false
+	x := b.Input()
+	n1 := b.And(x, b.One())
+	n2 := b.And(x, b.One())
+	if n1 == n2 || n1 == x {
+		t.Error("folding disabled but gates folded anyway")
+	}
+}
+
+func TestMux(t *testing.T) {
+	b := NewBuilder()
+	sel := b.Input()
+	x := b.Input()
+	y := b.Input()
+	c := b.Build([]Node{b.Mux(sel, x, y)})
+	got := Eval(c, []uint32{0b10, 0b01, 0b10})[0]
+	// lane0: sel=0 -> x=1; lane1: sel=1 -> y=1 -> 0b11
+	if got != 0b11 {
+		t.Errorf("mux = %02b, want 11", got)
+	}
+}
+
+func TestEvalPanicsOnWrongInputCount(t *testing.T) {
+	b := NewBuilder()
+	b.Input()
+	c := b.Build(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval with wrong input count did not panic")
+		}
+	}()
+	Eval(c, []uint32{1, 2})
+}
+
+var testParams = bitslice.Params{S: 9, Match: 2, Mismatch: 1, Gap: 1}
+
+func TestSWCellCircuitMatchesBitslice32(t *testing.T) {
+	testSWCellCircuit[uint32](t, true)
+}
+
+func TestSWCellCircuitMatchesBitslice64(t *testing.T) {
+	testSWCellCircuit[uint64](t, true)
+}
+
+func TestSWCellCircuitUnfoldedMatches(t *testing.T) {
+	testSWCellCircuit[uint32](t, false)
+}
+
+func testSWCellCircuit[W word.Word](t *testing.T, fold bool) {
+	t.Helper()
+	c, err := SWCellCircuit(testParams, fold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testParams.S
+	lanes := word.Lanes[W]()
+	sc := bitslice.NewScratch[W](s)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		up := bitslice.NewNum[W](s)
+		left := bitslice.NewNum[W](s)
+		diag := bitslice.NewNum[W](s)
+		var xH, xL, yH, yL W
+		for k := 0; k < lanes; k++ {
+			up.Set(k, uint(rng.Uint64N(257)))
+			left.Set(k, uint(rng.Uint64N(257)))
+			diag.Set(k, uint(rng.Uint64N(255)))
+			xH = word.SetLane(xH, k, rng.Uint64()&1 != 0)
+			xL = word.SetLane(xL, k, rng.Uint64()&1 != 0)
+			yH = word.SetLane(yH, k, rng.Uint64()&1 != 0)
+			yL = word.SetLane(yL, k, rng.Uint64()&1 != 0)
+		}
+		// Reference: hand-written bit-sliced code.
+		want := bitslice.NewNum[W](s)
+		e := bitslice.MismatchMask(xH, xL, yH, yL)
+		bitslice.SWCell(want, up, left, diag, e, testParams, sc)
+
+		// Circuit: input layout up, left, diag, xL, xH, yL, yH.
+		inputs := make([]W, 0, 3*s+4)
+		inputs = append(inputs, up...)
+		inputs = append(inputs, left...)
+		inputs = append(inputs, diag...)
+		inputs = append(inputs, xL, xH, yL, yH)
+		got := Eval(c, inputs)
+		for i := 0; i < s; i++ {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTheorem6GateCounts compares the compiled circuit's gate count with the
+// paper's Theorem 6 figure of 48s-18 operations per SW cell. The folded
+// netlist must not exceed the paper's count (constant propagation through
+// the broadcast scalars removes gates the straight-line code performs), and
+// must stay within a factor showing the construction is faithful.
+func TestTheorem6GateCounts(t *testing.T) {
+	s := testParams.S
+	paper := 48*s - 18
+
+	folded, err := SWCellCircuit(testParams, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := folded.Stats().Ops()
+	if fg > paper {
+		t.Errorf("folded circuit has %d gates, exceeds paper's %d", fg, paper)
+	}
+	if fg < paper/3 {
+		t.Errorf("folded circuit has only %d gates vs paper's %d — construction suspiciously small", fg, paper)
+	}
+
+	raw, err := SWCellCircuit(testParams, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := raw.Stats().Ops()
+	if rg <= fg {
+		t.Errorf("raw circuit (%d gates) should exceed folded (%d)", rg, fg)
+	}
+	t.Logf("SW cell s=%d: paper %d ops, raw netlist %d gates, folded %d gates", s, paper, rg, fg)
+}
+
+func TestSWCellCircuitRejectsBadParams(t *testing.T) {
+	if _, err := SWCellCircuit(bitslice.Params{S: 0, Match: 1}, true); err == nil {
+		t.Error("invalid params should be rejected")
+	}
+}
+
+func TestStatsCountsOnlyReachable(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input()
+	y := b.Input()
+	used := b.And(x, y)
+	b.Or(x, y) // dead gate
+	c := b.Build([]Node{used})
+	st := c.Stats()
+	if st.Ops() != 1 || st.And != 1 || st.Or != 0 {
+		t.Errorf("stats = %+v, want only the AND", st)
+	}
+	if st.Inputs != 2 {
+		t.Errorf("inputs = %d, want 2", st.Inputs)
+	}
+	if c.NumInputs() != 2 || c.NumOutputs() != 1 {
+		t.Error("NumInputs/NumOutputs wrong")
+	}
+}
+
+func TestGateOpString(t *testing.T) {
+	for op, want := range map[GateOp]string{
+		OpInput: "input", OpZero: "zero", OpOne: "one", OpAnd: "and",
+		OpOr: "or", OpXor: "xor", OpAndNot: "andnot", OpNot: "not",
+	} {
+		if op.String() != want {
+			t.Errorf("GateOp %d String = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func BenchmarkSWCellCircuitEval(b *testing.B) {
+	c, err := SWCellCircuit(testParams, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]uint32, c.NumInputs())
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := range inputs {
+		inputs[i] = rng.Uint32()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Eval(c, inputs)
+	}
+}

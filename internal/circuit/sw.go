@@ -1,0 +1,126 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/bitslice"
+)
+
+// Word is a bit-sliced number at the netlist level: a slice of nodes,
+// little-endian (w[0] is the least significant plane).
+type NetNum []Node
+
+// BuildGreaterEq appends the paper's "greaterthan" comparator to b and
+// returns the node that is 1 where a >= b (borrow complement).
+func BuildGreaterEq(bld *Builder, a, c NetNum) Node {
+	s := mustSame(a, c)
+	p := bld.AndNot(c[0], a[0]) // ^a & b == b &^ a
+	for i := 1; i < s; i++ {
+		p = bld.Or(bld.And(c[i], p), bld.AndNot(bld.Xor(c[i], p), a[i]))
+	}
+	return bld.Not(p)
+}
+
+// BuildMax appends max(a, b) per lane.
+func BuildMax(bld *Builder, a, c NetNum) NetNum {
+	s := mustSame(a, c)
+	ge := BuildGreaterEq(bld, a, c)
+	out := make(NetNum, s)
+	for i := 0; i < s; i++ {
+		out[i] = bld.Mux(ge, c[i], a[i]) // a where ge=1
+	}
+	return out
+}
+
+// BuildAddConst appends a + v (mod 2^s) with a broadcast scalar constant.
+func BuildAddConst(bld *Builder, a NetNum, v uint) NetNum {
+	s := len(a)
+	out := make(NetNum, s)
+	cb := bld.Const(v&1 != 0)
+	out[0] = bld.Xor(a[0], cb)
+	p := bld.And(a[0], cb)
+	for i := 1; i < s; i++ {
+		bi := bld.Const(v>>uint(i)&1 != 0)
+		out[i] = bld.Xor(bld.Xor(a[i], bi), p)
+		p = bld.Or(bld.And(a[i], bld.Xor(bi, p)), bld.And(bi, p))
+	}
+	return out
+}
+
+// BuildSSubConst appends max(a - v, 0) with a broadcast scalar constant.
+func BuildSSubConst(bld *Builder, a NetNum, v uint) NetNum {
+	s := len(a)
+	out := make(NetNum, s)
+	cb := bld.Const(v&1 != 0)
+	out[0] = bld.Xor(a[0], cb)
+	p := bld.AndNot(cb, a[0])
+	for i := 1; i < s; i++ {
+		bi := bld.Const(v>>uint(i)&1 != 0)
+		out[i] = bld.Xor(bld.Xor(a[i], bi), p)
+		p = bld.Or(bld.AndNot(bld.Xor(bi, p), a[i]), bld.And(bi, p))
+	}
+	for i := 0; i < s; i++ {
+		out[i] = bld.AndNot(out[i], p)
+	}
+	return out
+}
+
+// BuildMismatch appends the ε-bit character comparison: 1 where x != y.
+func BuildMismatch(bld *Builder, x, y NetNum) Node {
+	if len(x) != len(y) {
+		panic("circuit: character widths differ")
+	}
+	e := bld.Zero()
+	for i := range x {
+		e = bld.Or(e, bld.Xor(x[i], y[i]))
+	}
+	return e
+}
+
+// BuildMatching appends C + w(x,y): C+match where e=0, max(C-mismatch,0)
+// where e=1.
+func BuildMatching(bld *Builder, c NetNum, e Node, par bitslice.Params) NetNum {
+	r := BuildAddConst(bld, c, par.Match)
+	t := BuildSSubConst(bld, c, par.Mismatch)
+	s := len(c)
+	out := make(NetNum, s)
+	for i := 0; i < s; i++ {
+		out[i] = bld.Mux(e, r[i], t[i])
+	}
+	return out
+}
+
+// BuildSWCellNodes appends the full Smith-Waterman cell recurrence
+// max(0, up-gap, left-gap, diag + w(x,y)) and returns the output planes.
+func BuildSWCellNodes(bld *Builder, up, left, diag NetNum, x, y NetNum, par bitslice.Params) NetNum {
+	t := BuildMax(bld, up, left)
+	u := BuildSSubConst(bld, t, par.Gap)
+	e := BuildMismatch(bld, x, y)
+	t2 := BuildMatching(bld, diag, e, par)
+	return BuildMax(bld, t2, u)
+}
+
+// SWCellCircuit compiles the complete SW cell into a standalone circuit.
+// Input layout: up[0..s-1], left[0..s-1], diag[0..s-1], xH, xL, yH, yL.
+// Output layout: dst[0..s-1].
+func SWCellCircuit(par bitslice.Params, fold bool) (*Circuit, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	bld := NewBuilder()
+	bld.Fold = fold
+	up := NetNum(bld.Inputs(par.S))
+	left := NetNum(bld.Inputs(par.S))
+	diag := NetNum(bld.Inputs(par.S))
+	xc := NetNum(bld.Inputs(2)) // xL, xH order: [low, high]
+	yc := NetNum(bld.Inputs(2))
+	out := BuildSWCellNodes(bld, up, left, diag, xc, yc, par)
+	return bld.Build(out), nil
+}
+
+func mustSame(a, b NetNum) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("circuit: width mismatch %d vs %d", len(a), len(b)))
+	}
+	return len(a)
+}

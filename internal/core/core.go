@@ -1,0 +1,193 @@
+// Package core is the library facade: the paper's primary contribution
+// behind one small API. It ties the substrates together —
+//
+//   - Align / Score: reference Smith-Waterman on two sequences,
+//   - Bulk: BPBC bulk scoring of many pairs on the CPU (32 or 64 lanes),
+//   - Screen: the paper's use case, a bulk threshold screen followed by
+//     detailed alignment of the survivors,
+//   - SimulateGPU: the same batch on the simulated GPU pipeline with a
+//     Table IV-style stage breakdown.
+//
+// Sequences enter as plain ACGT strings; everything else is optional
+// configuration with the paper's parameters as defaults.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bpbc"
+	"repro/internal/dna"
+	"repro/internal/pipeline"
+	"repro/internal/swa"
+)
+
+// Scoring re-exports the linear-gap scheme (c1 / c2 / gap magnitudes).
+type Scoring = swa.Scoring
+
+// PaperScoring is c1=2, c2=1, gap=1, the paper's configuration.
+var PaperScoring = swa.PaperScoring
+
+// Alignment re-exports the reconstructed alignment type.
+type Alignment = swa.Alignment
+
+// Pair is one problem instance given as ACGT strings.
+type Pair struct {
+	X, Y string
+}
+
+func parseSeq(s string) (dna.Seq, error) {
+	return dna.Parse(s)
+}
+
+func parsePairs(pairs []Pair) ([]dna.Pair, error) {
+	out := make([]dna.Pair, len(pairs))
+	for i, p := range pairs {
+		x, err := dna.Parse(p.X)
+		if err != nil {
+			return nil, fmt.Errorf("core: pair %d pattern: %w", i, err)
+		}
+		y, err := dna.Parse(p.Y)
+		if err != nil {
+			return nil, fmt.Errorf("core: pair %d text: %w", i, err)
+		}
+		out[i] = dna.Pair{X: x, Y: y}
+	}
+	return out, nil
+}
+
+// Score returns the maximum local-alignment score of x against y.
+func Score(x, y string, sc Scoring) (int, error) {
+	xs, err := dna.Parse(x)
+	if err != nil {
+		return 0, err
+	}
+	ys, err := dna.Parse(y)
+	if err != nil {
+		return 0, err
+	}
+	if err := sc.Validate(); err != nil {
+		return 0, err
+	}
+	return swa.Score(xs, ys, sc), nil
+}
+
+// Align returns the optimal local alignment of x against y with traceback.
+func Align(x, y string, sc Scoring) (Alignment, error) {
+	xs, err := dna.Parse(x)
+	if err != nil {
+		return Alignment{}, err
+	}
+	ys, err := dna.Parse(y)
+	if err != nil {
+		return Alignment{}, err
+	}
+	if err := sc.Validate(); err != nil {
+		return Alignment{}, err
+	}
+	return swa.Align(xs, ys, sc), nil
+}
+
+// BulkOptions configures bulk scoring.
+type BulkOptions struct {
+	Scoring Scoring // zero value = PaperScoring
+	// Lanes selects the word width: 32 (default) or 64.
+	Lanes int
+	// Workers > 1 spreads lane groups over goroutines (beyond-paper).
+	Workers int
+}
+
+// BulkResult is the outcome of a bulk run.
+type BulkResult struct {
+	// Scores[i] is the maximum score of pairs[i].
+	Scores []int
+	// Timing is the W2B/SWA/B2W stage breakdown.
+	Timing bpbc.Timing
+}
+
+// Bulk scores every pair with the BPBC engine. All pairs must share one
+// (len(X), len(Y)) shape.
+func Bulk(pairs []Pair, opt BulkOptions) (*BulkResult, error) {
+	dp, err := parsePairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	o := bpbc.Options{Scoring: opt.Scoring, Workers: opt.Workers}
+	var r *bpbc.Result
+	switch opt.Lanes {
+	case 0, 32:
+		r, err = bpbc.BulkScores[uint32](dp, o)
+	case 64:
+		r, err = bpbc.BulkScores[uint64](dp, o)
+	default:
+		return nil, fmt.Errorf("core: Lanes must be 32 or 64, got %d", opt.Lanes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &BulkResult{Scores: r.Scores, Timing: r.Timing}, nil
+}
+
+// Hit is one pair that survived a Screen.
+type Hit struct {
+	Index     int
+	Score     int
+	Alignment Alignment
+}
+
+// Screen runs the paper's end-to-end use case: BPBC bulk scoring, keep the
+// pairs whose score exceeds tau, and compute their detailed alignments with
+// the conventional CPU algorithm.
+func Screen(pairs []Pair, tau int, opt BulkOptions) ([]Hit, error) {
+	dp, err := parsePairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	o := bpbc.Options{Scoring: opt.Scoring, Workers: opt.Workers}
+	var hits []bpbc.ScreenHit
+	switch opt.Lanes {
+	case 0, 32:
+		hits, err = bpbc.ScreenAndAlign[uint32](dp, tau, o)
+	case 64:
+		hits, err = bpbc.ScreenAndAlign[uint64](dp, tau, o)
+	default:
+		return nil, fmt.Errorf("core: Lanes must be 32 or 64, got %d", opt.Lanes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Hit, len(hits))
+	for i, h := range hits {
+		out[i] = Hit{Index: h.Index, Score: h.Score, Alignment: h.Alignment}
+	}
+	return out, nil
+}
+
+// GPUResult is the outcome of a simulated GPU run.
+type GPUResult struct {
+	Scores []int
+	Times  pipeline.StageTimes
+}
+
+// SimulateGPU runs the batch through the paper's five-step GPU pipeline on
+// the cudasim substrate, returning exact scores and the modelled
+// H2G/W2B/SWA/B2W/G2H stage times.
+func SimulateGPU(pairs []Pair, opt BulkOptions) (*GPUResult, error) {
+	dp, err := parsePairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.Config{Scoring: opt.Scoring}
+	var r *pipeline.Result
+	switch opt.Lanes {
+	case 0, 32:
+		r, err = pipeline.RunBitwise[uint32](dp, cfg)
+	case 64:
+		r, err = pipeline.RunBitwise[uint64](dp, cfg)
+	default:
+		return nil, fmt.Errorf("core: Lanes must be 32 or 64, got %d", opt.Lanes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &GPUResult{Scores: r.Scores, Times: r.Times}, nil
+}

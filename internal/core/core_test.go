@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+func TestScoreAndAlignPaperExample(t *testing.T) {
+	s, err := Score("TACTG", "GAACTGA", PaperScoring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 8 {
+		t.Errorf("Score = %d, want 8 (Table II)", s)
+	}
+	a, err := Align("TACTG", "GAACTGA", PaperScoring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != 8 || a.AlignedX != "ACTG" {
+		t.Errorf("Align = %+v", a)
+	}
+}
+
+func TestScoreErrors(t *testing.T) {
+	if _, err := Score("ACGZ", "ACGT", PaperScoring); err == nil {
+		t.Error("invalid pattern should fail")
+	}
+	if _, err := Score("ACGT", "ACGZ", PaperScoring); err == nil {
+		t.Error("invalid text should fail")
+	}
+	if _, err := Score("AC", "ACGT", Scoring{}); err == nil {
+		t.Error("zero scoring should fail validation")
+	}
+	if _, err := Align("Z", "A", PaperScoring); err == nil {
+		t.Error("Align invalid pattern should fail")
+	}
+	if _, err := Align("A", "Z", PaperScoring); err == nil {
+		t.Error("Align invalid text should fail")
+	}
+	if _, err := Align("A", "A", Scoring{Match: -1}); err == nil {
+		t.Error("Align invalid scoring should fail")
+	}
+}
+
+func randomPairs(count, m, n int) []Pair {
+	rng := rand.New(rand.NewPCG(1, 2))
+	out := make([]Pair, count)
+	for i := range out {
+		out[i] = Pair{
+			X: dna.RandSeq(rng, m).String(),
+			Y: dna.RandSeq(rng, n).String(),
+		}
+	}
+	return out
+}
+
+func TestBulkBothLaneWidths(t *testing.T) {
+	pairs := randomPairs(40, 12, 60)
+	for _, lanes := range []int{0, 32, 64} {
+		r, err := Bulk(pairs, BulkOptions{Lanes: lanes})
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		for i, p := range pairs {
+			want, _ := Score(p.X, p.Y, PaperScoring)
+			if r.Scores[i] != want {
+				t.Fatalf("lanes=%d pair %d: got %d want %d", lanes, i, r.Scores[i], want)
+			}
+		}
+	}
+	if _, err := Bulk(pairs, BulkOptions{Lanes: 16}); err == nil {
+		t.Error("Lanes=16 should fail")
+	}
+	if _, err := Bulk([]Pair{{X: "AZ", Y: "AC"}}, BulkOptions{}); err == nil {
+		t.Error("invalid sequence should fail")
+	}
+}
+
+func TestScreenFindsPlantedPair(t *testing.T) {
+	pairs := randomPairs(20, 16, 80)
+	// Plant pair 5 as a perfect hit.
+	pairs[5].Y = strings.Repeat("A", 30) + pairs[5].X + strings.Repeat("C", 80-30-16)
+	tau := PaperScoring.MaxScore(16) - 1
+	hits, err := Screen(pairs, tau, BulkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hits {
+		if h.Index == 5 {
+			found = true
+			if h.Alignment.Score != PaperScoring.MaxScore(16) {
+				t.Errorf("planted hit alignment score %d", h.Alignment.Score)
+			}
+		}
+	}
+	if !found {
+		t.Error("planted pair not screened in")
+	}
+	if _, err := Screen(pairs, tau, BulkOptions{Lanes: 7}); err == nil {
+		t.Error("bad lanes should fail")
+	}
+	if _, err := Screen([]Pair{{X: "Q", Y: "A"}}, 0, BulkOptions{}); err == nil {
+		t.Error("bad sequence should fail")
+	}
+	if _, err := Screen(pairs, tau, BulkOptions{Lanes: 64}); err != nil {
+		t.Errorf("64-lane screen failed: %v", err)
+	}
+}
+
+func TestSimulateGPUMatchesCPU(t *testing.T) {
+	pairs := randomPairs(64, 10, 40)
+	for _, lanes := range []int{32, 64} {
+		g, err := SimulateGPU(pairs, BulkOptions{Lanes: lanes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Bulk(pairs, BulkOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pairs {
+			if g.Scores[i] != c.Scores[i] {
+				t.Fatalf("lanes=%d pair %d: GPU %d CPU %d", lanes, i, g.Scores[i], c.Scores[i])
+			}
+		}
+		if g.Times.Total() <= 0 {
+			t.Error("GPU stage times missing")
+		}
+	}
+	if _, err := SimulateGPU(pairs, BulkOptions{Lanes: 5}); err == nil {
+		t.Error("bad lanes should fail")
+	}
+	if _, err := SimulateGPU([]Pair{{X: "B", Y: "A"}}, BulkOptions{}); err == nil {
+		t.Error("bad sequence should fail")
+	}
+}
+
+func TestBulkParallelWorkers(t *testing.T) {
+	pairs := randomPairs(100, 8, 32)
+	seq, err := Bulk(pairs, BulkOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Bulk(pairs, BulkOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Scores {
+		if seq.Scores[i] != par.Scores[i] {
+			t.Fatalf("worker results differ at %d", i)
+		}
+	}
+}
+
+func TestBulkWithPositions(t *testing.T) {
+	pairs := randomPairs(40, 10, 50)
+	res, err := BulkWithPositions(pairs, BulkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		want, _ := Score(p.X, p.Y, PaperScoring)
+		if res.Scores[i] != want {
+			t.Fatalf("pair %d: score %d want %d", i, res.Scores[i], want)
+		}
+		if want > 0 && (res.EndI[i] < 1 || res.EndJ[i] < 1) {
+			t.Fatalf("pair %d: missing coordinates", i)
+		}
+	}
+	if _, err := BulkWithPositions(pairs, BulkOptions{Lanes: 3}); err == nil {
+		t.Error("bad lanes should fail")
+	}
+	if _, err := BulkWithPositions([]Pair{{X: "Q", Y: "A"}}, BulkOptions{}); err == nil {
+		t.Error("bad sequence should fail")
+	}
+	if _, err := BulkWithPositions(pairs, BulkOptions{Lanes: 64}); err != nil {
+		t.Errorf("64-lane positions failed: %v", err)
+	}
+}
+
+func TestBulkAffineFacade(t *testing.T) {
+	pairs := randomPairs(33, 8, 40)
+	aff := AffineScoring{Match: 2, Mismatch: 1, GapOpen: 3, GapExtend: 1}
+	res, err := BulkAffine(pairs, aff, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != len(pairs) {
+		t.Fatal("score count wrong")
+	}
+	if _, err := BulkAffine(pairs, aff, 16); err == nil {
+		t.Error("bad lanes should fail")
+	}
+	if _, err := BulkAffine([]Pair{{X: "Z", Y: "A"}}, aff, 0); err == nil {
+		t.Error("bad sequence should fail")
+	}
+	if _, err := BulkAffine(pairs, aff, 64); err != nil {
+		t.Errorf("64-lane affine failed: %v", err)
+	}
+}
+
+func TestBulkAlignFacade(t *testing.T) {
+	pairs := randomPairs(20, 8, 32)
+	aligns, err := BulkAlign(pairs, BulkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		want, _ := Score(p.X, p.Y, PaperScoring)
+		if aligns[i].Score != want {
+			t.Fatalf("pair %d: %d want %d", i, aligns[i].Score, want)
+		}
+	}
+	if _, err := BulkAlign(pairs, BulkOptions{Lanes: 5}); err == nil {
+		t.Error("bad lanes should fail")
+	}
+	if _, err := BulkAlign([]Pair{{X: "Z", Y: "A"}}, BulkOptions{}); err == nil {
+		t.Error("bad sequence should fail")
+	}
+	if _, err := BulkAlign(pairs, BulkOptions{Lanes: 64}); err != nil {
+		t.Errorf("64-lane align failed: %v", err)
+	}
+}
+
+func TestAlignBandedFacade(t *testing.T) {
+	// Plant a hit, locate it with positions, realign inside the band.
+	pairs := randomPairs(32, 12, 200)
+	pairs[7].Y = pairs[7].Y[:90] + pairs[7].X + pairs[7].Y[90+12:]
+	pos, err := BulkWithPositions(pairs, BulkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	band := Band{Offset: pos.EndJ[7] - pos.EndI[7], Width: 6}
+	a, err := AlignBanded(pairs[7].X, pairs[7].Y, PaperScoring, band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != pos.Scores[7] {
+		t.Errorf("banded score %d, bulk %d", a.Score, pos.Scores[7])
+	}
+	if _, err := AlignBanded("Z", "A", PaperScoring, band); err == nil {
+		t.Error("bad x should fail")
+	}
+	if _, err := AlignBanded("A", "Z", PaperScoring, band); err == nil {
+		t.Error("bad y should fail")
+	}
+	if _, err := AlignBanded("A", "A", Scoring{}, band); err == nil {
+		t.Error("bad scoring should fail")
+	}
+}

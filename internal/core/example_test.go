@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleAlign reproduces the paper's Table II example.
+func ExampleAlign() {
+	a, err := core.Align("TACTG", "GAACTGA", core.PaperScoring)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(a.Score)
+	fmt.Println(a.AlignedX)
+	fmt.Println(a.AlignedY)
+	// Output:
+	// 8
+	// ACTG
+	// ACTG
+}
+
+// ExampleBulk scores three identical-shape pairs in one BPBC sweep.
+func ExampleBulk() {
+	pairs := []core.Pair{
+		{X: "ACGT", Y: "TTACGTTT"},
+		{X: "ACGT", Y: "TTACCTTT"},
+		{X: "ACGT", Y: "GGGGGGGG"},
+	}
+	res, err := core.Bulk(pairs, core.BulkOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Scores)
+	// Output:
+	// [8 5 2]
+}
+
+// ExampleScreen runs the paper's use case: screen, then align survivors.
+func ExampleScreen() {
+	pairs := []core.Pair{
+		{X: "ACGTACGT", Y: "TTTTACGTACGTTTTT"}, // perfect hit
+		{X: "ACGTACGT", Y: "CCCCCCCCCCCCCCCC"}, // noise
+	}
+	hits, err := core.Screen(pairs, 10, core.BulkOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, h := range hits {
+		fmt.Printf("pair %d scored %d\n", h.Index, h.Score)
+	}
+	// Output:
+	// pair 0 scored 16
+}
+
+// ExampleBulkWithPositions locates where each best alignment ends.
+func ExampleBulkWithPositions() {
+	pairs := []core.Pair{{X: "ACGT", Y: "GGGGACGTGG"}}
+	res, err := core.BulkWithPositions(pairs, core.BulkOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("score %d ends at row %d, column %d\n",
+		res.Scores[0], res.EndI[0], res.EndJ[0])
+	// Output:
+	// score 8 ends at row 4, column 8
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bpbc"
+	"repro/internal/swa"
+)
+
+// AffineScoring re-exports the Gotoh affine-gap scheme.
+type AffineScoring = swa.AffineScoring
+
+// PosResult is a bulk result with best-cell coordinates.
+type PosResult struct {
+	Scores []int
+	// EndI[i], EndJ[i] are the 1-based matrix coordinates of the first
+	// cell attaining Scores[i] (0,0 when the score is 0).
+	EndI, EndJ []int
+}
+
+// BulkWithPositions scores every pair and reports where each maximum
+// occurs, enabling banded re-alignment around the hit (see AlignBanded).
+func BulkWithPositions(pairs []Pair, opt BulkOptions) (*PosResult, error) {
+	dp, err := parsePairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	o := bpbc.Options{Scoring: opt.Scoring, Workers: opt.Workers}
+	var r *bpbc.PosResult
+	switch opt.Lanes {
+	case 0, 32:
+		r, err = bpbc.BulkScoresPos[uint32](dp, o)
+	case 64:
+		r, err = bpbc.BulkScoresPos[uint64](dp, o)
+	default:
+		return nil, fmt.Errorf("core: Lanes must be 32 or 64, got %d", opt.Lanes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &PosResult{Scores: r.Scores, EndI: r.EndI, EndJ: r.EndJ}, nil
+}
+
+// BulkAffine scores every pair under affine gaps with the bit-sliced Gotoh
+// engine (beyond-paper extension).
+func BulkAffine(pairs []Pair, sc AffineScoring, lanes int) (*BulkResult, error) {
+	dp, err := parsePairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	o := bpbc.AffineOptions{Scoring: sc}
+	var r *bpbc.Result
+	switch lanes {
+	case 0, 32:
+		r, err = bpbc.BulkScoresAffine[uint32](dp, o)
+	case 64:
+		r, err = bpbc.BulkScoresAffine[uint64](dp, o)
+	default:
+		return nil, fmt.Errorf("core: lanes must be 32 or 64, got %d", lanes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &BulkResult{Scores: r.Scores, Timing: r.Timing}, nil
+}
+
+// BulkAlign scores every pair and reconstructs each optimal alignment from
+// the bit-transposed traceback planes recorded alongside the scoring pass.
+// The matrix size is capped; for long texts use BulkWithPositions +
+// AlignBanded.
+func BulkAlign(pairs []Pair, opt BulkOptions) ([]Alignment, error) {
+	dp, err := parsePairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	o := bpbc.Options{Scoring: opt.Scoring}
+	switch opt.Lanes {
+	case 0, 32:
+		return bpbc.BulkAlign[uint32](dp, o)
+	case 64:
+		return bpbc.BulkAlign[uint64](dp, o)
+	}
+	return nil, fmt.Errorf("core: Lanes must be 32 or 64, got %d", opt.Lanes)
+}
+
+// Band re-exports the banded-alignment window.
+type Band = swa.Band
+
+// AlignBanded aligns x and y inside a diagonal band — the fast follow-up to
+// a BulkWithPositions hit (band offset = EndJ - EndI).
+func AlignBanded(x, y string, sc Scoring, band Band) (Alignment, error) {
+	xs, err := parseSeq(x)
+	if err != nil {
+		return Alignment{}, err
+	}
+	ys, err := parseSeq(y)
+	if err != nil {
+		return Alignment{}, err
+	}
+	if err := sc.Validate(); err != nil {
+		return Alignment{}, err
+	}
+	return swa.AlignBanded(xs, ys, sc, band)
+}

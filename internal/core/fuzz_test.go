@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzEnginesAgree fuzzes arbitrary base strings through every scoring
+// engine and requires them to agree; invalid inputs must fail uniformly.
+func FuzzEnginesAgree(f *testing.F) {
+	f.Add("ACGT", "TTACGTTT")
+	f.Add("A", "A")
+	f.Add("TACTG", "GAACTGA")
+	f.Add("ACGTACGTACGTACGTACGT", "ACGTACGTACGTACGTACGTACGTACGTACGT")
+	f.Fuzz(func(t *testing.T, x, y string) {
+		if len(x) == 0 || len(y) == 0 || len(x) > 64 || len(y) > 128 || len(x) > len(y) {
+			t.Skip()
+		}
+		want, err := core.Score(x, y, core.PaperScoring)
+		if err != nil {
+			// Invalid letters: every engine must reject the same input.
+			if _, err2 := core.Bulk([]core.Pair{{X: x, Y: y}}, core.BulkOptions{}); err2 == nil {
+				t.Fatalf("Score rejected %q/%q but Bulk accepted", x, y)
+			}
+			t.Skip()
+		}
+		for _, lanes := range []int{32, 64} {
+			res, err := core.Bulk([]core.Pair{{X: x, Y: y}}, core.BulkOptions{Lanes: lanes})
+			if err != nil {
+				t.Fatalf("Bulk(lanes=%d) failed: %v", lanes, err)
+			}
+			if res.Scores[0] != want {
+				t.Fatalf("lanes=%d: bulk %d, reference %d (x=%q y=%q)",
+					lanes, res.Scores[0], want, x, y)
+			}
+		}
+		g, err := core.SimulateGPU([]core.Pair{{X: x, Y: y}}, core.BulkOptions{})
+		if err != nil {
+			t.Fatalf("SimulateGPU failed: %v", err)
+		}
+		if g.Scores[0] != want {
+			t.Fatalf("GPU sim %d, reference %d (x=%q y=%q)", g.Scores[0], want, x, y)
+		}
+		a, err := core.Align(x, y, core.PaperScoring)
+		if err != nil || a.Score != want {
+			t.Fatalf("Align score %d, reference %d", a.Score, want)
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package cudasim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const segmentBytes = 32 // DRAM transaction granularity (hardware sector size)
+const numBanks = 32     // shared-memory banks, 4 bytes wide
+
+// Block is the per-block execution context handed to Kernel.RunBlock.
+type Block struct {
+	Idx int // blockIdx.x
+	Dim int // blockDim.x
+
+	dev   *Device
+	stats *LaunchStats
+	warp  int
+
+	shared     []uint32
+	sharedUsed int
+
+	// Per-phase access tracking: global accesses grouped by (warp, slot)
+	// for coalescing, shared accesses by (warp, slot, bank) for conflicts.
+	globalAcc map[accKey]map[int64]struct{}
+	sharedAcc map[accKey]*bankCount
+}
+
+type accKey struct {
+	warp, slot int32
+}
+
+type bankCount struct {
+	perBank  [numBanks]int32
+	accesses int32
+}
+
+// SharedAlloc reserves words 32-bit words of block shared memory and returns
+// a handle. Like __shared__ arrays, contents start zeroed and live for the
+// block's duration. The 48 KiB per-block limit of the paper's hardware is
+// enforced.
+func (b *Block) SharedAlloc(words int) SharedArr {
+	if b.sharedUsed+words > 48*1024/4 {
+		panic(fmt.Sprintf("cudasim: shared memory exhausted (%d words requested, %d used)",
+			words, b.sharedUsed))
+	}
+	if b.shared == nil {
+		b.shared = make([]uint32, 48*1024/4)
+	}
+	arr := SharedArr{off: b.sharedUsed, len: words}
+	b.sharedUsed += words
+	return arr
+}
+
+// SharedArr is a handle to a shared-memory array.
+type SharedArr struct {
+	off, len int
+}
+
+// Len returns the array length in words.
+func (a SharedArr) Len() int { return a.len }
+
+// ForEachThread runs fn once per thread id, in order, as one lockstep phase.
+// All threads' memory accesses within the phase are analysed warp-wise for
+// coalescing and bank conflicts, matching how the lockstep hardware would
+// issue them.
+func (b *Block) ForEachThread(fn func(t *Thread)) {
+	if b.globalAcc == nil {
+		b.globalAcc = make(map[accKey]map[int64]struct{})
+		b.sharedAcc = make(map[accKey]*bankCount)
+	}
+	for tid := 0; tid < b.Dim; tid++ {
+		t := Thread{b: b, Tid: tid}
+		fn(&t)
+	}
+	b.flushPhase()
+}
+
+// Sync is the __syncthreads barrier marker between phases. (ForEachThread
+// already delimits phases; Sync exists so kernels read like their CUDA
+// counterparts and so barrier counts reach the stats.)
+func (b *Block) Sync() {
+	b.stats.Barriers++
+}
+
+// flushPhase converts the phase's recorded accesses into transaction and
+// conflict counts, then clears the tracking state.
+func (b *Block) flushPhase() {
+	for k, segs := range b.globalAcc {
+		b.stats.GlobalTransactions += int64(len(segs))
+		delete(b.globalAcc, k)
+	}
+	for k, bc := range b.sharedAcc {
+		var maxCount int32
+		for _, c := range bc.perBank {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		if maxCount > 0 {
+			b.stats.SharedCycles += int64(maxCount)
+			b.stats.BankConflictReplays += int64(maxCount - 1)
+		}
+		delete(b.sharedAcc, k)
+	}
+}
+
+// Thread is the per-thread view inside a phase.
+type Thread struct {
+	b    *Block
+	Tid  int
+	slot int32
+}
+
+// Ops charges n ALU operations to the launch.
+func (t *Thread) Ops(n int) {
+	t.b.stats.ALUOps += int64(n)
+}
+
+func (t *Thread) nextSlot() int32 {
+	s := t.slot
+	t.slot++
+	return s
+}
+
+func (t *Thread) recordGlobal(addr int64, bytes int64, store bool) {
+	key := accKey{warp: int32(t.Tid / t.b.warp), slot: t.nextSlot()}
+	segs := t.b.globalAcc[key]
+	if segs == nil {
+		segs = make(map[int64]struct{}, 4)
+		t.b.globalAcc[key] = segs
+	}
+	for seg := addr / segmentBytes; seg <= (addr+bytes-1)/segmentBytes; seg++ {
+		segs[seg] = struct{}{}
+	}
+	if store {
+		t.b.stats.GlobalStoreBytes += bytes
+	} else {
+		t.b.stats.GlobalLoadBytes += bytes
+	}
+}
+
+func (t *Thread) checkGlobal(buf Buf, off, bytes int64) int64 {
+	if off < 0 || off+bytes > buf.size {
+		panic(fmt.Sprintf("cudasim: global access at %d..%d outside %d-byte buffer",
+			off, off+bytes, buf.size))
+	}
+	return buf.off + off
+}
+
+// GlobalLoad8 reads one byte at byte offset off of buf.
+func (t *Thread) GlobalLoad8(buf Buf, off int64) uint8 {
+	addr := t.checkGlobal(buf, off, 1)
+	t.recordGlobal(addr, 1, false)
+	return t.b.dev.global[addr]
+}
+
+// GlobalLoad32 reads a 32-bit word at word index idx of buf.
+func (t *Thread) GlobalLoad32(buf Buf, idx int64) uint32 {
+	addr := t.checkGlobal(buf, idx*4, 4)
+	t.recordGlobal(addr, 4, false)
+	return binary.LittleEndian.Uint32(t.b.dev.global[addr:])
+}
+
+// GlobalStore32 writes a 32-bit word at word index idx of buf.
+func (t *Thread) GlobalStore32(buf Buf, idx int64, v uint32) {
+	addr := t.checkGlobal(buf, idx*4, 4)
+	t.recordGlobal(addr, 4, true)
+	binary.LittleEndian.PutUint32(t.b.dev.global[addr:], v)
+}
+
+// GlobalLoad64 reads a 64-bit word at word index idx of buf.
+func (t *Thread) GlobalLoad64(buf Buf, idx int64) uint64 {
+	addr := t.checkGlobal(buf, idx*8, 8)
+	t.recordGlobal(addr, 8, false)
+	return binary.LittleEndian.Uint64(t.b.dev.global[addr:])
+}
+
+// GlobalStore64 writes a 64-bit word at word index idx of buf.
+func (t *Thread) GlobalStore64(buf Buf, idx int64, v uint64) {
+	addr := t.checkGlobal(buf, idx*8, 8)
+	t.recordGlobal(addr, 8, true)
+	binary.LittleEndian.PutUint64(t.b.dev.global[addr:], v)
+}
+
+func (t *Thread) recordShared(word int) {
+	key := accKey{warp: int32(t.Tid / t.b.warp), slot: t.nextSlot()}
+	bc := t.b.sharedAcc[key]
+	if bc == nil {
+		bc = &bankCount{}
+		t.b.sharedAcc[key] = bc
+	}
+	bc.perBank[word%numBanks]++
+	bc.accesses++
+}
+
+func (t *Thread) checkShared(arr SharedArr, idx int) int {
+	if idx < 0 || idx >= arr.len {
+		panic(fmt.Sprintf("cudasim: shared access %d outside %d-word array", idx, arr.len))
+	}
+	return arr.off + idx
+}
+
+// SharedLoad reads word idx of a shared array.
+func (t *Thread) SharedLoad(arr SharedArr, idx int) uint32 {
+	w := t.checkShared(arr, idx)
+	t.recordShared(w)
+	return t.b.shared[w]
+}
+
+// SharedStore writes word idx of a shared array.
+func (t *Thread) SharedStore(arr SharedArr, idx int, v uint32) {
+	w := t.checkShared(arr, idx)
+	t.recordShared(w)
+	t.b.shared[w] = v
+}

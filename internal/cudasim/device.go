@@ -1,0 +1,193 @@
+// Package cudasim is the GPU substrate of this reproduction: a CUDA-like
+// functional simulator with an exact cost model. It stands in for the
+// paper's GeForce GTX TITAN X (see DESIGN.md §2 for the substitution
+// argument).
+//
+// The execution model is block-synchronous: a kernel implements RunBlock and
+// expresses intra-block thread parallelism as phases — calls to
+// Block.ForEachThread, separated by Block.Sync barriers — exactly the
+// lockstep structure the paper's wavefront kernel has. Within a phase the
+// simulator runs the thread bodies sequentially (semantically equivalent for
+// barrier-synchronised kernels) while recording, per warp:
+//
+//   - ALU operation counts (charged explicitly by the kernel, which keeps
+//     functional code and cost accounting in one place),
+//   - global-memory transactions with coalescing analysis (accesses from
+//     one warp in the same access slot are merged into 32-byte sectors),
+//   - shared-memory cycles with bank-conflict replay accounting
+//     (32 four-byte banks, as on the paper's hardware).
+//
+// Blocks execute concurrently on host goroutines. The collected LaunchStats
+// convert to wall-clock estimates through internal/perfmodel.
+package cudasim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/perfmodel"
+)
+
+// Device is a simulated GPU: a spec for the cost model plus a global memory.
+type Device struct {
+	Spec   perfmodel.DeviceSpec
+	global []byte
+	used   int64
+}
+
+// NewDevice creates a device with the given global-memory capacity.
+func NewDevice(spec perfmodel.DeviceSpec, globalBytes int64) *Device {
+	return &Device{Spec: spec, global: make([]byte, globalBytes)}
+}
+
+// Buf is a region of device global memory.
+type Buf struct {
+	off, size int64
+}
+
+// Size returns the buffer length in bytes.
+func (b Buf) Size() int64 { return b.size }
+
+// Alloc reserves a global-memory buffer (bump allocator; buffers live for
+// the device's lifetime, like a benchmark's cudaMalloc arena).
+func (d *Device) Alloc(bytes int64) (Buf, error) {
+	if bytes < 0 {
+		return Buf{}, fmt.Errorf("cudasim: negative allocation")
+	}
+	aligned := (bytes + 255) &^ 255
+	if d.used+aligned > int64(len(d.global)) {
+		return Buf{}, fmt.Errorf("cudasim: out of global memory (%d requested, %d free)",
+			aligned, int64(len(d.global))-d.used)
+	}
+	b := Buf{off: d.used, size: bytes}
+	d.used += aligned
+	return b, nil
+}
+
+// MemcpyHtoD copies host bytes into a device buffer (Step 1 of the paper's
+// pipeline; the PCIe time is modelled separately by perfmodel).
+func (d *Device) MemcpyHtoD(dst Buf, src []byte) error {
+	if int64(len(src)) > dst.size {
+		return fmt.Errorf("cudasim: HtoD copy of %d bytes into %d-byte buffer", len(src), dst.size)
+	}
+	copy(d.global[dst.off:dst.off+int64(len(src))], src)
+	return nil
+}
+
+// MemcpyDtoH copies a device buffer back to host memory (Step 5).
+func (d *Device) MemcpyDtoH(dst []byte, src Buf) error {
+	if int64(len(dst)) > src.size {
+		return fmt.Errorf("cudasim: DtoH copy of %d bytes from %d-byte buffer", len(dst), src.size)
+	}
+	copy(dst, d.global[src.off:src.off+int64(len(dst))])
+	return nil
+}
+
+// LaunchStats is the exact work tally of one kernel launch.
+type LaunchStats struct {
+	ALUOps              int64
+	GlobalLoadBytes     int64
+	GlobalStoreBytes    int64
+	GlobalTransactions  int64 // 32-byte sectors touched, after coalescing
+	SharedCycles        int64 // warp shared-access cycles incl. replays
+	BankConflictReplays int64
+	Barriers            int64
+	Blocks              int
+	ThreadsPerBlock     int
+}
+
+// Cost converts the stats into the perfmodel kernel-cost form. fuseLogic
+// marks bitwise-logic kernels eligible for LOP3 fusion; regsPerThread is the
+// kernel's register footprint, which drives the occupancy model (see
+// perfmodel).
+func (s *LaunchStats) Cost(fuseLogic bool, regsPerThread int) perfmodel.KernelCost {
+	return perfmodel.KernelCost{
+		ALUOps:    s.ALUOps,
+		FuseLogic: fuseLogic,
+		// Transactions dominate DRAM time; each moves a 32-byte sector.
+		GlobalBytes:     s.GlobalTransactions * 32,
+		SharedBytes:     s.SharedCycles * 128,
+		Blocks:          s.Blocks,
+		ThreadsPerBlock: s.ThreadsPerBlock,
+		RegsPerThread:   regsPerThread,
+	}
+}
+
+// Kernel is implemented by simulated CUDA kernels.
+type Kernel interface {
+	RunBlock(b *Block)
+}
+
+// KernelFunc adapts a function to the Kernel interface.
+type KernelFunc func(b *Block)
+
+// RunBlock calls f(b).
+func (f KernelFunc) RunBlock(b *Block) { f(b) }
+
+// Launch executes the kernel over a 1-D grid. Blocks run concurrently on
+// host goroutines; each gets a fresh shared memory. Returns the merged
+// stats of all blocks.
+func (d *Device) Launch(blocks, threadsPerBlock int, k Kernel) (*LaunchStats, error) {
+	if blocks <= 0 || threadsPerBlock <= 0 {
+		return nil, fmt.Errorf("cudasim: launch shape %d×%d invalid", blocks, threadsPerBlock)
+	}
+	if threadsPerBlock > 1024 {
+		return nil, fmt.Errorf("cudasim: %d threads per block exceeds the 1024 limit", threadsPerBlock)
+	}
+	total := &LaunchStats{Blocks: blocks, ThreadsPerBlock: threadsPerBlock}
+	workers := min(runtime.GOMAXPROCS(0), blocks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	panics := make(chan any, workers)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			local := &LaunchStats{}
+			for {
+				bi := int(next.Add(1)) - 1
+				if bi >= blocks {
+					break
+				}
+				b := &Block{
+					Idx:   bi,
+					Dim:   threadsPerBlock,
+					dev:   d,
+					stats: local,
+					warp:  d.Spec.WarpSize,
+				}
+				k.RunBlock(b)
+				b.flushPhase()
+			}
+			mergeStats(total, local)
+		}()
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		return nil, fmt.Errorf("cudasim: kernel panicked: %v", r)
+	default:
+	}
+	return total, nil
+}
+
+var mergeMu sync.Mutex
+
+func mergeStats(dst, src *LaunchStats) {
+	mergeMu.Lock()
+	defer mergeMu.Unlock()
+	dst.ALUOps += src.ALUOps
+	dst.GlobalLoadBytes += src.GlobalLoadBytes
+	dst.GlobalStoreBytes += src.GlobalStoreBytes
+	dst.GlobalTransactions += src.GlobalTransactions
+	dst.SharedCycles += src.SharedCycles
+	dst.BankConflictReplays += src.BankConflictReplays
+	dst.Barriers += src.Barriers
+}

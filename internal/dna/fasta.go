@@ -1,0 +1,86 @@
+package dna
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Record is one named sequence, as read from or written to FASTA.
+type Record struct {
+	Name string
+	Seq  Seq
+}
+
+// WriteFASTA writes records in FASTA format with 70-column wrapping.
+func WriteFASTA(w io.Writer, records ...Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		if _, err := fmt.Fprintf(bw, ">%s\n", r.Name); err != nil {
+			return err
+		}
+		s := r.Seq.String()
+		for len(s) > 0 {
+			n := min(70, len(s))
+			if _, err := bw.WriteString(s[:n]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+			s = s[n:]
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTA parses all records from r. Lines starting with ';' are treated
+// as comments; blank lines are skipped.
+func ReadFASTA(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var records []Record
+	var cur *Record
+	var body strings.Builder
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		seq, err := Parse(body.String())
+		if err != nil {
+			return fmt.Errorf("dna: record %q: %w", cur.Name, err)
+		}
+		cur.Seq = seq
+		records = append(records, *cur)
+		cur = nil
+		body.Reset()
+		return nil
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, ";"):
+			continue
+		case strings.HasPrefix(line, ">"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur = &Record{Name: strings.TrimSpace(line[1:])}
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("dna: line %d: sequence data before header", lineNo)
+			}
+			body.WriteString(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return records, nil
+}

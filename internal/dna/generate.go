@@ -1,0 +1,108 @@
+package dna
+
+import (
+	"math/rand/v2"
+)
+
+// RandSeq returns a uniformly random sequence of length n.
+func RandSeq(rng *rand.Rand, n int) Seq {
+	s := make(Seq, n)
+	for i := range s {
+		s[i] = Base(rng.Uint32() & 3)
+	}
+	return s
+}
+
+// RandSeqGC returns a random sequence of length n with the given GC content
+// (probability that a base is G or C), for workloads with realistic base
+// composition.
+func RandSeqGC(rng *rand.Rand, n int, gc float64) Seq {
+	s := make(Seq, n)
+	for i := range s {
+		if rng.Float64() < gc {
+			if rng.Uint32()&1 == 0 {
+				s[i] = G
+			} else {
+				s[i] = C
+			}
+		} else {
+			if rng.Uint32()&1 == 0 {
+				s[i] = A
+			} else {
+				s[i] = T
+			}
+		}
+	}
+	return s
+}
+
+// MutationModel describes how a planted homologous copy of a pattern is
+// perturbed when embedded into a text.
+type MutationModel struct {
+	SubRate float64 // probability a base is substituted
+	InsRate float64 // probability an insertion occurs after a base
+	DelRate float64 // probability a base is deleted
+}
+
+// Mutate returns a mutated copy of s under the model.
+func (m MutationModel) Mutate(rng *rand.Rand, s Seq) Seq {
+	out := make(Seq, 0, len(s)+4)
+	for _, b := range s {
+		if rng.Float64() < m.DelRate {
+			continue
+		}
+		if rng.Float64() < m.SubRate {
+			// Substitute with a different base.
+			nb := Base(rng.Uint32() & 3)
+			for nb == b {
+				nb = Base(rng.Uint32() & 3)
+			}
+			b = nb
+		}
+		out = append(out, b)
+		if rng.Float64() < m.InsRate {
+			out = append(out, Base(rng.Uint32()&3))
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, Base(rng.Uint32()&3))
+	}
+	return out
+}
+
+// Pair is one Smith-Waterman problem instance: a pattern X and a text Y.
+type Pair struct {
+	X, Y Seq
+}
+
+// RandomPairs generates count independent random (X, Y) pairs with the given
+// lengths — the paper's evaluation workload (random DNA strands).
+func RandomPairs(rng *rand.Rand, count, m, n int) []Pair {
+	pairs := make([]Pair, count)
+	for i := range pairs {
+		pairs[i] = Pair{X: RandSeq(rng, m), Y: RandSeq(rng, n)}
+	}
+	return pairs
+}
+
+// PlantedPairs generates pairs where, with probability plantProb, a mutated
+// copy of X is embedded at a random position of Y — the database-screening
+// scenario the paper motivates (§III: find pairs whose best local alignment
+// exceeds a threshold τ, then align those on the CPU).
+func PlantedPairs(rng *rand.Rand, count, m, n int, plantProb float64, mut MutationModel) []Pair {
+	pairs := make([]Pair, count)
+	for i := range pairs {
+		x := RandSeq(rng, m)
+		y := RandSeq(rng, n)
+		if rng.Float64() < plantProb {
+			copyX := mut.Mutate(rng, x)
+			if len(copyX) > n {
+				copyX = copyX[:n]
+			}
+			at := rng.IntN(n - len(copyX) + 1)
+			copy(y[at:], copyX)
+		}
+		pairs[i] = Pair{X: x, Y: y}
+	}
+	return pairs
+}

@@ -1,0 +1,19 @@
+package dna
+
+// Complement returns the Watson-Crick complement of a base. Under the
+// paper's encoding (A=00, T=01, G=10, C=11) complementing is flipping the
+// low bit: A↔T and G↔C.
+func (b Base) Complement() Base {
+	return b ^ 1
+}
+
+// ReverseComplement returns the reverse complement of s — the other strand
+// read 5'→3'. Screening both strands is the standard genomics workflow the
+// dbfilter tool exposes.
+func (s Seq) ReverseComplement() Seq {
+	out := make(Seq, len(s))
+	for i, b := range s {
+		out[len(s)-1-i] = b.Complement()
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package dna
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/word"
+)
+
+// Transposed holds one lane-group of W equal-length sequences in the
+// bit-transpose format of §II: bit k of H[i] (resp. L[i]) is the high (resp.
+// low) bit of the 2-bit code of base i of sequence k.
+type Transposed[W word.Word] struct {
+	H, L []W
+	// Count is the number of real sequences (1..W); lanes >= Count are
+	// zero-padded (all-A) and their results are meaningless.
+	Count int
+}
+
+// Len returns the common sequence length.
+func (t *Transposed[W]) Len() int { return len(t.H) }
+
+// Lane reconstructs sequence k (mostly for tests).
+func (t *Transposed[W]) Lane(k int) Seq {
+	s := make(Seq, len(t.H))
+	for i := range s {
+		hi := uint8(t.H[i] >> uint(k) & 1)
+		lo := uint8(t.L[i] >> uint(k) & 1)
+		s[i] = Base(hi<<1 | lo)
+	}
+	return s
+}
+
+// TransposeGroup converts up to W equal-length wordwise sequences into
+// bit-transpose format using the paper's method: one 2-bit-value
+// w×w bit-matrix transpose per character column (127 operations for 32
+// lanes, per Table I). Missing lanes are padded with all-A (zero) sequences.
+func TransposeGroup[W word.Word](seqs []Seq) (*Transposed[W], error) {
+	lanes := word.Lanes[W]()
+	if len(seqs) == 0 || len(seqs) > lanes {
+		return nil, fmt.Errorf("dna: TransposeGroup needs 1..%d sequences, got %d", lanes, len(seqs))
+	}
+	n := len(seqs[0])
+	for i, s := range seqs {
+		if len(s) != n {
+			return nil, fmt.Errorf("dna: TransposeGroup: sequence %d has length %d, want %d", i, len(s), n)
+		}
+	}
+	t := &Transposed[W]{H: make([]W, n), L: make([]W, n), Count: len(seqs)}
+	plan := bitmat.CachedPlan(lanes, 2, bitmat.ValuesToPlanes)
+	col := make([]W, lanes)
+	for i := 0; i < n; i++ {
+		for k := range col {
+			col[k] = 0
+		}
+		for k, s := range seqs {
+			col[k] = W(s[i]) // 2-bit value in wordwise format
+		}
+		bitmat.Apply(plan, col)
+		t.L[i] = col[0] // plane 0 = low bits
+		t.H[i] = col[1] // plane 1 = high bits
+	}
+	return t, nil
+}
+
+// TransposeGroupNaive is the reference bit-by-bit conversion used to
+// validate TransposeGroup.
+func TransposeGroupNaive[W word.Word](seqs []Seq) (*Transposed[W], error) {
+	lanes := word.Lanes[W]()
+	if len(seqs) == 0 || len(seqs) > lanes {
+		return nil, fmt.Errorf("dna: TransposeGroupNaive needs 1..%d sequences, got %d", lanes, len(seqs))
+	}
+	n := len(seqs[0])
+	for i, s := range seqs {
+		if len(s) != n {
+			return nil, fmt.Errorf("dna: sequence %d has length %d, want %d", i, len(s), n)
+		}
+	}
+	t := &Transposed[W]{H: make([]W, n), L: make([]W, n), Count: len(seqs)}
+	for k, s := range seqs {
+		for i, b := range s {
+			if b.High() != 0 {
+				t.H[i] |= W(1) << uint(k)
+			}
+			if b.Low() != 0 {
+				t.L[i] |= W(1) << uint(k)
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,136 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/bitslice"
+	"repro/internal/cudasim"
+	"repro/internal/perfmodel"
+)
+
+func TestLayoutValidate(t *testing.T) {
+	good := Layout{Pairs: 64, M: 16, N: 64, Lanes: 32, S: 6}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Layout{
+		{Pairs: 0, M: 16, N: 64, Lanes: 32, S: 6},
+		{Pairs: 1, M: 0, N: 64, Lanes: 32, S: 6},
+		{Pairs: 1, M: 65, N: 64, Lanes: 32, S: 6},
+		{Pairs: 1, M: 16, N: 64, Lanes: 48, S: 6},
+		{Pairs: 1, M: 16, N: 64, Lanes: 32, S: 0},
+		{Pairs: 1, M: 16, N: 64, Lanes: 32, S: 33},
+		{Pairs: 1, M: 2000, N: 4000, Lanes: 32, S: 6},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("layout %d should be invalid: %+v", i, l)
+		}
+	}
+}
+
+func TestLayoutGroups(t *testing.T) {
+	l := Layout{Pairs: 33, M: 8, N: 16, Lanes: 32, S: 5}
+	if l.Groups() != 2 {
+		t.Errorf("Groups = %d, want 2", l.Groups())
+	}
+	if l.LaneBytes() != 4 {
+		t.Errorf("LaneBytes = %d", l.LaneBytes())
+	}
+	l.Lanes = 64
+	if l.Groups() != 1 || l.LaneBytes() != 8 {
+		t.Error("64-lane layout derived values wrong")
+	}
+}
+
+func TestAllocBuffers(t *testing.T) {
+	d := cudasim.NewDevice(perfmodel.TitanX, 1<<20)
+	l := Layout{Pairs: 64, M: 16, N: 64, Lanes: 32, S: 6}
+	b, err := AllocBuffers(d, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.XWord.Size() != 64*16 || b.YWord.Size() != 64*64 {
+		t.Error("wordwise buffer sizes wrong")
+	}
+	if b.XH.Size() != 2*16*4 { // 2 groups × m × 4 bytes
+		t.Errorf("XH size = %d", b.XH.Size())
+	}
+	if b.ScorePlanes.Size() != 2*6*4 || b.Scores.Size() != 2*32*4 {
+		t.Error("score buffer sizes wrong")
+	}
+	if _, err := AllocBuffers(d, Layout{}); err == nil {
+		t.Error("invalid layout should fail")
+	}
+	tiny := cudasim.NewDevice(perfmodel.TitanX, 64)
+	if _, err := AllocBuffers(tiny, l); err == nil {
+		t.Error("out-of-memory should fail")
+	}
+}
+
+func TestSWCellOpsConsistent(t *testing.T) {
+	// swCellOps = exact SW count + one extra running max.
+	for _, s := range []int{4, 8, 9, 12} {
+		var sw, maxB int
+		for _, r := range bitslice.OpCounts(s, 2) {
+			switch r.Name {
+			case "SW":
+				sw = r.Ours
+			case "max_B":
+				maxB = r.Ours
+			}
+		}
+		if got := swCellOps(s); got != sw+maxB {
+			t.Errorf("s=%d: swCellOps = %d, want %d", s, got, sw+maxB)
+		}
+	}
+}
+
+func TestRegisterFootprints(t *testing.T) {
+	if SWARegs(9, 32) >= SWARegs(9, 64) {
+		t.Error("64-lane SWA kernel should use more registers")
+	}
+	if SWARegs(9, 64) != (4*9+4)*2+16 {
+		t.Errorf("SWARegs(9,64) = %d", SWARegs(9, 64))
+	}
+	if TransposeRegs(64) <= TransposeRegs(32) {
+		t.Error("64-lane transpose should use more registers")
+	}
+	if WordwiseRegs >= SWARegs(9, 32) {
+		t.Error("wordwise kernel should be the lightest on registers")
+	}
+}
+
+func TestW2BKernelGrid(t *testing.T) {
+	l := Layout{Pairs: 64, M: 128, N: 1024, Lanes: 32, S: 9}
+	kx := &W2BKernel[uint32]{L: l, Length: l.M}
+	if kx.Columns() != 2*128 {
+		t.Errorf("Columns = %d", kx.Columns())
+	}
+	if kx.GridDim() != 1 {
+		t.Errorf("GridDim = %d, want 1", kx.GridDim())
+	}
+	ky := &W2BKernel[uint32]{L: l, Length: l.N}
+	if ky.GridDim() != 2 {
+		t.Errorf("Y GridDim = %d, want 2 (2048 columns)", ky.GridDim())
+	}
+	kb := &B2WKernel[uint32]{L: l}
+	if kb.GridDim() != 1 {
+		t.Errorf("B2W GridDim = %d", kb.GridDim())
+	}
+}
+
+// TestSWAKernelSharedFitsPaperConfig verifies the paper configuration's
+// shared-memory demand fits the 48 KiB block limit: m=128 threads × s=9
+// planes × 2 buffers = 2304 words ≈ 9 KiB for 32-bit lanes, 18 KiB for
+// 64-bit lanes.
+func TestSWAKernelSharedFitsPaperConfig(t *testing.T) {
+	words32 := 128 * 9 * 2 // dBuf + rBuf
+	if words32*4 > 48*1024 {
+		t.Fatalf("32-lane shared demand %d bytes exceeds 48KiB", words32*4)
+	}
+	words64 := words32 * 2
+	if words64*4 > 48*1024 {
+		t.Fatalf("64-lane shared demand %d bytes exceeds 48KiB", words64*4)
+	}
+}

@@ -1,0 +1,161 @@
+// Package kernels implements the paper's CUDA kernels (§V) on the cudasim
+// substrate: the W2B bit-transpose kernel (Step 2), the BPBC wavefront
+// Smith-Waterman kernel (Step 3), the B2W untranspose kernel (Step 4), and
+// the conventional wordwise wavefront kernel used as the GPU baseline in
+// Table IV. Each kernel is functionally exact (scores validate against the
+// CPU reference) and charges its precise operation and memory costs to the
+// simulator, from which perfmodel derives Table IV's GPU columns.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/bitslice"
+	"repro/internal/cudasim"
+	"repro/internal/word"
+)
+
+// Layout describes how a batch of pairs is arranged in device memory.
+//
+// Wordwise inputs are pair-major bytes: X character i of pair p lives at
+// byte p*M+i (and correspondingly for Y). Bit-transposed arrays are
+// group-major words: column i of group g lives at word g*M+i. Score planes
+// are group-major: plane h of group g at word g*S+h. Untransposed scores
+// are one word per pair.
+type Layout struct {
+	Pairs int // number of (X, Y) pairs
+	M     int // pattern length
+	N     int // text length
+	Lanes int // 32 or 64
+	S     int // score bit width
+}
+
+// Groups returns the number of lane groups.
+func (l Layout) Groups() int { return (l.Pairs + l.Lanes - 1) / l.Lanes }
+
+// LaneBytes returns the byte width of a lane word.
+func (l Layout) LaneBytes() int { return l.Lanes / 8 }
+
+// Validate checks the layout.
+func (l Layout) Validate() error {
+	if l.Pairs <= 0 || l.M <= 0 || l.N < l.M {
+		return fmt.Errorf("kernels: invalid layout %+v", l)
+	}
+	if l.Lanes != 32 && l.Lanes != 64 {
+		return fmt.Errorf("kernels: lanes must be 32 or 64, got %d", l.Lanes)
+	}
+	if l.S < 1 || l.S > l.Lanes {
+		return fmt.Errorf("kernels: S=%d out of range", l.S)
+	}
+	if l.M > 1024 {
+		return fmt.Errorf("kernels: m=%d exceeds the 1024-thread block limit", l.M)
+	}
+	return nil
+}
+
+// Buffers aggregates the device allocations of one batch.
+type Buffers struct {
+	XWord, YWord   cudasim.Buf // wordwise chars, 1 byte each, pair-major
+	XH, XL, YH, YL cudasim.Buf // bit-transposed columns, group-major words
+	ScorePlanes    cudasim.Buf // G*S words
+	Scores         cudasim.Buf // Groups*Lanes words (one per lane slot)
+}
+
+// AllocBuffers reserves all device buffers for a layout.
+func AllocBuffers(d *cudasim.Device, l Layout) (*Buffers, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	lb := int64(l.LaneBytes())
+	g := int64(l.Groups())
+	var b Buffers
+	var err error
+	alloc := func(dst *cudasim.Buf, n int64) {
+		if err != nil {
+			return
+		}
+		*dst, err = d.Alloc(n)
+	}
+	alloc(&b.XWord, int64(l.Pairs)*int64(l.M))
+	alloc(&b.YWord, int64(l.Pairs)*int64(l.N))
+	alloc(&b.XH, g*int64(l.M)*lb)
+	alloc(&b.XL, g*int64(l.M)*lb)
+	alloc(&b.YH, g*int64(l.N)*lb)
+	alloc(&b.YL, g*int64(l.N)*lb)
+	alloc(&b.ScorePlanes, g*int64(l.S)*lb)
+	alloc(&b.Scores, g*int64(l.Lanes)*lb)
+	if err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// loadW / storeW adapt the 32/64-bit global accessors to the generic lane
+// word type.
+func loadW[W word.Word](t *cudasim.Thread, buf cudasim.Buf, idx int64) W {
+	if word.Lanes[W]() == 64 {
+		return W(t.GlobalLoad64(buf, idx))
+	}
+	return W(t.GlobalLoad32(buf, idx))
+}
+
+func storeW[W word.Word](t *cudasim.Thread, buf cudasim.Buf, idx int64, v W) {
+	if word.Lanes[W]() == 64 {
+		t.GlobalStore64(buf, idx, uint64(v))
+	} else {
+		t.GlobalStore32(buf, idx, uint32(v))
+	}
+}
+
+// sharedStoreW/LoadW move a lane word through shared memory, as 1 or 2
+// 32-bit bank accesses depending on width.
+func sharedStoreW[W word.Word](t *cudasim.Thread, arr cudasim.SharedArr, idx int, v W) {
+	if word.Lanes[W]() == 64 {
+		t.SharedStore(arr, 2*idx, uint32(uint64(v)))
+		t.SharedStore(arr, 2*idx+1, uint32(uint64(v)>>32))
+	} else {
+		t.SharedStore(arr, idx, uint32(v))
+	}
+}
+
+func sharedLoadW[W word.Word](t *cudasim.Thread, arr cudasim.SharedArr, idx int) W {
+	if word.Lanes[W]() == 64 {
+		lo := t.SharedLoad(arr, 2*idx)
+		hi := t.SharedLoad(arr, 2*idx+1)
+		return W(uint64(lo) | uint64(hi)<<32)
+	}
+	return W(t.SharedLoad(arr, idx))
+}
+
+// swCellOps returns the exact bitwise-operation count of one SW cell update
+// including the running-max merge, matching what the kernels charge.
+func swCellOps(s int) int {
+	rows := bitslice.OpCounts(s, 2)
+	var sw, maxB int
+	for _, r := range rows {
+		switch r.Name {
+		case "SW":
+			sw = r.Ours
+		case "max_B":
+			maxB = r.Ours
+		}
+	}
+	return sw + maxB
+}
+
+// SWARegs estimates the SWA kernel's per-thread register footprint in
+// 32-bit registers: the paper's 4s+4 lane words of cell state (×2 for
+// 64-bit lanes) plus loop/addressing temporaries.
+func SWARegs(s, lanes int) int {
+	wordsPer := lanes / 32
+	return (4*s+4)*wordsPer + 16
+}
+
+// TransposeRegs estimates the W2B/B2W kernels' footprint: one full lane
+// column held in registers plus temporaries.
+func TransposeRegs(lanes int) int {
+	return lanes*(lanes/32) + 16
+}
+
+// WordwiseRegs is the integer baseline kernel's footprint.
+const WordwiseRegs = 24

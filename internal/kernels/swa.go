@@ -1,0 +1,246 @@
+package kernels
+
+import (
+	"repro/internal/bitslice"
+	"repro/internal/cudasim"
+	"repro/internal/word"
+)
+
+// SWAKernel is the paper's Step-3 kernel: one CUDA block per lane group,
+// m threads; thread i owns row i of all Lanes scoring matrices at once and
+// the wavefront advances one anti-diagonal per step (Figure 2). Cell values
+// are bit-sliced s-plane numbers held in registers; the d[i][j] handoff to
+// thread i+1 goes through shared memory, and the running row maxima are
+// merged down the thread chain as each row finishes (§V, steps 1-5).
+//
+// With UseShuffle set, the handoff between threads of the same warp uses
+// register shuffles instead of shared memory — the optimisation §V proposes
+// ("shuffle operations can be employed to transfer values among threads in
+// the same warp, thus reducing the number of read and write operations to
+// the shared memory"); only warp-boundary threads still cross shared
+// memory. Results are bit-identical either way (tested); only the cost
+// profile changes.
+type SWAKernel[W word.Word] struct {
+	L          Layout
+	B          *Buffers
+	Par        bitslice.Params
+	UseShuffle bool
+}
+
+type swaThreadState[W word.Word] struct {
+	xH, xL  W
+	left    bitslice.Num[W] // d[i][j-1]
+	diag    bitslice.Num[W] // d[i-1][j-1]
+	up      bitslice.Num[W] // d[i-1][j]
+	cur     bitslice.Num[W] // d[i][j]
+	r       bitslice.Num[W] // running max of row i (merged down the chain)
+	scratch *bitslice.Scratch[W]
+}
+
+// RunBlock implements cudasim.Kernel.
+func (k *SWAKernel[W]) RunBlock(b *cudasim.Block) {
+	g := b.Idx
+	m, n, s := k.L.M, k.L.N, k.Par.S
+	lanes := k.L.Lanes
+	wordsPer := 1
+	if lanes == 64 {
+		wordsPer = 2
+	}
+	// 64-bit logic operations issue as two 32-bit instructions on the
+	// paper's hardware; charge word operations by lane width.
+	cellOps := swCellOps(s) * wordsPer
+	mergeOps := (9*s - 2) * wordsPer
+
+	// Shared memory: the d handoff buffer and the running-max chain.
+	dBuf := b.SharedAlloc(m * s * wordsPer)
+	rBuf := b.SharedAlloc(m * s * wordsPer)
+
+	st := make([]swaThreadState[W], m)
+
+	// Step 1 of §V: each thread reads its fixed pattern character once.
+	b.ForEachThread(func(t *cudasim.Thread) {
+		i := t.Tid
+		st[i].xH = loadW[W](t, k.B.XH, int64(g)*int64(m)+int64(i))
+		st[i].xL = loadW[W](t, k.B.XL, int64(g)*int64(m)+int64(i))
+		st[i].left = bitslice.NewNum[W](s)
+		st[i].diag = bitslice.NewNum[W](s)
+		st[i].up = bitslice.NewNum[W](s)
+		st[i].cur = bitslice.NewNum[W](s)
+		st[i].r = bitslice.NewNum[W](s)
+		st[i].scratch = bitslice.NewScratch[W](s)
+	})
+	b.Sync()
+
+	for step := 0; step <= n+m-2; step++ {
+		// Phase A: every thread on the wavefront computes its cell,
+		// publishes it for its lower neighbour, and handles the row-max
+		// chain when it finishes its row.
+		b.ForEachThread(func(t *cudasim.Thread) {
+			i := t.Tid
+			j := step - i
+			if j < 0 || j >= n {
+				return
+			}
+			ts := &st[i]
+			yH := loadW[W](t, k.B.YH, int64(g)*int64(n)+int64(j))
+			yL := loadW[W](t, k.B.YL, int64(g)*int64(n)+int64(j))
+			e := bitslice.MismatchMask(ts.xH, ts.xL, yH, yL)
+			bitslice.SWCell(ts.cur, ts.up, ts.left, ts.diag, e, k.Par, ts.scratch)
+			bitslice.Max(ts.r, ts.r, ts.cur)
+			t.Ops(cellOps)
+
+			if i < m-1 && (!k.UseShuffle || (i+1)%warpSize == 0) {
+				// Publish for the lower neighbour; with shuffles enabled
+				// only warp-boundary handoffs need shared memory.
+				for h := 0; h < s; h++ {
+					sharedStoreW(t, dBuf, i*s+h, ts.cur[h])
+				}
+			}
+			// Register renaming for the next column: the value just
+			// computed becomes "left"; the neighbour value consumed this
+			// step becomes "diag".
+			ts.left, ts.cur = ts.cur, ts.left
+			ts.diag, ts.up = ts.up, ts.diag
+
+			// §V step 5: when the row is finished, merge the running max
+			// arriving from above and pass it on (or write the result).
+			if j == n-1 {
+				if i > 0 {
+					tmp := bitslice.NewNum[W](s)
+					for h := 0; h < s; h++ {
+						tmp[h] = sharedLoadW[W](t, rBuf, (i-1)*s+h)
+					}
+					bitslice.Max(ts.r, ts.r, tmp)
+					t.Ops(mergeOps)
+				}
+				if i < m-1 {
+					for h := 0; h < s; h++ {
+						sharedStoreW(t, rBuf, i*s+h, ts.r[h])
+					}
+				} else {
+					for h := 0; h < s; h++ {
+						storeW(t, k.B.ScorePlanes, int64(g)*int64(s)+int64(h), ts.r[h])
+					}
+				}
+			}
+		})
+		b.Sync()
+
+		// Phase B: threads that will compute at step+1 fetch their upper
+		// neighbour's fresh value.
+		b.ForEachThread(func(t *cudasim.Thread) {
+			i := t.Tid
+			if i == 0 {
+				return // row 0's upper neighbour is the zero border
+			}
+			j := step + 1 - i
+			if j < 0 || j >= n {
+				return
+			}
+			ts := &st[i]
+			if k.UseShuffle && i%warpSize != 0 {
+				// __shfl_up within the warp: thread i-1's value of this
+				// step sits in its "left" register after renaming. One
+				// shuffle instruction per 32-bit word.
+				copy(ts.up, st[i-1].left)
+				t.Ops(s * wordsPer)
+				return
+			}
+			for h := 0; h < s; h++ {
+				ts.up[h] = sharedLoadW[W](t, dBuf, (i-1)*s+h)
+			}
+		})
+		b.Sync()
+	}
+}
+
+// warpSize mirrors the paper hardware's warp width for the shuffle path.
+const warpSize = 32
+
+// WordwiseKernel is the conventional GPU baseline of Table IV: one block per
+// pair, m threads, the same wavefront schedule, but each cell is a plain
+// 32-bit integer.
+type WordwiseKernel struct {
+	L      Layout
+	B      *Buffers // Scores receives one int32 per pair at word slots 0..Pairs-1
+	Match  int32
+	Mismat int32
+	Gap    int32
+}
+
+// WordwiseCellOps is the per-cell instruction charge of the wordwise
+// baseline. Unlike the bit-sliced kernel — whose hundreds of logic
+// operations amortise loop and addressing overhead — a wordwise cell is a
+// handful of arithmetic instructions wrapped in the same loop machinery, so
+// the charge includes index arithmetic, predication and the max cascade.
+const WordwiseCellOps = 24
+
+// RunBlock implements cudasim.Kernel.
+func (k *WordwiseKernel) RunBlock(b *cudasim.Block) {
+	pair := b.Idx
+	m, n := k.L.M, k.L.N
+
+	dBuf := b.SharedAlloc(m) // d[i][j] handoff
+	rBuf := b.SharedAlloc(m) // running-max chain
+	type state struct {
+		x                    uint8
+		left, diag, up, rmax int32
+	}
+	st := make([]state, m)
+	b.ForEachThread(func(t *cudasim.Thread) {
+		i := t.Tid
+		st[i].x = t.GlobalLoad8(k.B.XWord, int64(pair)*int64(m)+int64(i))
+	})
+	b.Sync()
+
+	for step := 0; step <= n+m-2; step++ {
+		b.ForEachThread(func(t *cudasim.Thread) {
+			i := t.Tid
+			j := step - i
+			if j < 0 || j >= n {
+				return
+			}
+			ts := &st[i]
+			y := t.GlobalLoad8(k.B.YWord, int64(pair)*int64(n)+int64(j))
+			w := -k.Mismat
+			if y == ts.x {
+				w = k.Match
+			}
+			v := max(0, ts.up-k.Gap, ts.left-k.Gap, ts.diag+w)
+			t.Ops(WordwiseCellOps)
+			if v > ts.rmax {
+				ts.rmax = v
+			}
+			if i < m-1 {
+				t.SharedStore(dBuf, i, uint32(v))
+			}
+			ts.left = v
+			ts.diag = ts.up
+			if j == n-1 {
+				if i > 0 {
+					if prev := int32(t.SharedLoad(rBuf, i-1)); prev > ts.rmax {
+						ts.rmax = prev
+					}
+				}
+				if i < m-1 {
+					t.SharedStore(rBuf, i, uint32(ts.rmax))
+				} else {
+					t.GlobalStore32(k.B.Scores, int64(pair), uint32(ts.rmax))
+				}
+			}
+		})
+		b.Sync()
+		b.ForEachThread(func(t *cudasim.Thread) {
+			i := t.Tid
+			if i == 0 {
+				return
+			}
+			j := step + 1 - i
+			if j < 0 || j >= n {
+				return
+			}
+			st[i].up = int32(t.SharedLoad(dBuf, i-1))
+		})
+		b.Sync()
+	}
+}

@@ -1,0 +1,174 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/bitslice"
+	"repro/internal/cudasim"
+	"repro/internal/dna"
+	"repro/internal/perfmodel"
+	"repro/internal/swa"
+	"repro/internal/word"
+)
+
+// runSWAKernel assembles the device state by hand and launches the Step-3
+// kernel directly (the pipeline package tests the integrated flow; this
+// test pins the kernel in isolation).
+func runSWAKernel[W word.Word](t *testing.T, pairs []dna.Pair, useShuffle bool) []int {
+	t.Helper()
+	lanes := word.Lanes[W]()
+	m, n := len(pairs[0].X), len(pairs[0].Y)
+	par := bitslice.Params{
+		S:     bitslice.RequiredBits(2, m),
+		Match: 2, Mismatch: 1, Gap: 1,
+	}
+	l := Layout{Pairs: len(pairs), M: m, N: n, Lanes: lanes, S: par.S}
+	dev := cudasim.NewDevice(perfmodel.TitanX, 4<<20)
+	bufs, err := AllocBuffers(dev, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Host-side transpose straight into the device buffers.
+	stageX := make([]byte, bufs.XH.Size())
+	stageXL := make([]byte, bufs.XL.Size())
+	stageY := make([]byte, bufs.YH.Size())
+	stageYL := make([]byte, bufs.YL.Size())
+	for g := 0; g < l.Groups(); g++ {
+		lo := g * lanes
+		hi := min(lo+lanes, len(pairs))
+		xs := make([]dna.Seq, hi-lo)
+		ys := make([]dna.Seq, hi-lo)
+		for i := lo; i < hi; i++ {
+			xs[i-lo] = pairs[i].X
+			ys[i-lo] = pairs[i].Y
+		}
+		if lanes == 64 {
+			tx, _ := dna.TransposeGroupNaive[uint64](xs)
+			ty, _ := dna.TransposeGroupNaive[uint64](ys)
+			for i := 0; i < m; i++ {
+				binary.LittleEndian.PutUint64(stageX[(g*m+i)*8:], tx.H[i])
+				binary.LittleEndian.PutUint64(stageXL[(g*m+i)*8:], tx.L[i])
+			}
+			for j := 0; j < n; j++ {
+				binary.LittleEndian.PutUint64(stageY[(g*n+j)*8:], ty.H[j])
+				binary.LittleEndian.PutUint64(stageYL[(g*n+j)*8:], ty.L[j])
+			}
+		} else {
+			tx, _ := dna.TransposeGroupNaive[uint32](xs)
+			ty, _ := dna.TransposeGroupNaive[uint32](ys)
+			for i := 0; i < m; i++ {
+				binary.LittleEndian.PutUint32(stageX[(g*m+i)*4:], tx.H[i])
+				binary.LittleEndian.PutUint32(stageXL[(g*m+i)*4:], tx.L[i])
+			}
+			for j := 0; j < n; j++ {
+				binary.LittleEndian.PutUint32(stageY[(g*n+j)*4:], ty.H[j])
+				binary.LittleEndian.PutUint32(stageYL[(g*n+j)*4:], ty.L[j])
+			}
+		}
+	}
+	for _, c := range []struct {
+		buf  cudasim.Buf
+		data []byte
+	}{{bufs.XH, stageX}, {bufs.XL, stageXL}, {bufs.YH, stageY}, {bufs.YL, stageYL}} {
+		if err := dev.MemcpyHtoD(c.buf, c.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	k := &SWAKernel[W]{L: l, B: bufs, Par: par, UseShuffle: useShuffle}
+	if _, err := dev.Launch(l.Groups(), m, k); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read the score planes and untranspose host-side.
+	raw := make([]byte, bufs.ScorePlanes.Size())
+	if err := dev.MemcpyDtoH(raw, bufs.ScorePlanes); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, len(pairs))
+	for g := 0; g < l.Groups(); g++ {
+		num := bitslice.NewNum[W](par.S)
+		for h := 0; h < par.S; h++ {
+			if lanes == 64 {
+				num[h] = W(binary.LittleEndian.Uint64(raw[(g*par.S+h)*8:]))
+			} else {
+				num[h] = W(binary.LittleEndian.Uint32(raw[(g*par.S+h)*4:]))
+			}
+		}
+		for kk := 0; kk < lanes && g*lanes+kk < len(pairs); kk++ {
+			out[g*lanes+kk] = int(num.Get(kk))
+		}
+	}
+	return out
+}
+
+func TestSWAKernelDirect32(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	pairs := dna.PlantedPairs(rng, 40, 16, 64, 0.5, dna.MutationModel{SubRate: 0.1})
+	for _, shuffle := range []bool{false, true} {
+		got := runSWAKernel[uint32](t, pairs, shuffle)
+		for i, p := range pairs {
+			want := swa.Score(p.X, p.Y, swa.PaperScoring)
+			if got[i] != want {
+				t.Fatalf("shuffle=%v pair %d: kernel %d, reference %d", shuffle, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestSWAKernelDirect64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	pairs := dna.RandomPairs(rng, 70, 12, 48)
+	got := runSWAKernel[uint64](t, pairs, true)
+	for i, p := range pairs {
+		want := swa.Score(p.X, p.Y, swa.PaperScoring)
+		if got[i] != want {
+			t.Fatalf("pair %d: kernel %d, reference %d", i, got[i], want)
+		}
+	}
+}
+
+func TestWordwiseKernelDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	pairs := dna.RandomPairs(rng, 20, 10, 40)
+	m, n := 10, 40
+	l := Layout{Pairs: len(pairs), M: m, N: n, Lanes: 32, S: 6}
+	dev := cudasim.NewDevice(perfmodel.TitanX, 1<<20)
+	bufs, err := AllocBuffers(dev, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb := make([]byte, len(pairs)*m)
+	yb := make([]byte, len(pairs)*n)
+	for p, pr := range pairs {
+		for i, c := range pr.X {
+			xb[p*m+i] = byte(c)
+		}
+		for j, c := range pr.Y {
+			yb[p*n+j] = byte(c)
+		}
+	}
+	if err := dev.MemcpyHtoD(bufs.XWord, xb); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.MemcpyHtoD(bufs.YWord, yb); err != nil {
+		t.Fatal(err)
+	}
+	k := &WordwiseKernel{L: l, B: bufs, Match: 2, Mismat: 1, Gap: 1}
+	if _, err := dev.Launch(len(pairs), m, k); err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 4*len(pairs))
+	if err := dev.MemcpyDtoH(raw, bufs.Scores); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		got := int(binary.LittleEndian.Uint32(raw[i*4:]))
+		if want := swa.Score(p.X, p.Y, swa.PaperScoring); got != want {
+			t.Fatalf("pair %d: kernel %d, reference %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package kernels
+
+import (
+	"repro/internal/bitmat"
+	"repro/internal/cudasim"
+	"repro/internal/word"
+)
+
+// TransposeThreads is the block size the paper uses for the W2B and B2W
+// kernels ("CUDA blocks of 1024 threads each to maximize occupancy").
+const TransposeThreads = 1024
+
+// W2BKernel is the paper's Step-2 kernel: each thread bit-transposes one
+// character column — the Lanes characters that the group's sequences carry
+// at one position — using the s=2 specialised transpose (127 operations on
+// 32 lanes, Table I), producing one high-plane and one low-plane word.
+type W2BKernel[W word.Word] struct {
+	L      Layout
+	Src    cudasim.Buf // wordwise chars, pair-major bytes
+	DstH   cudasim.Buf
+	DstL   cudasim.Buf
+	Length int // M for the pattern array, N for the text array
+}
+
+// Columns returns the total thread count needed.
+func (k *W2BKernel[W]) Columns() int { return k.L.Groups() * k.Length }
+
+// GridDim returns the number of blocks for the launch.
+func (k *W2BKernel[W]) GridDim() int {
+	return (k.Columns() + TransposeThreads - 1) / TransposeThreads
+}
+
+// RunBlock implements cudasim.Kernel.
+func (k *W2BKernel[W]) RunBlock(b *cudasim.Block) {
+	lanes := k.L.Lanes
+	plan := bitmat.CachedPlan(lanes, 2, bitmat.ValuesToPlanes)
+	ops := plan.Counts().BitOps() * (lanes / 32) // 64-bit ops issue as two instructions
+	cols := k.Columns()
+	col := make([]W, lanes)
+	b.ForEachThread(func(t *cudasim.Thread) {
+		c := b.Idx*TransposeThreads + t.Tid
+		if c >= cols {
+			return
+		}
+		g := c / k.Length
+		i := c % k.Length
+		for kk := 0; kk < lanes; kk++ {
+			pair := g*lanes + kk
+			if pair < k.L.Pairs {
+				col[kk] = W(t.GlobalLoad8(k.Src, int64(pair)*int64(k.Length)+int64(i)))
+			} else {
+				col[kk] = 0 // padding lane
+			}
+		}
+		bitmat.Apply(plan, col)
+		t.Ops(ops)
+		storeW(t, k.DstL, int64(g)*int64(k.Length)+int64(i), col[0])
+		storeW(t, k.DstH, int64(g)*int64(k.Length)+int64(i), col[1])
+	})
+}
+
+// B2WKernel is the paper's Step-4 kernel: each thread un-transposes one
+// group's s score planes back into Lanes wordwise integers.
+type B2WKernel[W word.Word] struct {
+	L Layout
+	B *Buffers
+}
+
+// GridDim returns the number of blocks for the launch.
+func (k *B2WKernel[W]) GridDim() int {
+	return (k.L.Groups() + TransposeThreads - 1) / TransposeThreads
+}
+
+// RunBlock implements cudasim.Kernel.
+func (k *B2WKernel[W]) RunBlock(b *cudasim.Block) {
+	lanes := k.L.Lanes
+	s := k.L.S
+	plan := bitmat.CachedPlan(lanes, s, bitmat.PlanesToValues)
+	ops := (plan.Counts().BitOps() + lanes) * (lanes / 32) // plan + masking, 2x for 64-bit words
+	groups := k.L.Groups()
+	a := make([]W, lanes)
+	b.ForEachThread(func(t *cudasim.Thread) {
+		g := b.Idx*TransposeThreads + t.Tid
+		if g >= groups {
+			return
+		}
+		for i := range a {
+			a[i] = 0
+		}
+		for h := 0; h < s; h++ {
+			a[h] = loadW[W](t, k.B.ScorePlanes, int64(g)*int64(s)+int64(h))
+		}
+		bitmat.Apply(plan, a)
+		bitmat.MaskValues(a, s)
+		t.Ops(ops)
+		for kk := 0; kk < lanes; kk++ {
+			storeW(t, k.B.Scores, int64(g)*int64(lanes)+int64(kk), a[kk])
+		}
+	})
+}

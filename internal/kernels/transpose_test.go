@@ -1,0 +1,119 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/cudasim"
+	"repro/internal/dna"
+	"repro/internal/perfmodel"
+)
+
+// TestW2BKernelMatchesHostTranspose runs the Step-2 kernel standalone and
+// compares every output word with the host-side transpose.
+func TestW2BKernelMatchesHostTranspose(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	l := Layout{Pairs: 70, M: 24, N: 96, Lanes: 32, S: 6}
+	dev := cudasim.NewDevice(perfmodel.TitanX, 1<<20)
+	bufs, err := AllocBuffers(dev, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqs := make([]dna.Seq, l.Pairs)
+	host := make([]byte, l.Pairs*l.M)
+	for p := range seqs {
+		seqs[p] = dna.RandSeq(rng, l.M)
+		for i, c := range seqs[p] {
+			host[p*l.M+i] = byte(c)
+		}
+	}
+	if err := dev.MemcpyHtoD(bufs.XWord, host); err != nil {
+		t.Fatal(err)
+	}
+
+	k := &W2BKernel[uint32]{L: l, Src: bufs.XWord, DstH: bufs.XH, DstL: bufs.XL, Length: l.M}
+	stats, err := dev.Launch(k.GridDim(), TransposeThreads, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ALUOps == 0 || stats.GlobalLoadBytes == 0 {
+		t.Error("kernel stats empty")
+	}
+
+	rawH := make([]byte, bufs.XH.Size())
+	rawL := make([]byte, bufs.XL.Size())
+	if err := dev.MemcpyDtoH(rawH, bufs.XH); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.MemcpyDtoH(rawL, bufs.XL); err != nil {
+		t.Fatal(err)
+	}
+
+	for g := 0; g < l.Groups(); g++ {
+		lo := g * l.Lanes
+		hi := min(lo+l.Lanes, l.Pairs)
+		want, err := dna.TransposeGroupNaive[uint32](seqs[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < l.M; i++ {
+			idx := (g*l.M + i) * 4
+			gotH := binary.LittleEndian.Uint32(rawH[idx:])
+			gotL := binary.LittleEndian.Uint32(rawL[idx:])
+			if gotH != want.H[i] || gotL != want.L[i] {
+				t.Fatalf("group %d col %d: kernel (%#x,%#x), host (%#x,%#x)",
+					g, i, gotH, gotL, want.H[i], want.L[i])
+			}
+		}
+	}
+}
+
+// TestB2WKernelInvertsPlanes writes known score planes and checks the
+// Step-4 kernel recovers the wordwise values.
+func TestB2WKernelInvertsPlanes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	l := Layout{Pairs: 64, M: 8, N: 16, Lanes: 32, S: 6}
+	dev := cudasim.NewDevice(perfmodel.TitanX, 1<<20)
+	bufs, err := AllocBuffers(dev, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per group, choose 32 scores, build their planes host-side.
+	scores := make([]uint32, l.Pairs)
+	planes := make([]byte, bufs.ScorePlanes.Size())
+	for p := range scores {
+		scores[p] = rng.Uint32() & 63
+	}
+	for g := 0; g < l.Groups(); g++ {
+		for h := 0; h < l.S; h++ {
+			var plane uint32
+			for k := 0; k < l.Lanes; k++ {
+				if scores[g*l.Lanes+k]>>uint(h)&1 != 0 {
+					plane |= 1 << uint(k)
+				}
+			}
+			binary.LittleEndian.PutUint32(planes[(g*l.S+h)*4:], plane)
+		}
+	}
+	if err := dev.MemcpyHtoD(bufs.ScorePlanes, planes); err != nil {
+		t.Fatal(err)
+	}
+
+	k := &B2WKernel[uint32]{L: l, B: bufs}
+	if _, err := dev.Launch(k.GridDim(), TransposeThreads, k); err != nil {
+		t.Fatal(err)
+	}
+
+	raw := make([]byte, bufs.Scores.Size())
+	if err := dev.MemcpyDtoH(raw, bufs.Scores); err != nil {
+		t.Fatal(err)
+	}
+	for p, want := range scores {
+		if got := binary.LittleEndian.Uint32(raw[p*4:]); got != want {
+			t.Fatalf("pair %d: untransposed %d, want %d", p, got, want)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package life implements Conway's Game of Life with the BPBC technique,
+// exactly as the paper's §I describes its companion work: "a state of each
+// cell is stored in a bit of a 32-bit integer, and the combinational logic
+// circuit to compute the next state is simulated by bitwise logic
+// operations". One word operation advances 64 cells; the neighbour count is
+// accumulated with the same bit-sliced adder the Smith-Waterman engine uses
+// (internal/bitslice), making the "circuit simulation" framing concrete on
+// a second problem.
+package life
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+
+	"repro/internal/bitslice"
+)
+
+// Grid is a finite Life board with dead borders. Cells are packed one per
+// bit, 64 per word, row-major.
+type Grid struct {
+	w, h  int
+	words int // words per row
+	rows  [][]uint64
+}
+
+// NewGrid creates an empty w×h board.
+func NewGrid(w, h int) (*Grid, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("life: grid size %dx%d invalid", w, h)
+	}
+	g := &Grid{w: w, h: h, words: (w + 63) / 64}
+	g.rows = make([][]uint64, h)
+	for y := range g.rows {
+		g.rows[y] = make([]uint64, g.words)
+	}
+	return g, nil
+}
+
+// Width returns the board width.
+func (g *Grid) Width() int { return g.w }
+
+// Height returns the board height.
+func (g *Grid) Height() int { return g.h }
+
+// Get reports whether cell (x, y) is alive.
+func (g *Grid) Get(x, y int) bool {
+	if x < 0 || x >= g.w || y < 0 || y >= g.h {
+		return false
+	}
+	return g.rows[y][x/64]>>(uint(x)%64)&1 != 0
+}
+
+// Set forces cell (x, y) to v. Out-of-range coordinates panic.
+func (g *Grid) Set(x, y int, v bool) {
+	if x < 0 || x >= g.w || y < 0 || y >= g.h {
+		panic(fmt.Sprintf("life: Set(%d,%d) outside %dx%d grid", x, y, g.w, g.h))
+	}
+	m := uint64(1) << (uint(x) % 64)
+	if v {
+		g.rows[y][x/64] |= m
+	} else {
+		g.rows[y][x/64] &^= m
+	}
+}
+
+// Randomize fills the board with density-p noise.
+func (g *Grid) Randomize(rng *rand.Rand, p float64) {
+	for y := 0; y < g.h; y++ {
+		for x := 0; x < g.w; x++ {
+			g.Set(x, y, rng.Float64() < p)
+		}
+	}
+}
+
+// Population returns the number of live cells.
+func (g *Grid) Population() int {
+	n := 0
+	for y := 0; y < g.h; y++ {
+		for x := 0; x < g.w; x++ {
+			if g.Get(x, y) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Clone copies the board.
+func (g *Grid) Clone() *Grid {
+	c, _ := NewGrid(g.w, g.h)
+	for y := range g.rows {
+		copy(c.rows[y], g.rows[y])
+	}
+	return c
+}
+
+// Equal reports whether two boards have identical live cells.
+func (g *Grid) Equal(o *Grid) bool {
+	if g.w != o.w || g.h != o.h {
+		return false
+	}
+	for y := range g.rows {
+		for i := range g.rows[y] {
+			if g.rows[y][i] != o.rows[y][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the board with '#' for live cells.
+func (g *Grid) String() string {
+	var sb strings.Builder
+	for y := 0; y < g.h; y++ {
+		for x := 0; x < g.w; x++ {
+			if g.Get(x, y) {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// shiftLeft returns row shifted one cell toward lower x (bits move right),
+// carrying across word boundaries; dst must not alias row.
+func shiftLeft(dst, row []uint64) {
+	for i := range row {
+		v := row[i] >> 1
+		if i+1 < len(row) {
+			v |= row[i+1] << 63
+		}
+		dst[i] = v
+	}
+}
+
+// shiftRight returns row shifted one cell toward higher x.
+func shiftRight(dst, row []uint64, w int) {
+	for i := range row {
+		v := row[i] << 1
+		if i > 0 {
+			v |= row[i-1] >> 63
+		}
+		dst[i] = v
+	}
+	// Mask cells beyond the board width in the last word.
+	if rem := w % 64; rem != 0 {
+		dst[len(dst)-1] &= uint64(1)<<uint(rem) - 1
+	}
+}
+
+// Step advances the board one generation using the BPBC circuit: for every
+// word (64 cells) the eight neighbour bit vectors are accumulated with a
+// 4-plane bit-sliced adder, and the survival rule
+//
+//	alive' = (count == 3) | (alive & count == 2)
+//
+// is evaluated with plane logic — 64 cells per word operation.
+func (g *Grid) Step() {
+	const s = 4 // neighbour counts reach 8
+	next := make([][]uint64, g.h)
+	zeroRow := make([]uint64, g.words)
+	count := bitslice.NewNum[uint64](s)
+	one := bitslice.NewNum[uint64](s)
+
+	rowAt := func(y int) []uint64 {
+		if y < 0 || y >= g.h {
+			return zeroRow
+		}
+		return g.rows[y]
+	}
+
+	// Pre-shifted copies of the three stencil rows, refreshed per y.
+	shL := [3][]uint64{}
+	shR := [3][]uint64{}
+	for d := range shL {
+		shL[d] = make([]uint64, g.words)
+		shR[d] = make([]uint64, g.words)
+	}
+
+	var widthMask uint64 = ^uint64(0)
+	if rem := g.w % 64; rem != 0 {
+		widthMask = uint64(1)<<uint(rem) - 1
+	}
+
+	for y := 0; y < g.h; y++ {
+		next[y] = make([]uint64, g.words)
+		for d := 0; d < 3; d++ {
+			row := rowAt(y + d - 1)
+			shiftLeft(shL[d], row)
+			shiftRight(shR[d], row, g.w)
+		}
+		for i := 0; i < g.words; i++ {
+			count.Zero()
+			addNeighbour := func(bits uint64) {
+				one[0] = bits
+				bitslice.Add(count, count, one)
+			}
+			for d := 0; d < 3; d++ {
+				addNeighbour(shL[d][i])
+				addNeighbour(shR[d][i])
+				if d != 1 {
+					addNeighbour(rowAt(y + d - 1)[i])
+				}
+			}
+			// count == 3: planes 0b0011; count == 2: planes 0b0010.
+			is3 := count[0] & count[1] &^ count[2] &^ count[3]
+			is2 := ^count[0] & count[1] &^ count[2] &^ count[3]
+			alive := g.rows[y][i]
+			next[y][i] = is3 | (alive & is2)
+		}
+		next[y][g.words-1] &= widthMask
+	}
+	g.rows = next
+}
+
+// StepNaive is the cell-by-cell reference used to validate Step.
+func (g *Grid) StepNaive() {
+	next, _ := NewGrid(g.w, g.h)
+	for y := 0; y < g.h; y++ {
+		for x := 0; x < g.w; x++ {
+			n := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					if g.Get(x+dx, y+dy) {
+						n++
+					}
+				}
+			}
+			next.Set(x, y, n == 3 || (g.Get(x, y) && n == 2))
+		}
+	}
+	g.rows = next.rows
+}

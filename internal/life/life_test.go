@@ -1,0 +1,188 @@
+package life
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(0, 5); err == nil {
+		t.Error("zero width should fail")
+	}
+	if _, err := NewGrid(5, -1); err == nil {
+		t.Error("negative height should fail")
+	}
+	g, err := NewGrid(100, 40)
+	if err != nil || g.Width() != 100 || g.Height() != 40 {
+		t.Fatalf("grid creation: %v", err)
+	}
+}
+
+func TestGetSet(t *testing.T) {
+	g, _ := NewGrid(70, 10) // spans two words per row
+	g.Set(0, 0, true)
+	g.Set(69, 9, true)
+	g.Set(64, 5, true)
+	if !g.Get(0, 0) || !g.Get(69, 9) || !g.Get(64, 5) {
+		t.Error("Set/Get round trip failed")
+	}
+	if g.Get(-1, 0) || g.Get(0, -1) || g.Get(70, 0) || g.Get(0, 10) {
+		t.Error("out-of-range Get should be dead")
+	}
+	if g.Population() != 3 {
+		t.Errorf("population = %d", g.Population())
+	}
+	g.Set(0, 0, false)
+	if g.Get(0, 0) {
+		t.Error("clearing failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Set should panic")
+		}
+	}()
+	g.Set(70, 0, true)
+}
+
+func TestBlinkerOscillates(t *testing.T) {
+	g, _ := NewGrid(5, 5)
+	for x := 1; x <= 3; x++ {
+		g.Set(x, 2, true) // horizontal blinker
+	}
+	orig := g.Clone()
+	g.Step()
+	for y := 1; y <= 3; y++ {
+		if !g.Get(2, y) {
+			t.Fatalf("blinker should be vertical after one step:\n%s", g)
+		}
+	}
+	if g.Population() != 3 {
+		t.Fatalf("blinker population changed: %d", g.Population())
+	}
+	g.Step()
+	if !g.Equal(orig) {
+		t.Errorf("blinker period-2 failed:\n%s", g)
+	}
+}
+
+func TestBlockIsStill(t *testing.T) {
+	g, _ := NewGrid(6, 6)
+	for _, p := range [][2]int{{2, 2}, {3, 2}, {2, 3}, {3, 3}} {
+		g.Set(p[0], p[1], true)
+	}
+	orig := g.Clone()
+	for i := 0; i < 5; i++ {
+		g.Step()
+	}
+	if !g.Equal(orig) {
+		t.Errorf("block moved:\n%s", g)
+	}
+}
+
+func TestGliderTravels(t *testing.T) {
+	g, _ := NewGrid(20, 20)
+	// Standard glider heading down-right.
+	for _, p := range [][2]int{{1, 0}, {2, 1}, {0, 2}, {1, 2}, {2, 2}} {
+		g.Set(p[0], p[1], true)
+	}
+	start := g.Clone()
+	for i := 0; i < 4; i++ {
+		g.Step()
+	}
+	// After 4 generations a glider is the same shape shifted by (1, 1).
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if g.Get(x+1, y+1) != start.Get(x, y) {
+				t.Fatalf("glider not translated by (1,1) at (%d,%d):\n%s", x, y, g)
+			}
+		}
+	}
+}
+
+func TestStepMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 90))
+		w := 1 + rng.IntN(150) // force multi-word rows regularly
+		h := 1 + rng.IntN(20)
+		g, err := NewGrid(w, h)
+		if err != nil {
+			return false
+		}
+		g.Randomize(rng, 0.35)
+		fast := g.Clone()
+		slow := g.Clone()
+		for step := 0; step < 3; step++ {
+			fast.Step()
+			slow.StepNaive()
+			if !fast.Equal(slow) {
+				t.Logf("divergence at step %d (w=%d h=%d)", step, w, h)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordBoundaryNeighbours(t *testing.T) {
+	// A blinker straddling the bit-63/64 boundary exercises the cross-word
+	// carry in both shift directions.
+	g, _ := NewGrid(130, 5)
+	for x := 62; x <= 66; x++ {
+		g.Set(x, 2, x >= 63 && x <= 65)
+	}
+	ref := g.Clone()
+	g.Step()
+	ref.StepNaive()
+	if !g.Equal(ref) {
+		t.Errorf("cross-word stencil wrong:\n%s\nvs\n%s", g, ref)
+	}
+}
+
+func TestStringRender(t *testing.T) {
+	g, _ := NewGrid(3, 2)
+	g.Set(1, 0, true)
+	s := g.String()
+	if !strings.Contains(s, ".#.") {
+		t.Errorf("render wrong:\n%s", s)
+	}
+	if strings.Count(s, "\n") != 2 {
+		t.Error("row count wrong")
+	}
+}
+
+func TestEqualDifferentSizes(t *testing.T) {
+	a, _ := NewGrid(4, 4)
+	b, _ := NewGrid(5, 4)
+	if a.Equal(b) {
+		t.Error("different sizes compare equal")
+	}
+}
+
+func BenchmarkStepBPBC(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	g, _ := NewGrid(1024, 256)
+	g.Randomize(rng, 0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Step()
+	}
+	b.ReportMetric(float64(b.N)*1024*256/b.Elapsed().Seconds()/1e6, "Mcells/s")
+}
+
+func BenchmarkStepNaive(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	g, _ := NewGrid(1024, 256)
+	g.Randomize(rng, 0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.StepNaive()
+	}
+	b.ReportMetric(float64(b.N)*1024*256/b.Elapsed().Seconds()/1e6, "Mcells/s")
+}

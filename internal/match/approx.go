@@ -1,0 +1,79 @@
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/bitslice"
+	"repro/internal/dna"
+	"repro/internal/word"
+)
+
+// ApproxStraightforward counts, for every offset j, the number of mismatched
+// positions between X and Y[j:j+m] — the Hamming-distance profile used by
+// k-mismatch approximate matching.
+func ApproxStraightforward(x, y dna.Seq) ([]int, error) {
+	m, n := len(x), len(y)
+	if m == 0 || m > n {
+		return nil, fmt.Errorf("match: need 0 < len(x) <= len(y), got %d, %d", m, n)
+	}
+	d := make([]int, n-m+1)
+	for j := 0; j <= n-m; j++ {
+		for i := 0; i < m; i++ {
+			if x[i] != y[i+j] {
+				d[j]++
+			}
+		}
+	}
+	return d, nil
+}
+
+// ApproxResult holds per-offset mismatch counts in bit-sliced form: counts
+// is indexed by offset, and each entry is an s-plane number whose lane k is
+// the mismatch count of lane k at that offset.
+type ApproxResult[W word.Word] struct {
+	Counts []bitslice.Num[W]
+	S      int
+	Lanes  int
+}
+
+// CountAt returns lane k's mismatch count at offset j.
+func (r *ApproxResult[W]) CountAt(k, j int) int {
+	return int(r.Counts[j].Get(k))
+}
+
+// WithinK reports whether lane k's pattern matches at offset j with at most
+// kMax mismatches.
+func (r *ApproxResult[W]) WithinK(k, j, kMax int) bool {
+	return r.CountAt(k, j) <= kMax
+}
+
+// ApproxBulk runs k-mismatch matching for all lanes at once: for each offset
+// it accumulates the per-lane mismatch count with a bit-sliced increment,
+// using the same mismatch flag as the exact matcher. The counter width s is
+// chosen to hold m (the worst case of all positions mismatching).
+func ApproxBulk[W word.Word](xs, ys *dna.Transposed[W]) (*ApproxResult[W], error) {
+	m, n := xs.Len(), ys.Len()
+	if m == 0 || m > n {
+		return nil, fmt.Errorf("match: need 0 < m <= n, got %d, %d", m, n)
+	}
+	s := bitslice.RequiredBits(1, m)
+	res := &ApproxResult[W]{S: s, Lanes: word.Lanes[W]()}
+	res.Counts = make([]bitslice.Num[W], n-m+1)
+	for j := 0; j <= n-m; j++ {
+		count := bitslice.NewNum[W](s)
+		for i := 0; i < m; i++ {
+			e := bitslice.MismatchMask(xs.H[i], xs.L[i], ys.H[i+j], ys.L[i+j])
+			// Add the 1-bit value e to the counter: a conditional
+			// increment expressed as bit-sliced addition with a carry
+			// seeded by e.
+			carry := e
+			for h := 0; h < s && carry != 0; h++ {
+				nc := count[h] & carry
+				count[h] ^= carry
+				carry = nc
+			}
+		}
+		res.Counts[j] = count
+	}
+	return res, nil
+}

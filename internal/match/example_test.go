@@ -1,0 +1,43 @@
+package match_test
+
+import (
+	"fmt"
+
+	"repro/internal/dna"
+	"repro/internal/match"
+)
+
+// ExampleBulkSeqs runs the paper's §II four-lane worked example.
+func ExampleBulkSeqs() {
+	xs := []dna.Seq{
+		dna.MustParse("ATCGA"), dna.MustParse("TCGAC"),
+		dna.MustParse("AAAAA"), dna.MustParse("TTTTT"),
+	}
+	ys := []dna.Seq{
+		dna.MustParse("AATCGACA"), dna.MustParse("AATCGACA"),
+		dna.MustParse("AAAAAAAA"), dna.MustParse("AATTTTTT"),
+	}
+	res, err := match.BulkSeqs[uint32](xs, ys)
+	if err != nil {
+		panic(err)
+	}
+	for k := range xs {
+		fmt.Printf("lane %d: occurrences at %v\n", k, res.LaneOffsets(k))
+	}
+	// Output:
+	// lane 0: occurrences at [1]
+	// lane 1: occurrences at [2]
+	// lane 2: occurrences at [0 1 2 3]
+	// lane 3: occurrences at [2 3]
+}
+
+// ExampleStraightforward reproduces the §II prose example.
+func ExampleStraightforward() {
+	d, err := match.Straightforward(dna.MustParse("ATTCG"), dna.MustParse("AAATTCGGGA"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(d)
+	// Output:
+	// [1 1 0 1 1 1]
+}

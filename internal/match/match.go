@@ -1,0 +1,111 @@
+// Package match implements §II of the paper: the straightforward O(mn)
+// string-matching algorithm and its BPBC (bit-transpose, bitwise-parallel)
+// bulk counterpart that solves the same problem for all lanes of a word at
+// once, plus the k-mismatch (approximate matching) extension the paper
+// mentions as the natural generalisation. It exists both as the paper's
+// pedagogical introduction to BPBC and as an independently useful bulk
+// exact-match screen.
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/dna"
+	"repro/internal/word"
+)
+
+// Straightforward runs the paper's "[Straightforward string matching]":
+// d[j] = 0 iff X occurs in Y at offset j; otherwise d[j] = 1.
+// It returns the d array of length n-m+1. m must be <= n and positive.
+func Straightforward(x, y dna.Seq) ([]uint8, error) {
+	m, n := len(x), len(y)
+	if m == 0 || m > n {
+		return nil, fmt.Errorf("match: need 0 < len(x) <= len(y), got %d, %d", m, n)
+	}
+	d := make([]uint8, n-m+1)
+	for j := 0; j <= n-m; j++ {
+		for i := 0; i < m; i++ {
+			if x[i] != y[i+j] {
+				d[j] = 1
+			}
+		}
+	}
+	return d, nil
+}
+
+// Occurrences returns the offsets where X occurs exactly in Y.
+func Occurrences(x, y dna.Seq) ([]int, error) {
+	d, err := Straightforward(x, y)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for j, v := range d {
+		if v == 0 {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}
+
+// BulkResult is the outcome of a BPBC bulk match: D[j] holds, per lane, the
+// bit 0 iff that lane's pattern occurs at offset j in that lane's text.
+type BulkResult[W word.Word] struct {
+	D     []W
+	Count int // number of real lanes
+}
+
+// MatchAt reports whether lane k's pattern matches at offset j.
+func (r *BulkResult[W]) MatchAt(k, j int) bool {
+	return r.D[j]>>uint(k)&1 == 0
+}
+
+// LaneOffsets returns the match offsets for lane k.
+func (r *BulkResult[W]) LaneOffsets(k int) []int {
+	var out []int
+	for j := range r.D {
+		if r.MatchAt(k, j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Bulk runs the paper's "[BPBC straightforward string matching]" over up to
+// W lanes: xs and ys are the bit-transposed pattern and text groups (all
+// patterns length m, all texts length n). Each inner step costs 5 bitwise
+// operations regardless of lane count:
+//
+//	d[j] |= (xH[i] ^ yH[i+j]) | (xL[i] ^ yL[i+j])
+func Bulk[W word.Word](xs, ys *dna.Transposed[W]) (*BulkResult[W], error) {
+	m, n := xs.Len(), ys.Len()
+	if m == 0 || m > n {
+		return nil, fmt.Errorf("match: need 0 < m <= n, got %d, %d", m, n)
+	}
+	if xs.Count != ys.Count {
+		return nil, fmt.Errorf("match: pattern group has %d lanes, text group %d", xs.Count, ys.Count)
+	}
+	d := make([]W, n-m+1)
+	for j := 0; j <= n-m; j++ {
+		var dj W
+		for i := 0; i < m; i++ {
+			dj |= (xs.H[i] ^ ys.H[i+j]) | (xs.L[i] ^ ys.L[i+j])
+		}
+		d[j] = dj
+	}
+	return &BulkResult[W]{D: d, Count: xs.Count}, nil
+}
+
+// BulkSeqs is the convenience form of Bulk for wordwise inputs: it
+// bit-transposes the groups and runs the bulk match.
+func BulkSeqs[W word.Word](xs, ys []dna.Seq) (*BulkResult[W], error) {
+	tx, err := dna.TransposeGroup[W](xs)
+	if err != nil {
+		return nil, err
+	}
+	ty, err := dna.TransposeGroup[W](ys)
+	if err != nil {
+		return nil, err
+	}
+	return Bulk(tx, ty)
+}

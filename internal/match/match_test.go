@@ -1,0 +1,284 @@
+package match
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+)
+
+// TestPaperStringMatchingExample reproduces the §II prose example:
+// X=ATTCG, Y=AAATTCGGGA gives d = 110111 — read left to right as offsets
+// j = 0..5, i.e. d = [1,1,0,1,1,1]: the only occurrence is at j=2.
+func TestPaperStringMatchingExample(t *testing.T) {
+	x := dna.MustParse("ATTCG")
+	y := dna.MustParse("AAATTCGGGA")
+	d, err := Straightforward(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{1, 1, 0, 1, 1, 1}
+	if len(d) != len(want) {
+		t.Fatalf("len(d) = %d, want %d", len(d), len(want))
+	}
+	for j := range want {
+		if d[j] != want[j] {
+			t.Errorf("d[%d] = %d, want %d", j, d[j], want[j])
+		}
+	}
+	occ, err := Occurrences(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(occ) != 1 || occ[0] != 2 {
+		t.Errorf("occurrences = %v, want [2]", occ)
+	}
+}
+
+// TestPaperBulkExample reproduces the §II four-lane worked example:
+//
+//	X0=ATCGA Y0=AATCGACA   X1=TCGAC Y1=AATCGACA
+//	X2=AAAAA Y2=AAAAAAAA   X3=TTTTT Y3=AATTTTTT
+//
+// The paper prints d[0]=0100, d[1]=0101, d[2]=1110, d[3]=1100 (lane 3..0),
+// which is the bitwise COMPLEMENT of the d its own pseudocode computes
+// (d[j] bit k = 1 means "no match"): checking the stated strings by hand,
+// lane 0 (X0=ATCGA in Y0=AATCGACA) matches only at offset 1, lane 2
+// matches everywhere, lane 3 at offsets 2 and 3. We assert the correct
+// values and record the paper's sign flip as an erratum in EXPERIMENTS.md.
+func TestPaperBulkExample(t *testing.T) {
+	xs := []dna.Seq{
+		dna.MustParse("ATCGA"),
+		dna.MustParse("TCGAC"),
+		dna.MustParse("AAAAA"),
+		dna.MustParse("TTTTT"),
+	}
+	ys := []dna.Seq{
+		dna.MustParse("AATCGACA"),
+		dna.MustParse("AATCGACA"),
+		dna.MustParse("AAAAAAAA"),
+		dna.MustParse("AATTTTTT"),
+	}
+	res, err := BulkSeqs[uint32](xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complement of the paper's printed values (see comment above).
+	want := []uint32{0b1011, 0b1010, 0b0001, 0b0011}
+	if len(res.D) != len(want) {
+		t.Fatalf("len(D) = %d, want %d", len(res.D), len(want))
+	}
+	for j := range want {
+		if got := res.D[j] & 0xF; got != want[j] {
+			t.Errorf("d[%d] = %04b, want %04b (paper prints the complement %04b)",
+				j, got, want[j], ^want[j]&0xF)
+		}
+	}
+	// Lane views.
+	if got := res.LaneOffsets(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("lane 0 offsets = %v, want [1]", got)
+	}
+	if got := res.LaneOffsets(3); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("lane 3 offsets = %v, want [2 3]", got)
+	}
+	if got := res.LaneOffsets(2); len(got) != 4 {
+		t.Errorf("lane 2 should match everywhere, got %v", got)
+	}
+}
+
+func TestBulkMatchesStraightforward(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		m := 1 + rng.IntN(12)
+		n := m + rng.IntN(40)
+		xs := make([]dna.Seq, 32)
+		ys := make([]dna.Seq, 32)
+		for k := range xs {
+			xs[k] = dna.RandSeq(rng, m)
+			ys[k] = dna.RandSeq(rng, n)
+			if rng.Uint32()&1 == 0 {
+				// Plant an exact occurrence to exercise the zero path.
+				at := rng.IntN(n - m + 1)
+				copy(ys[k][at:], xs[k])
+			}
+		}
+		res, err := BulkSeqs[uint32](xs, ys)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 32; k++ {
+			d, err := Straightforward(xs[k], ys[k])
+			if err != nil {
+				return false
+			}
+			for j := range d {
+				if (d[j] == 0) != res.MatchAt(k, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBulk64Lanes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]dna.Seq, 64)
+	ys := make([]dna.Seq, 64)
+	for k := range xs {
+		xs[k] = dna.RandSeq(rng, 8)
+		ys[k] = dna.RandSeq(rng, 64)
+		copy(ys[k][k%(64-8):], xs[k])
+	}
+	res, err := BulkSeqs[uint64](xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 64; k++ {
+		if !res.MatchAt(k, k%(64-8)) {
+			t.Errorf("lane %d: planted match not found", k)
+		}
+	}
+}
+
+func TestMatchErrors(t *testing.T) {
+	if _, err := Straightforward(nil, dna.MustParse("AC")); err == nil {
+		t.Error("empty pattern should fail")
+	}
+	if _, err := Straightforward(dna.MustParse("ACGT"), dna.MustParse("AC")); err == nil {
+		t.Error("pattern longer than text should fail")
+	}
+	if _, err := Occurrences(nil, nil); err == nil {
+		t.Error("Occurrences with empty input should fail")
+	}
+	long, _ := dna.TransposeGroupNaive[uint32]([]dna.Seq{dna.MustParse("ACGTA")})
+	short, _ := dna.TransposeGroupNaive[uint32]([]dna.Seq{dna.MustParse("AC")})
+	if _, err := Bulk(long, short); err == nil {
+		t.Error("Bulk with m > n should fail")
+	}
+}
+
+func TestBulkLaneCountMismatch(t *testing.T) {
+	a, _ := dna.TransposeGroupNaive[uint32]([]dna.Seq{dna.MustParse("AC")})
+	b, _ := dna.TransposeGroupNaive[uint32]([]dna.Seq{dna.MustParse("ACGT"), dna.MustParse("ACGT")})
+	if _, err := Bulk(a, b); err == nil {
+		t.Error("lane-count mismatch should fail")
+	}
+}
+
+func TestApproxStraightforward(t *testing.T) {
+	x := dna.MustParse("ACGT")
+	y := dna.MustParse("ACGTACTTTTTT")
+	d, err := ApproxStraightforward(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 0 {
+		t.Errorf("offset 0: %d mismatches, want 0", d[0])
+	}
+	if d[4] != 1 { // ACTT vs ACGT: one mismatch at position 2
+		t.Errorf("offset 4: %d mismatches, want 1", d[4])
+	}
+	if _, err := ApproxStraightforward(nil, y); err == nil {
+		t.Error("empty pattern should fail")
+	}
+}
+
+func TestApproxBulkMatchesStraightforward(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		m := 1 + rng.IntN(10)
+		n := m + rng.IntN(30)
+		xs := make([]dna.Seq, 32)
+		ys := make([]dna.Seq, 32)
+		for k := range xs {
+			xs[k] = dna.RandSeq(rng, m)
+			ys[k] = dna.RandSeq(rng, n)
+		}
+		tx, _ := dna.TransposeGroupNaive[uint32](xs)
+		ty, _ := dna.TransposeGroupNaive[uint32](ys)
+		res, err := ApproxBulk(tx, ty)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 32; k++ {
+			d, _ := ApproxStraightforward(xs[k], ys[k])
+			for j := range d {
+				if res.CountAt(k, j) != d[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxBulkWithinK(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	m := 16
+	xs := make([]dna.Seq, 32)
+	ys := make([]dna.Seq, 32)
+	for k := range xs {
+		xs[k] = dna.RandSeq(rng, m)
+		ys[k] = dna.RandSeq(rng, 100)
+		// Plant a copy with exactly 2 substitutions at offset 10.
+		planted := dna.MutationModel{SubRate: 0}.Mutate(rng, xs[k])
+		planted[3] = planted[3] ^ 1
+		planted[7] = planted[7] ^ 2
+		copy(ys[k][10:], planted)
+	}
+	tx, _ := dna.TransposeGroupNaive[uint32](xs)
+	ty, _ := dna.TransposeGroupNaive[uint32](ys)
+	res, err := ApproxBulk(tx, ty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 32; k++ {
+		if got := res.CountAt(k, 10); got != 2 {
+			t.Errorf("lane %d: planted count = %d, want 2", k, got)
+		}
+		if !res.WithinK(k, 10, 2) || res.WithinK(k, 10, 1) {
+			t.Errorf("lane %d: WithinK thresholds wrong", k)
+		}
+	}
+	if _, err := ApproxBulk(ty, tx); err == nil {
+		t.Error("ApproxBulk with m > n should fail")
+	}
+}
+
+func BenchmarkBulk32(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	xs := make([]dna.Seq, 32)
+	ys := make([]dna.Seq, 32)
+	for k := range xs {
+		xs[k] = dna.RandSeq(rng, 16)
+		ys[k] = dna.RandSeq(rng, 1024)
+	}
+	tx, _ := dna.TransposeGroup[uint32](xs)
+	ty, _ := dna.TransposeGroup[uint32](ys)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Bulk(tx, ty); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStraightforward(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	x := dna.RandSeq(rng, 16)
+	y := dna.RandSeq(rng, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Straightforward(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package oblivious implements the bulk-execution framework the paper
+// builds on (§I, citing the authors' UMM line of work): a sequential
+// algorithm is *oblivious* when the address it touches at each time step is
+// input-independent, and the *bulk execution* runs it for many inputs at
+// once. Because every instance touches the same address at the same step,
+// the structure-of-arrays layout turns each step into a perfectly coalesced
+// sweep — the property that makes bulk execution GPU-efficient, which this
+// package demonstrates on the cudasim substrate with exact transaction
+// counts. The paper's own example, prefix sums, ships as a built-in
+// program.
+package oblivious
+
+import (
+	"fmt"
+
+	"repro/internal/cudasim"
+)
+
+// Op is the operation of one program step.
+type Op uint8
+
+const (
+	OpCopy  Op = iota // mem[Dst] = mem[A]
+	OpAdd             // mem[Dst] = mem[A] + mem[B]
+	OpMax             // mem[Dst] = max(mem[A], mem[B])
+	OpConst           // mem[Dst] = Imm
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCopy:
+		return "copy"
+	case OpAdd:
+		return "add"
+	case OpMax:
+		return "max"
+	case OpConst:
+		return "const"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Step is one oblivious instruction: fixed addresses, no data-dependent
+// control flow.
+type Step struct {
+	Op   Op
+	Dst  int
+	A, B int
+	Imm  int32
+}
+
+// Program is a straight-line oblivious program over a fixed-size memory.
+type Program struct {
+	Name string
+	Mem  int // words of per-instance memory; inputs occupy a prefix
+	In   int // number of input words
+	Out  int // number of output words (a prefix of memory at the end)
+	Step []Step
+}
+
+// Validate checks that all addresses are in range.
+func (p *Program) Validate() error {
+	if p.Mem <= 0 || p.In < 0 || p.In > p.Mem || p.Out < 0 || p.Out > p.Mem {
+		return fmt.Errorf("oblivious: %s: bad memory shape mem=%d in=%d out=%d", p.Name, p.Mem, p.In, p.Out)
+	}
+	for i, s := range p.Step {
+		if s.Dst < 0 || s.Dst >= p.Mem || s.A < 0 || s.A >= p.Mem || s.B < 0 || s.B >= p.Mem {
+			return fmt.Errorf("oblivious: %s: step %d addresses out of range", p.Name, i)
+		}
+	}
+	return nil
+}
+
+// Run executes the program for a single instance. input must have In words;
+// the returned slice has Out words.
+func (p *Program) Run(input []int32) ([]int32, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(input) != p.In {
+		return nil, fmt.Errorf("oblivious: %s: want %d inputs, got %d", p.Name, p.In, len(input))
+	}
+	mem := make([]int32, p.Mem)
+	copy(mem, input)
+	for _, s := range p.Step {
+		switch s.Op {
+		case OpCopy:
+			mem[s.Dst] = mem[s.A]
+		case OpAdd:
+			mem[s.Dst] = mem[s.A] + mem[s.B]
+		case OpMax:
+			mem[s.Dst] = max(mem[s.A], mem[s.B])
+		case OpConst:
+			mem[s.Dst] = s.Imm
+		}
+	}
+	return mem[:p.Out], nil
+}
+
+// RunBulk executes the program for many instances in structure-of-arrays
+// layout: the outer loop walks program steps, the inner loop instances, so
+// memory access is sequential per step — the bulk execution of §I.
+func (p *Program) RunBulk(inputs [][]int32) ([][]int32, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	count := len(inputs)
+	if count == 0 {
+		return nil, fmt.Errorf("oblivious: %s: no instances", p.Name)
+	}
+	// SoA: mem[addr][instance].
+	mem := make([][]int32, p.Mem)
+	for a := range mem {
+		mem[a] = make([]int32, count)
+	}
+	for k, in := range inputs {
+		if len(in) != p.In {
+			return nil, fmt.Errorf("oblivious: %s: instance %d has %d inputs, want %d", p.Name, k, len(in), p.In)
+		}
+		for a, v := range in {
+			mem[a][k] = v
+		}
+	}
+	for _, s := range p.Step {
+		dst, a, b := mem[s.Dst], mem[s.A], mem[s.B]
+		switch s.Op {
+		case OpCopy:
+			copy(dst, a)
+		case OpAdd:
+			for k := range dst {
+				dst[k] = a[k] + b[k]
+			}
+		case OpMax:
+			for k := range dst {
+				dst[k] = max(a[k], b[k])
+			}
+		case OpConst:
+			for k := range dst {
+				dst[k] = s.Imm
+			}
+		}
+	}
+	out := make([][]int32, count)
+	for k := range out {
+		out[k] = make([]int32, p.Out)
+		for a := 0; a < p.Out; a++ {
+			out[k][a] = mem[a][k]
+		}
+	}
+	return out, nil
+}
+
+// PrefixSums returns the paper's example program: in-place prefix sums of
+// an n-element array via b[i] ← b[i] + b[i-1] for i = 1..n-1, which is
+// oblivious because every address is fixed.
+func PrefixSums(n int) *Program {
+	p := &Program{Name: fmt.Sprintf("prefix-sums-%d", n), Mem: n, In: n, Out: n}
+	for i := 1; i < n; i++ {
+		p.Step = append(p.Step, Step{Op: OpAdd, Dst: i, A: i, B: i - 1})
+	}
+	return p
+}
+
+// RunBulkOnGPU executes the bulk program on the simulated GPU: one thread
+// per instance, instance k's memory word a at global index a*count+k (SoA),
+// so at every step the warp's accesses are consecutive — the launch's
+// transaction count proves the §I coalescing claim (asserted in tests).
+func (p *Program) RunBulkOnGPU(dev *cudasim.Device, inputs [][]int32) ([][]int32, *cudasim.LaunchStats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	count := len(inputs)
+	if count == 0 {
+		return nil, nil, fmt.Errorf("oblivious: no instances")
+	}
+	buf, err := dev.Alloc(int64(p.Mem) * int64(count) * 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	host := make([]byte, p.Mem*count*4)
+	for k, in := range inputs {
+		if len(in) != p.In {
+			return nil, nil, fmt.Errorf("oblivious: instance %d has %d inputs, want %d", k, len(in), p.In)
+		}
+		for a, v := range in {
+			off := (a*count + k) * 4
+			u := uint32(v)
+			host[off] = byte(u)
+			host[off+1] = byte(u >> 8)
+			host[off+2] = byte(u >> 16)
+			host[off+3] = byte(u >> 24)
+		}
+	}
+	if err := dev.MemcpyHtoD(buf, host); err != nil {
+		return nil, nil, err
+	}
+
+	const threads = 128
+	blocks := (count + threads - 1) / threads
+	kern := cudasim.KernelFunc(func(b *cudasim.Block) {
+		for _, s := range p.Step {
+			step := s
+			b.ForEachThread(func(t *cudasim.Thread) {
+				k := b.Idx*threads + t.Tid
+				if k >= count {
+					return
+				}
+				var v uint32
+				switch step.Op {
+				case OpCopy:
+					v = t.GlobalLoad32(buf, int64(step.A*count+k))
+				case OpAdd:
+					v = t.GlobalLoad32(buf, int64(step.A*count+k)) +
+						t.GlobalLoad32(buf, int64(step.B*count+k))
+					t.Ops(1)
+				case OpMax:
+					x := int32(t.GlobalLoad32(buf, int64(step.A*count+k)))
+					y := int32(t.GlobalLoad32(buf, int64(step.B*count+k)))
+					t.Ops(2)
+					v = uint32(max(x, y))
+				case OpConst:
+					v = uint32(step.Imm)
+				}
+				t.GlobalStore32(buf, int64(step.Dst*count+k), v)
+			})
+			b.Sync()
+		}
+	})
+	stats, err := dev.Launch(blocks, threads, kern)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if err := dev.MemcpyDtoH(host, buf); err != nil {
+		return nil, nil, err
+	}
+	out := make([][]int32, count)
+	for k := range out {
+		out[k] = make([]int32, p.Out)
+		for a := 0; a < p.Out; a++ {
+			off := (a*count + k) * 4
+			out[k][a] = int32(uint32(host[off]) | uint32(host[off+1])<<8 |
+				uint32(host[off+2])<<16 | uint32(host[off+3])<<24)
+		}
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,188 @@
+package oblivious
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cudasim"
+	"repro/internal/perfmodel"
+)
+
+func TestPrefixSumsSingle(t *testing.T) {
+	p := PrefixSums(5)
+	out, err := p.Run([]int32{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 3, 6, 10, 15}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("prefix[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := PrefixSums(4)
+	if _, err := p.Run([]int32{1, 2}); err == nil {
+		t.Error("wrong input length should fail")
+	}
+	bad := &Program{Name: "bad", Mem: 2, In: 1, Out: 1, Step: []Step{{Op: OpAdd, Dst: 5}}}
+	if _, err := bad.Run([]int32{1}); err == nil {
+		t.Error("out-of-range address should fail")
+	}
+	if _, err := bad.RunBulk([][]int32{{1}}); err == nil {
+		t.Error("bulk with bad program should fail")
+	}
+	if _, err := p.RunBulk(nil); err == nil {
+		t.Error("bulk with no instances should fail")
+	}
+	if _, err := p.RunBulk([][]int32{{1}}); err == nil {
+		t.Error("bulk with wrong input length should fail")
+	}
+	shape := &Program{Name: "shape", Mem: 0}
+	if err := shape.Validate(); err == nil {
+		t.Error("zero memory should fail")
+	}
+}
+
+func TestRunBulkMatchesSequential(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		n := 1 + rng.IntN(30)
+		count := 1 + rng.IntN(100)
+		p := PrefixSums(n)
+		inputs := make([][]int32, count)
+		for k := range inputs {
+			inputs[k] = make([]int32, n)
+			for i := range inputs[k] {
+				inputs[k][i] = int32(rng.IntN(1000) - 500)
+			}
+		}
+		bulk, err := p.RunBulk(inputs)
+		if err != nil {
+			return false
+		}
+		for k := range inputs {
+			single, err := p.Run(inputs[k])
+			if err != nil {
+				return false
+			}
+			for i := range single {
+				if bulk[k][i] != single[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllOpsCovered(t *testing.T) {
+	p := &Program{
+		Name: "mixed", Mem: 4, In: 2, Out: 4,
+		Step: []Step{
+			{Op: OpConst, Dst: 2, Imm: 7},
+			{Op: OpMax, Dst: 3, A: 0, B: 1},
+			{Op: OpAdd, Dst: 2, A: 2, B: 3},
+			{Op: OpCopy, Dst: 0, A: 2},
+		},
+	}
+	out, err := p.Run([]int32{-3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// max(-3,5)=5; 7+5=12; copy -> out[0]=12.
+	if out[0] != 12 || out[2] != 12 || out[3] != 5 {
+		t.Errorf("mixed program output %v", out)
+	}
+	for op, want := range map[Op]string{OpCopy: "copy", OpAdd: "add", OpMax: "max", OpConst: "const"} {
+		if op.String() != want {
+			t.Errorf("Op %d string %q", op, op.String())
+		}
+	}
+}
+
+// TestGPUBulkIsCoalesced reproduces the §I claim: the bulk execution of an
+// oblivious program on the GPU is perfectly coalesced — every warp
+// instruction touches the minimum possible number of memory sectors.
+func TestGPUBulkIsCoalesced(t *testing.T) {
+	const n, count = 16, 256
+	p := PrefixSums(n)
+	rng := rand.New(rand.NewPCG(1, 2))
+	inputs := make([][]int32, count)
+	for k := range inputs {
+		inputs[k] = make([]int32, n)
+		for i := range inputs[k] {
+			inputs[k][i] = int32(rng.IntN(100))
+		}
+	}
+	dev := cudasim.NewDevice(perfmodel.TitanX, 1<<20)
+	out, stats, err := p.RunBulkOnGPU(dev, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range inputs {
+		single, _ := p.Run(inputs[k])
+		for i := range single {
+			if out[k][i] != single[i] {
+				t.Fatalf("instance %d word %d: GPU %d, reference %d", k, i, out[k][i], single[i])
+			}
+		}
+	}
+	// Each OpAdd step: 2 loads + 1 store per thread; a full warp's 32
+	// 4-byte accesses span exactly 4 sectors -> 12 sectors per warp-step.
+	warps := int64(count / 32)
+	steps := int64(len(p.Step))
+	wantTx := steps * warps * 12
+	if stats.GlobalTransactions != wantTx {
+		t.Errorf("transactions = %d, want %d (perfect coalescing)", stats.GlobalTransactions, wantTx)
+	}
+	if stats.ALUOps != steps*int64(count) {
+		t.Errorf("ALU ops = %d, want %d", stats.ALUOps, steps*int64(count))
+	}
+}
+
+func TestGPUBulkValidation(t *testing.T) {
+	dev := cudasim.NewDevice(perfmodel.TitanX, 1<<16)
+	p := PrefixSums(4)
+	if _, _, err := p.RunBulkOnGPU(dev, nil); err == nil {
+		t.Error("no instances should fail")
+	}
+	if _, _, err := p.RunBulkOnGPU(dev, [][]int32{{1}}); err == nil {
+		t.Error("wrong input length should fail")
+	}
+	tiny := cudasim.NewDevice(perfmodel.TitanX, 16)
+	big := PrefixSums(1024)
+	in := make([][]int32, 64)
+	for k := range in {
+		in[k] = make([]int32, 1024)
+	}
+	if _, _, err := big.RunBulkOnGPU(tiny, in); err == nil {
+		t.Error("out-of-memory should fail")
+	}
+}
+
+func BenchmarkBulkPrefixSums(b *testing.B) {
+	const n, count = 64, 4096
+	p := PrefixSums(n)
+	rng := rand.New(rand.NewPCG(3, 4))
+	inputs := make([][]int32, count)
+	for k := range inputs {
+		inputs[k] = make([]int32, n)
+		for i := range inputs[k] {
+			inputs[k][i] = int32(rng.IntN(100))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunBulk(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

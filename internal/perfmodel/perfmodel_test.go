@@ -1,0 +1,121 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeviceSpecDerived(t *testing.T) {
+	if TitanX.Cores() != 28*128 {
+		t.Errorf("Cores = %d, want 3584 (paper: 28 SMs × 128 cores)", TitanX.Cores())
+	}
+	if TitanX.InstrRate() != float64(3584)*1e9 {
+		t.Errorf("InstrRate = %g", TitanX.InstrRate())
+	}
+}
+
+func TestPCIeTransfer(t *testing.T) {
+	// The paper's H2G at n=1024: 32768×1152 bytes in ≈5.5 ms.
+	bytes := int64(32768) * 1152
+	got := PaperPCIe.Transfer(bytes)
+	if got < 5*time.Millisecond || got > 6*time.Millisecond {
+		t.Errorf("H2G model = %v, paper says 5.51 ms", got)
+	}
+	// Latency floor.
+	if PaperPCIe.Transfer(0) != PaperPCIe.Latency {
+		t.Error("zero-byte transfer should cost the latency")
+	}
+}
+
+func TestPCIeTransferPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative transfer did not panic")
+		}
+	}()
+	PaperPCIe.Transfer(-1)
+}
+
+func TestKernelCostALUBound(t *testing.T) {
+	c := KernelCost{
+		ALUOps:          1 << 40,
+		FuseLogic:       true,
+		Blocks:          4096,
+		ThreadsPerBlock: 128,
+	}
+	got := c.Time(TitanX)
+	want := float64(1<<40) * TitanX.LogicFusion / TitanX.InstrRate()
+	if diff := got.Seconds() - want - TitanX.KernelLaunchOverhead.Seconds(); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("ALU-bound time = %v, want ≈%gs", got, want)
+	}
+}
+
+func TestKernelCostMemoryBound(t *testing.T) {
+	c := KernelCost{
+		ALUOps:          1,
+		GlobalBytes:     int64(TitanX.GlobalBandwidth), // one second of traffic
+		Blocks:          4096,
+		ThreadsPerBlock: 128,
+	}
+	got := c.Time(TitanX)
+	if got < 900*time.Millisecond || got > 1100*time.Millisecond {
+		t.Errorf("memory-bound time = %v, want ≈1s", got)
+	}
+}
+
+func TestKernelCostOccupancyPenalty(t *testing.T) {
+	base := KernelCost{ALUOps: 1 << 34, FuseLogic: true, ThreadsPerBlock: 128}
+	full := base
+	full.Blocks = 10000
+	tiny := base
+	tiny.Blocks = 1
+	tf, tt := full.Time(TitanX), tiny.Time(TitanX)
+	if tt <= tf {
+		t.Errorf("single-block launch (%v) should be slower than full launch (%v)", tt, tf)
+	}
+	// One block of 128 threads runs on 128 cores: 28× fewer than the chip.
+	ratio := float64(tt-TitanX.KernelLaunchOverhead) / float64(tf-TitanX.KernelLaunchOverhead)
+	if ratio < 20 || ratio > 36 {
+		t.Errorf("occupancy ratio = %.1f, want ≈28", ratio)
+	}
+}
+
+func TestKernelCostZeroLaunch(t *testing.T) {
+	if (KernelCost{}).Time(TitanX) != 0 {
+		t.Error("empty launch should cost nothing")
+	}
+}
+
+func TestFusionOnlyAffectsFusedKernels(t *testing.T) {
+	c := KernelCost{ALUOps: 1 << 36, Blocks: 10000, ThreadsPerBlock: 128}
+	unfused := c.Time(TitanX)
+	c.FuseLogic = true
+	fused := c.Time(TitanX)
+	if fused >= unfused {
+		t.Errorf("fused (%v) should be faster than unfused (%v)", fused, unfused)
+	}
+}
+
+func TestGCUPS(t *testing.T) {
+	// 32768 pairs × 128 × 1024 cells in 12.66 ms ⇒ ≈339 GCUPS (what the
+	// paper's own Table IV/V arithmetic implies; see EXPERIMENTS.md).
+	got := GCUPS(32768, 128, 1024, 12660*time.Microsecond)
+	if got < 330 || got < 0 || got > 350 {
+		t.Errorf("GCUPS = %.1f, want ≈339", got)
+	}
+	if GCUPS(1, 1, 1, 0) != 0 {
+		t.Error("zero duration should yield 0 GCUPS")
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := Scale(10*time.Millisecond, 32, 32768); got != 10*time.Second+240*time.Millisecond {
+		t.Errorf("Scale = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Scale with measured=0 did not panic")
+		}
+	}()
+	Scale(time.Second, 0, 10)
+}

@@ -1,0 +1,100 @@
+// Package stats renders result tables in the layout of the paper's Tables
+// I-V, aligning measured (or simulated) figures beside the paper's published
+// ones so deviations are visible at a glance.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a simple column-aligned ASCII table builder.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped, missing
+// cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// Ms formats a duration as milliseconds with two decimals, the unit of the
+// paper's Table IV.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+// Ratio formats a speedup factor with one decimal.
+func Ratio(num, den time.Duration) string {
+	if den == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1f", float64(num)/float64(den))
+}
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// I64 formats an int64.
+func I64(v int64) string { return fmt.Sprintf("%d", v) }

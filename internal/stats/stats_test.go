@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("very-long-name", "22")
+	tab.AddRow("short") // missing cell becomes blank
+	tab.AddRow("a", "b", "dropped-extra")
+	out := tab.String()
+	if !strings.HasPrefix(out, "demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // title, header, rule, 4 rows
+		t.Fatalf("expected 7 lines, got %d:\n%s", len(lines), out)
+	}
+	// All rows aligned: same prefix width before the second column.
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[2], "---") {
+		t.Error("header or rule missing")
+	}
+	if strings.Contains(out, "dropped-extra") {
+		t.Error("extra cell should be dropped")
+	}
+	width := len(lines[1])
+	for _, l := range lines[3:] {
+		if len(l) > width+2 {
+			t.Errorf("row wider than header: %q", l)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "a")
+	tab.AddRow("x")
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ms(1234567*time.Microsecond) != "1234.57" {
+		t.Errorf("Ms = %q", Ms(1234567*time.Microsecond))
+	}
+	if Ratio(10*time.Second, 2*time.Second) != "5.0" {
+		t.Errorf("Ratio = %q", Ratio(10*time.Second, 2*time.Second))
+	}
+	if Ratio(time.Second, 0) != "inf" {
+		t.Error("Ratio with zero denominator should be inf")
+	}
+	if F1(3.14159) != "3.1" || F2(3.14159) != "3.14" {
+		t.Error("float formatters wrong")
+	}
+	if I(42) != "42" || I64(1<<40) != "1099511627776" {
+		t.Error("int formatters wrong")
+	}
+}

@@ -1,0 +1,149 @@
+package swa
+
+import (
+	"fmt"
+
+	"repro/internal/dna"
+)
+
+// Band restricts the dynamic program to cells (i, j) with
+// |(j - i) - Offset| <= Width: a diagonal stripe. Combined with the bulk
+// engine's argmax tracking (bpbc.BulkScoresPos), a screen hit at (ei, ej)
+// can be re-aligned inside a narrow band around offset ej-ei in O(m·Width)
+// instead of O(m·n) — the standard follow-up to a seed-and-filter pipeline.
+type Band struct {
+	Offset int // centre diagonal, j - i
+	Width  int // half-width; Width >= 0
+}
+
+// Validate reports whether the band is usable.
+func (b Band) Validate() error {
+	if b.Width < 0 {
+		return fmt.Errorf("swa: band width must be >= 0, got %d", b.Width)
+	}
+	return nil
+}
+
+// ScoreBanded computes the maximum local-alignment score restricted to the
+// band. When the band covers the whole matrix it equals Score.
+func ScoreBanded(x, y dna.Seq, sc Scoring, band Band) (int, error) {
+	if err := band.Validate(); err != nil {
+		return 0, err
+	}
+	m, n := len(x), len(y)
+	if m == 0 || n == 0 {
+		return 0, nil
+	}
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	best := 0
+	for i := 1; i <= m; i++ {
+		lo := max(1, i+band.Offset-band.Width)
+		hi := min(n, i+band.Offset+band.Width)
+		if lo > hi {
+			prev, cur = cur, prev
+			continue // band is outside the matrix on this row
+		}
+		if lo > 1 {
+			cur[lo-1] = 0 // outside-band neighbour reads as border
+		}
+		for j := lo; j <= hi; j++ {
+			v := max(0,
+				prev[j]-sc.Gap,
+				cur[j-1]-sc.Gap,
+				prev[j-1]+sc.W(x[i-1], y[j-1]))
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		if hi < n {
+			cur[hi+1] = 0 // next row's diag/left outside the band
+		}
+		prev, cur = cur, prev
+	}
+	return best, nil
+}
+
+// AlignBanded reconstructs the optimal in-band local alignment. It builds
+// only the banded stripe of the matrix, so memory is O(m·Width).
+func AlignBanded(x, y dna.Seq, sc Scoring, band Band) (Alignment, error) {
+	if err := band.Validate(); err != nil {
+		return Alignment{}, err
+	}
+	m, n := len(x), len(y)
+	if m == 0 || n == 0 {
+		return Alignment{}, nil
+	}
+	width := 2*band.Width + 1
+	// stripe[i][k] = d[i][ j ] with j = i + band.Offset - band.Width + k.
+	stripe := make([][]int, m+1)
+	for i := range stripe {
+		stripe[i] = make([]int, width)
+	}
+	cell := func(i, j int) int {
+		if i < 1 || j < 1 || j > n {
+			return 0
+		}
+		k := j - (i + band.Offset - band.Width)
+		if k < 0 || k >= width {
+			return 0
+		}
+		return stripe[i][k]
+	}
+	best, bi, bj := 0, 0, 0
+	for i := 1; i <= m; i++ {
+		for k := 0; k < width; k++ {
+			j := i + band.Offset - band.Width + k
+			if j < 1 || j > n {
+				continue
+			}
+			v := max(0,
+				cell(i-1, j)-sc.Gap,
+				cell(i, j-1)-sc.Gap,
+				cell(i-1, j-1)+sc.W(x[i-1], y[j-1]))
+			stripe[i][k] = v
+			if v >= best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	a := Alignment{Score: best}
+	if best == 0 {
+		return a, nil
+	}
+	var ax, ay []byte
+	i, j := bi, bj
+	for i > 0 && j > 0 && cell(i, j) > 0 {
+		v := cell(i, j)
+		switch {
+		case v == cell(i-1, j-1)+sc.W(x[i-1], y[j-1]):
+			ax = append(ax, x[i-1].Byte())
+			ay = append(ay, y[j-1].Byte())
+			if x[i-1] == y[j-1] {
+				a.Matches++
+			} else {
+				a.Mismatches++
+			}
+			i, j = i-1, j-1
+		case v == cell(i-1, j)-sc.Gap:
+			ax = append(ax, x[i-1].Byte())
+			ay = append(ay, '-')
+			a.Gaps++
+			i--
+		case v == cell(i, j-1)-sc.Gap:
+			ax = append(ax, '-')
+			ay = append(ay, y[j-1].Byte())
+			a.Gaps++
+			j--
+		default:
+			return Alignment{}, fmt.Errorf("swa: banded traceback inconsistent at (%d,%d)", i, j)
+		}
+	}
+	a.XStart, a.XEnd = i, bi
+	a.YStart, a.YEnd = j, bj
+	reverse(ax)
+	reverse(ay)
+	a.AlignedX, a.AlignedY = string(ax), string(ay)
+	return a, nil
+}

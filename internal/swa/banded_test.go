@@ -1,0 +1,133 @@
+package swa
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+)
+
+func TestScoreBandedFullWidthEqualsScore(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 40))
+		x := dna.RandSeq(rng, 1+rng.IntN(16))
+		y := dna.RandSeq(rng, 1+rng.IntN(48))
+		// A band wide enough to cover every cell.
+		got, err := ScoreBanded(x, y, PaperScoring, Band{Offset: 0, Width: len(x) + len(y)})
+		if err != nil {
+			return false
+		}
+		return got == Score(x, y, PaperScoring)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func refBandedScore(x, y dna.Seq, sc Scoring, band Band) int {
+	// Oracle: full DP over cells restricted to the band.
+	m, n := len(x), len(y)
+	d := make([][]int, m+1)
+	for i := range d {
+		d[i] = make([]int, n+1)
+	}
+	best := 0
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			if diff := (j - i) - band.Offset; diff < -band.Width || diff > band.Width {
+				continue
+			}
+			d[i][j] = max(0, d[i-1][j]-sc.Gap, d[i][j-1]-sc.Gap,
+				d[i-1][j-1]+sc.W(x[i-1], y[j-1]))
+			if d[i][j] > best {
+				best = d[i][j]
+			}
+		}
+	}
+	return best
+}
+
+func TestScoreBandedMatchesOracle(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 41))
+		x := dna.RandSeq(rng, 1+rng.IntN(14))
+		y := dna.RandSeq(rng, 1+rng.IntN(40))
+		band := Band{Offset: rng.IntN(21) - 10, Width: rng.IntN(6)}
+		got, err := ScoreBanded(x, y, PaperScoring, band)
+		if err != nil {
+			return false
+		}
+		want := refBandedScore(x, y, PaperScoring, band)
+		if got != want {
+			t.Logf("band %+v m=%d n=%d: got %d want %d", band, len(x), len(y), got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreBandedValidate(t *testing.T) {
+	if _, err := ScoreBanded(nil, nil, PaperScoring, Band{Width: -1}); err == nil {
+		t.Error("negative width should fail")
+	}
+	got, err := ScoreBanded(nil, dna.MustParse("ACGT"), PaperScoring, Band{Width: 2})
+	if err != nil || got != 0 {
+		t.Error("empty pattern should score 0")
+	}
+}
+
+func TestAlignBandedRecoverHit(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 42))
+	x := dna.RandSeq(rng, 24)
+	y := dna.RandSeq(rng, 400)
+	copy(y[200:], x) // exact plant at offset 200
+	// Band centred on the hit diagonal (j - i ≈ 200).
+	a, err := AlignBanded(x, y, PaperScoring, Band{Offset: 200, Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Score != PaperScoring.MaxScore(24) {
+		t.Errorf("banded alignment score %d, want %d", a.Score, PaperScoring.MaxScore(24))
+	}
+	if a.YStart != 200 || a.YEnd != 224 {
+		t.Errorf("banded alignment at Y[%d:%d], want Y[200:224]", a.YStart, a.YEnd)
+	}
+	if a.Identity() != 1 {
+		t.Errorf("identity %f", a.Identity())
+	}
+}
+
+func TestAlignBandedConsistentWithScoreBanded(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 43))
+		x := dna.RandSeq(rng, 1+rng.IntN(12))
+		y := dna.RandSeq(rng, 1+rng.IntN(36))
+		band := Band{Offset: rng.IntN(15) - 7, Width: rng.IntN(5)}
+		a, err := AlignBanded(x, y, PaperScoring, band)
+		if err != nil {
+			return false
+		}
+		s, err := ScoreBanded(x, y, PaperScoring, band)
+		if err != nil {
+			return false
+		}
+		return a.Score == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignBandedEmptyAndInvalid(t *testing.T) {
+	if _, err := AlignBanded(nil, nil, PaperScoring, Band{Width: -2}); err == nil {
+		t.Error("negative width should fail")
+	}
+	a, err := AlignBanded(dna.MustParse("A"), dna.MustParse("C"), PaperScoring, Band{Width: 1})
+	if err != nil || a.Score != 0 {
+		t.Errorf("all-mismatch banded alignment: %v %v", a, err)
+	}
+}

@@ -1,0 +1,64 @@
+package swa
+
+import (
+	"repro/internal/dna"
+)
+
+// GlobalScore computes the Needleman-Wunsch global alignment score of x and
+// y (both sequences aligned end to end) under the same match/mismatch/gap
+// scheme. Provided for library completeness alongside the local (Score) and
+// semi-global (SemiGlobalScore) modes.
+func GlobalScore(x, y dna.Seq, sc Scoring) int {
+	m, n := len(x), len(y)
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n; j++ {
+		prev[j] = -j * sc.Gap
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = -i * sc.Gap
+		for j := 1; j <= n; j++ {
+			cur[j] = max(
+				prev[j]-sc.Gap,
+				cur[j-1]-sc.Gap,
+				prev[j-1]+sc.W(x[i-1], y[j-1]))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+// SemiGlobalScore computes the best alignment of the whole of x against any
+// substring of y ("glocal" / fitting alignment): gaps before and after the
+// matched region of y are free, but all of x must align. This is the mode a
+// read-mapper scores with.
+func SemiGlobalScore(x, y dna.Seq, sc Scoring) int {
+	m, n := len(x), len(y)
+	if m == 0 {
+		return 0
+	}
+	const negInf = -1 << 30
+	if n == 0 {
+		return -m * sc.Gap
+	}
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	// First row: starting anywhere in y is free.
+	best := negInf
+	for i := 1; i <= m; i++ {
+		cur[0] = -i * sc.Gap
+		for j := 1; j <= n; j++ {
+			cur[j] = max(
+				prev[j]-sc.Gap,
+				cur[j-1]-sc.Gap,
+				prev[j-1]+sc.W(x[i-1], y[j-1]))
+		}
+		prev, cur = cur, prev
+	}
+	for j := 0; j <= n; j++ {
+		if prev[j] > best {
+			best = prev[j]
+		}
+	}
+	return best
+}

@@ -1,0 +1,99 @@
+package swa
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+)
+
+func TestGlobalScoreIdentical(t *testing.T) {
+	x := dna.MustParse("ACGTACGT")
+	if got := GlobalScore(x, x, PaperScoring); got != 16 {
+		t.Errorf("identical global score = %d, want 16", got)
+	}
+}
+
+func TestGlobalScoreEmpty(t *testing.T) {
+	y := dna.MustParse("ACGT")
+	if got := GlobalScore(nil, y, PaperScoring); got != -4 {
+		t.Errorf("empty-vs-ACGT global = %d, want -4 (4 gaps)", got)
+	}
+	if got := GlobalScore(y, nil, PaperScoring); got != -4 {
+		t.Errorf("ACGT-vs-empty global = %d, want -4", got)
+	}
+	if GlobalScore(nil, nil, PaperScoring) != 0 {
+		t.Error("empty global should be 0")
+	}
+}
+
+// refGlobal is a full-matrix oracle.
+func refGlobal(x, y dna.Seq, sc Scoring) int {
+	m, n := len(x), len(y)
+	d := make([][]int, m+1)
+	for i := range d {
+		d[i] = make([]int, n+1)
+	}
+	for i := 0; i <= m; i++ {
+		d[i][0] = -i * sc.Gap
+	}
+	for j := 0; j <= n; j++ {
+		d[0][j] = -j * sc.Gap
+	}
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			d[i][j] = max(d[i-1][j]-sc.Gap, d[i][j-1]-sc.Gap,
+				d[i-1][j-1]+sc.W(x[i-1], y[j-1]))
+		}
+	}
+	return d[m][n]
+}
+
+func TestGlobalScoreMatchesOracle(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 95))
+		x := dna.RandSeq(rng, rng.IntN(20))
+		y := dna.RandSeq(rng, rng.IntN(40))
+		return GlobalScore(x, y, PaperScoring) == refGlobal(x, y, PaperScoring)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSemiGlobalFitsSubstring(t *testing.T) {
+	rng := rand.New(rand.NewPCG(96, 97))
+	x := dna.RandSeq(rng, 12)
+	y := dna.RandSeq(rng, 100)
+	copy(y[40:], x)
+	if got := SemiGlobalScore(x, y, PaperScoring); got != PaperScoring.MaxScore(12) {
+		t.Errorf("planted semi-global = %d, want %d", got, PaperScoring.MaxScore(12))
+	}
+}
+
+func TestSemiGlobalRelations(t *testing.T) {
+	// local >= semi-global >= global, for any inputs (each relaxes the
+	// previous mode's constraints).
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 98))
+		x := dna.RandSeq(rng, 1+rng.IntN(16))
+		y := dna.RandSeq(rng, 1+rng.IntN(40))
+		local := Score(x, y, PaperScoring)
+		semi := SemiGlobalScore(x, y, PaperScoring)
+		global := GlobalScore(x, y, PaperScoring)
+		return local >= semi && semi >= global
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSemiGlobalEdges(t *testing.T) {
+	if SemiGlobalScore(nil, dna.MustParse("AC"), PaperScoring) != 0 {
+		t.Error("empty pattern semi-global should be 0")
+	}
+	if got := SemiGlobalScore(dna.MustParse("ACG"), nil, PaperScoring); got != -3 {
+		t.Errorf("empty text semi-global = %d, want -3", got)
+	}
+}

@@ -1,0 +1,172 @@
+// Package swa implements the reference Smith-Waterman algorithm (§III of
+// the paper): the quadratic dynamic program over the scoring matrix, the
+// anti-diagonal ("wavefront") parallel schedule, traceback and alignment
+// reconstruction, and the threshold-screening helper the paper's use case
+// builds on. It serves both as a usable aligner and as the oracle against
+// which every bit-parallel engine in this repository is validated.
+package swa
+
+import (
+	"fmt"
+
+	"repro/internal/dna"
+)
+
+// Scoring fixes the linear-gap scoring scheme. Mismatch and Gap are
+// penalty magnitudes (subtracted), Match is the reward (added); this is the
+// paper's w(x,y) = c1 / -c2 and gap cost.
+type Scoring struct {
+	Match    int // c1 > 0
+	Mismatch int // c2 >= 0, subtracted on mismatch
+	Gap      int // gap >= 0, subtracted per gap column/row
+}
+
+// PaperScoring is the scheme of the paper's Table II example and evaluation:
+// c1 = 2, c2 = 1, gap = 1.
+var PaperScoring = Scoring{Match: 2, Mismatch: 1, Gap: 1}
+
+// Validate reports whether the scheme is usable.
+func (s Scoring) Validate() error {
+	if s.Match <= 0 {
+		return fmt.Errorf("swa: Match must be positive, got %d", s.Match)
+	}
+	if s.Mismatch < 0 || s.Gap < 0 {
+		return fmt.Errorf("swa: Mismatch and Gap are magnitudes and must be >= 0")
+	}
+	return nil
+}
+
+// W returns the substitution score w(x, y).
+func (s Scoring) W(x, y dna.Base) int {
+	if x == y {
+		return s.Match
+	}
+	return -s.Mismatch
+}
+
+// MaxScore returns the largest score any cell can reach for a pattern of
+// length m: a full run of matches, c1*m.
+func (s Scoring) MaxScore(m int) int { return s.Match * m }
+
+// Score computes the maximum local-alignment score of x against y using the
+// row-by-row recurrence with O(n) memory. This is the paper's
+// "[Sequential algorithm for the SWA]" restricted to the score.
+func Score(x, y dna.Seq, sc Scoring) int {
+	m, n := len(x), len(y)
+	if m == 0 || n == 0 {
+		return 0
+	}
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	best := 0
+	match, mismatch, gap := sc.Match, -sc.Mismatch, sc.Gap
+	for i := 1; i <= m; i++ {
+		xi := x[i-1]
+		for j := 1; j <= n; j++ {
+			w := mismatch
+			if y[j-1] == xi {
+				w = match
+			}
+			v := max(0, prev[j]-gap, cur[j-1]-gap, prev[j-1]+w)
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// Matrix computes the full (m+1)×(n+1) scoring matrix d, with d[0][*] and
+// d[*][0] zero, as in the paper's Table II.
+func Matrix(x, y dna.Seq, sc Scoring) [][]int {
+	m, n := len(x), len(y)
+	d := make([][]int, m+1)
+	cells := make([]int, (m+1)*(n+1))
+	for i := range d {
+		d[i], cells = cells[:n+1], cells[n+1:]
+	}
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			d[i][j] = max(0,
+				d[i-1][j]-sc.Gap,
+				d[i][j-1]-sc.Gap,
+				d[i-1][j-1]+sc.W(x[i-1], y[j-1]))
+		}
+	}
+	return d
+}
+
+// MatrixMax returns the maximum entry of a scoring matrix and its position
+// (the bottom-right-most maximum, matching traceback convention).
+func MatrixMax(d [][]int) (best, bi, bj int) {
+	for i := range d {
+		for j := range d[i] {
+			if d[i][j] >= best {
+				best, bi, bj = d[i][j], i, j
+			}
+		}
+	}
+	return best, bi, bj
+}
+
+// WavefrontScore computes the same maximum score by the paper's
+// "[Parallel algorithm for the SWA]": the matrix is evaluated one
+// anti-diagonal t = i+j-2 at a time; all cells on an anti-diagonal are
+// independent. The result must equal Score exactly.
+func WavefrontScore(x, y dna.Seq, sc Scoring) int {
+	m, n := len(x), len(y)
+	if m == 0 || n == 0 {
+		return 0
+	}
+	// Three rolling anti-diagonals indexed by row i: cell (i, j) with
+	// j = t - i + 1 (1-based rows/cols, t from 0 to n+m-2).
+	prev2 := make([]int, m+1) // t-2
+	prev1 := make([]int, m+1) // t-1
+	cur := make([]int, m+1)
+	best := 0
+	for t := 0; t <= n+m-2; t++ {
+		for i := 1; i <= m; i++ {
+			j := t - i + 2 // paper uses 0-based i; with 1-based rows j = t-i+2
+			if j < 1 || j > n {
+				cur[i] = 0
+				continue
+			}
+			up := 0   // d[i-1][j]  — on anti-diagonal t-1 at row i-1
+			left := 0 // d[i][j-1]  — on anti-diagonal t-1 at row i
+			diag := 0 // d[i-1][j-1] — on anti-diagonal t-2 at row i-1
+			if i-1 >= 1 && j <= n {
+				up = prev1[i-1]
+			}
+			if j-1 >= 1 {
+				left = prev1[i]
+			}
+			if i-1 >= 1 && j-1 >= 1 {
+				diag = prev2[i-1]
+			}
+			v := max(0, up-sc.Gap, left-sc.Gap, diag+sc.W(x[i-1], y[j-1]))
+			cur[i] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev2, prev1, cur = prev1, cur, prev2
+	}
+	return best
+}
+
+// ScheduleTable returns, for an m×n problem, the anti-diagonal step t at
+// which each cell d[i][j] (0-based) is computed by the wavefront schedule,
+// using the paper's numbering where the top-left cell carries t = 1 — the
+// contents of the paper's Table III.
+func ScheduleTable(m, n int) [][]int {
+	tab := make([][]int, m)
+	for i := range tab {
+		tab[i] = make([]int, n)
+		for j := range tab[i] {
+			tab[i][j] = i + j + 1
+		}
+	}
+	return tab
+}

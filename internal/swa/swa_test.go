@@ -1,0 +1,338 @@
+package swa
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dna"
+)
+
+// TestTableII reproduces the paper's Table II: the scoring matrix for
+// X = TACTG, Y = GAACTGA with c1=2, c2=1, gap=1.
+func TestTableII(t *testing.T) {
+	x := dna.MustParse("TACTG")
+	y := dna.MustParse("GAACTGA")
+	d := Matrix(x, y, PaperScoring)
+	want := [][]int{
+		{0, 0, 0, 0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0, 2, 1, 0},
+		{0, 0, 2, 2, 1, 1, 1, 3},
+		{0, 0, 1, 1, 4, 3, 2, 2},
+		{0, 0, 0, 0, 3, 6, 5, 4},
+		{0, 2, 1, 0, 2, 5, 8, 7},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if d[i][j] != want[i][j] {
+				t.Errorf("d[%d][%d] = %d, paper Table II says %d", i, j, d[i][j], want[i][j])
+			}
+		}
+	}
+	best, bi, bj := MatrixMax(d)
+	if best != 8 || bi != 5 || bj != 6 {
+		t.Errorf("max = %d at (%d,%d), want 8 at (5,6)", best, bi, bj)
+	}
+	if got := Score(x, y, PaperScoring); got != 8 {
+		t.Errorf("Score = %d, want 8", got)
+	}
+}
+
+func TestScoreEdgeCases(t *testing.T) {
+	sc := PaperScoring
+	if Score(nil, dna.MustParse("ACGT"), sc) != 0 {
+		t.Error("empty pattern should score 0")
+	}
+	if Score(dna.MustParse("ACGT"), nil, sc) != 0 {
+		t.Error("empty text should score 0")
+	}
+	// Single matching base.
+	if got := Score(dna.MustParse("A"), dna.MustParse("A"), sc); got != 2 {
+		t.Errorf("single match = %d, want 2", got)
+	}
+	// No similarity at all: A^m vs C^n -> all mismatches, score 0.
+	x := make(dna.Seq, 5)
+	y := make(dna.Seq, 9)
+	for i := range y {
+		y[i] = dna.C
+	}
+	if got := Score(x, y, sc); got != 0 {
+		t.Errorf("disjoint sequences = %d, want 0", got)
+	}
+	// Perfect containment: score = c1 * m.
+	x = dna.MustParse("ACGTT")
+	y = append(dna.MustParse("GGG"), append(x.Clone(), dna.MustParse("AAA")...)...)
+	if got := Score(x, y, sc); got != sc.MaxScore(len(x)) {
+		t.Errorf("perfect containment = %d, want %d", got, sc.MaxScore(len(x)))
+	}
+}
+
+func TestScoringValidate(t *testing.T) {
+	if err := PaperScoring.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Scoring{Match: 0}).Validate(); err == nil {
+		t.Error("Match=0 should be invalid")
+	}
+	if err := (Scoring{Match: 1, Gap: -1}).Validate(); err == nil {
+		t.Error("negative gap magnitude should be invalid")
+	}
+}
+
+func TestWavefrontMatchesScore(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		m := 1 + rng.IntN(24)
+		n := 1 + rng.IntN(60)
+		x := dna.RandSeq(rng, m)
+		y := dna.RandSeq(rng, n)
+		return WavefrontScore(x, y, PaperScoring) == Score(x, y, PaperScoring)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWavefrontVariousScorings(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	schemes := []Scoring{
+		{Match: 1, Mismatch: 0, Gap: 0},
+		{Match: 3, Mismatch: 2, Gap: 1},
+		{Match: 5, Mismatch: 4, Gap: 3},
+	}
+	for _, sc := range schemes {
+		for trial := 0; trial < 20; trial++ {
+			x := dna.RandSeq(rng, 1+rng.IntN(16))
+			y := dna.RandSeq(rng, 1+rng.IntN(40))
+			if WavefrontScore(x, y, sc) != Score(x, y, sc) {
+				t.Fatalf("scheme %+v: wavefront disagrees", sc)
+			}
+		}
+	}
+}
+
+// TestTableIII reproduces the anti-diagonal schedule of the paper's
+// Table III (5×7 example, top-left cell computed at t = 1).
+func TestTableIII(t *testing.T) {
+	tab := ScheduleTable(5, 7)
+	want := [][]int{
+		{1, 2, 3, 4, 5, 6, 7},
+		{2, 3, 4, 5, 6, 7, 8},
+		{3, 4, 5, 6, 7, 8, 9},
+		{4, 5, 6, 7, 8, 9, 10},
+		{5, 6, 7, 8, 9, 10, 11},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if tab[i][j] != want[i][j] {
+				t.Errorf("t(%d,%d) = %d, want %d", i, j, tab[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestAlignTableIIExample(t *testing.T) {
+	// The boldfaced path of Table II aligns ACTG against ACTG.
+	a := Align(dna.MustParse("TACTG"), dna.MustParse("GAACTGA"), PaperScoring)
+	if a.Score != 8 {
+		t.Fatalf("Score = %d, want 8", a.Score)
+	}
+	if a.AlignedX != "ACTG" || a.AlignedY != "ACTG" {
+		t.Errorf("alignment %q/%q, want ACTG/ACTG", a.AlignedX, a.AlignedY)
+	}
+	if a.XStart != 1 || a.XEnd != 5 || a.YStart != 2 || a.YEnd != 6 {
+		t.Errorf("coordinates X[%d:%d] Y[%d:%d], want X[1:5] Y[2:6]",
+			a.XStart, a.XEnd, a.YStart, a.YEnd)
+	}
+	if a.Matches != 4 || a.Mismatches != 0 || a.Gaps != 0 {
+		t.Errorf("stats m=%d mm=%d g=%d, want 4/0/0", a.Matches, a.Mismatches, a.Gaps)
+	}
+	if a.Identity() != 1.0 {
+		t.Errorf("identity = %f, want 1", a.Identity())
+	}
+}
+
+func TestAlignScoreConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		x := dna.RandSeq(rng, 1+rng.IntN(20))
+		y := dna.RandSeq(rng, 1+rng.IntN(50))
+		a := Align(x, y, PaperScoring)
+		if a.Score != Score(x, y, PaperScoring) {
+			return false
+		}
+		// Re-score the reported alignment columns; it must equal a.Score.
+		s := 0
+		for i := 0; i < len(a.AlignedX); i++ {
+			cx, cy := a.AlignedX[i], a.AlignedY[i]
+			switch {
+			case cx == '-' || cy == '-':
+				s -= PaperScoring.Gap
+			case cx == cy:
+				s += PaperScoring.Match
+			default:
+				s -= PaperScoring.Mismatch
+			}
+		}
+		return s == a.Score
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignWithGaps(t *testing.T) {
+	// X fits Y with one deletion: X=ACGTACGT, Y contains ACGT-CGT region
+	x := dna.MustParse("ACGTACGT")
+	y := dna.MustParse("TTACGTCGTTT")
+	a := Align(x, y, PaperScoring)
+	if a.Gaps == 0 {
+		t.Errorf("expected a gapped alignment, got %v", a)
+	}
+	if !strings.Contains(a.AlignedX, "ACGT") {
+		t.Errorf("unexpected alignment: %v", a)
+	}
+}
+
+func TestAlignEmpty(t *testing.T) {
+	a := Align(nil, nil, PaperScoring)
+	if a.Score != 0 || a.AlignedX != "" {
+		t.Errorf("empty alignment wrong: %+v", a)
+	}
+}
+
+func TestAlignmentString(t *testing.T) {
+	a := Align(dna.MustParse("ACGT"), dna.MustParse("ACGT"), PaperScoring)
+	s := a.String()
+	if !strings.Contains(s, "score=8") || !strings.Contains(s, "||||") {
+		t.Errorf("String output unexpected:\n%s", s)
+	}
+}
+
+func TestFilterByScore(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	pairs := dna.PlantedPairs(rng, 8, 20, 200, 1.0, dna.MutationModel{})
+	noise := dna.RandomPairs(rng, 8, 20, 200)
+	all := append(pairs, noise...)
+	tau := PaperScoring.MaxScore(20) - 1 // only perfect plants pass
+	got := FilterByScore(all, tau, PaperScoring)
+	if len(got) < 8 {
+		t.Fatalf("expected at least the 8 planted pairs, got %d", len(got))
+	}
+	for _, r := range got {
+		if r.Score <= tau {
+			t.Errorf("result %d has score %d <= tau %d", r.Index, r.Score, tau)
+		}
+	}
+	planted := 0
+	for _, r := range got {
+		if r.Index < 8 {
+			planted++
+		}
+	}
+	if planted != 8 {
+		t.Errorf("only %d of 8 planted pairs recovered", planted)
+	}
+}
+
+func TestAffineEqualsLinearWhenOpenEqualsExtend(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		x := dna.RandSeq(rng, 1+rng.IntN(16))
+		y := dna.RandSeq(rng, 1+rng.IntN(48))
+		lin := Score(x, y, PaperScoring)
+		aff := ScoreAffine(x, y, PaperScoring.Linear())
+		return lin == aff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAffinePrefersLongGaps(t *testing.T) {
+	// With expensive opening but cheap extension, bridging a 2-base gap is
+	// worthwhile under affine scoring but not under linear gap = open.
+	x := dna.MustParse("AAAACCCC")
+	y := dna.MustParse("AAAATTCCCC")
+	aff := AffineScoring{Match: 2, Mismatch: 3, GapOpen: 4, GapExtend: 1}
+	got := ScoreAffine(x, y, aff)
+	// Best: AAAA--CCCC: 8*2 - (4 + 1) = 11.
+	if got != 11 {
+		t.Errorf("affine score = %d, want 11", got)
+	}
+	// Linear with gap=4: bridging costs 2*4=8, so taking just AAAA (or
+	// CCCC) for 8 ties the bridged alignment; affine must beat it.
+	lin := Score(x, y, Scoring{Match: 2, Mismatch: 3, Gap: 4})
+	if lin != 8 {
+		t.Errorf("linear score = %d, want 8", lin)
+	}
+	if got <= lin {
+		t.Errorf("affine should beat linear here: lin=%d aff=%d", lin, got)
+	}
+}
+
+func TestAffineValidate(t *testing.T) {
+	ok := AffineScoring{Match: 2, Mismatch: 1, GapOpen: 3, GapExtend: 1}
+	if err := ok.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []AffineScoring{
+		{Match: 0},
+		{Match: 1, GapOpen: 1, GapExtend: 2},
+		{Match: 1, Mismatch: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("scheme %d should be invalid", i)
+		}
+	}
+}
+
+func TestAffineNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		x := dna.RandSeq(rng, 1+rng.IntN(12))
+		y := dna.RandSeq(rng, 1+rng.IntN(30))
+		return ScoreAffine(x, y, AffineScoring{Match: 2, Mismatch: 5, GapOpen: 6, GapExtend: 2}) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixBordersZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	d := Matrix(dna.RandSeq(rng, 6), dna.RandSeq(rng, 10), PaperScoring)
+	for j := range d[0] {
+		if d[0][j] != 0 {
+			t.Fatal("top border not zero")
+		}
+	}
+	for i := range d {
+		if d[i][0] != 0 {
+			t.Fatal("left border not zero")
+		}
+	}
+}
+
+func BenchmarkScoreWordwise(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	x := dna.RandSeq(rng, 128)
+	y := dna.RandSeq(rng, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Score(x, y, PaperScoring)
+	}
+	b.ReportMetric(float64(b.N)*128*1024/b.Elapsed().Seconds()/1e9, "GCUPS")
+}
+
+func BenchmarkWavefrontScore(b *testing.B) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	x := dna.RandSeq(rng, 128)
+	y := dna.RandSeq(rng, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WavefrontScore(x, y, PaperScoring)
+	}
+}

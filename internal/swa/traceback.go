@@ -1,0 +1,123 @@
+package swa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dna"
+)
+
+// Alignment is a reconstructed optimal local alignment. Coordinates are
+// 0-based half-open ranges into the original sequences.
+type Alignment struct {
+	Score        int
+	XStart, XEnd int
+	YStart, YEnd int
+	AlignedX     string // with '-' for gaps in X
+	AlignedY     string // with '-' for gaps in Y
+	Matches      int    // aligned columns with equal bases
+	Mismatches   int
+	Gaps         int // gap columns (either side)
+}
+
+// String renders the alignment in the usual three-line form.
+func (a Alignment) String() string {
+	var mid strings.Builder
+	for i := 0; i < len(a.AlignedX); i++ {
+		switch {
+		case a.AlignedX[i] == '-' || a.AlignedY[i] == '-':
+			mid.WriteByte(' ')
+		case a.AlignedX[i] == a.AlignedY[i]:
+			mid.WriteByte('|')
+		default:
+			mid.WriteByte('.')
+		}
+	}
+	return fmt.Sprintf("score=%d X[%d:%d] Y[%d:%d]\n%s\n%s\n%s",
+		a.Score, a.XStart, a.XEnd, a.YStart, a.YEnd,
+		a.AlignedX, mid.String(), a.AlignedY)
+}
+
+// Identity returns the fraction of alignment columns that are matches.
+func (a Alignment) Identity() float64 {
+	n := len(a.AlignedX)
+	if n == 0 {
+		return 0
+	}
+	return float64(a.Matches) / float64(n)
+}
+
+// Align computes the optimal local alignment of x and y: it builds the full
+// scoring matrix, finds the maximum cell, and traces back along the
+// recurrence until a zero cell, preferring diagonal moves (the conventional
+// Smith-Waterman traceback the paper delegates to the CPU for pairs passing
+// the threshold filter).
+func Align(x, y dna.Seq, sc Scoring) Alignment {
+	d := Matrix(x, y, sc)
+	best, bi, bj := MatrixMax(d)
+	a := Alignment{Score: best}
+	if best == 0 {
+		return a
+	}
+	var ax, ay []byte
+	i, j := bi, bj
+	for i > 0 && j > 0 && d[i][j] > 0 {
+		cell := d[i][j]
+		switch {
+		case cell == d[i-1][j-1]+sc.W(x[i-1], y[j-1]):
+			ax = append(ax, x[i-1].Byte())
+			ay = append(ay, y[j-1].Byte())
+			if x[i-1] == y[j-1] {
+				a.Matches++
+			} else {
+				a.Mismatches++
+			}
+			i, j = i-1, j-1
+		case cell == d[i-1][j]-sc.Gap:
+			ax = append(ax, x[i-1].Byte())
+			ay = append(ay, '-')
+			a.Gaps++
+			i--
+		case cell == d[i][j-1]-sc.Gap:
+			ax = append(ax, '-')
+			ay = append(ay, y[j-1].Byte())
+			a.Gaps++
+			j--
+		default:
+			// Unreachable if the matrix is consistent with the recurrence.
+			panic("swa: traceback: matrix inconsistent with recurrence")
+		}
+	}
+	a.XStart, a.XEnd = i, bi
+	a.YStart, a.YEnd = j, bj
+	reverse(ax)
+	reverse(ay)
+	a.AlignedX, a.AlignedY = string(ax), string(ay)
+	return a
+}
+
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}
+
+// FilterResult reports one pair that passed the threshold screen.
+type FilterResult struct {
+	Index int // position in the input pair slice
+	Score int
+}
+
+// FilterByScore returns the pairs whose maximum local-alignment score is
+// strictly greater than tau — the screening step the paper performs with the
+// BPBC engine before detailed CPU alignment (§III). This reference version
+// exists to validate the bulk engines' filtering behaviour.
+func FilterByScore(pairs []dna.Pair, tau int, sc Scoring) []FilterResult {
+	var out []FilterResult
+	for i, p := range pairs {
+		if s := Score(p.X, p.Y, sc); s > tau {
+			out = append(out, FilterResult{Index: i, Score: s})
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package tables
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bpbc"
+	"repro/internal/perfmodel"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AblationRow is one design-choice measurement.
+type AblationRow struct {
+	Name   string
+	Config string
+	Value  string
+	Note   string
+}
+
+// BuildAblations runs the design-choice experiments of DESIGN.md §5 at the
+// given preset scale and returns a comparison table.
+func BuildAblations(preset workload.Spec) ([]AblationRow, error) {
+	var rows []AblationRow
+	n := preset.NList[0]
+	pairs := preset.Generate(n)
+
+	// Lane width: per-lane CPU throughput (the paper's Table IV CPU story).
+	t32, err := bpbc.BulkScores[uint32](pairs, bpbc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	t64, err := bpbc.BulkScores[uint64](pairs, bpbc.Options{})
+	if err != nil {
+		return nil, err
+	}
+	g32 := perfmodel.GCUPS(preset.Pairs, preset.M, n, t32.Timing.Total())
+	g64 := perfmodel.GCUPS(preset.Pairs, preset.M, n, t64.Timing.Total())
+	rows = append(rows,
+		AblationRow{"lane width", "32 lanes", fmt.Sprintf("%.2f GCUPS", g32), ""},
+		AblationRow{"lane width", "64 lanes", fmt.Sprintf("%.2f GCUPS", g64),
+			fmt.Sprintf("%.2fx", g64/g32)},
+	)
+
+	// Score width: paper's 8-bit (overflowing) vs safe 9-bit.
+	s8, err := bpbc.BulkScores[uint32](pairs, bpbc.Options{SBits: 8})
+	if err != nil {
+		return nil, err
+	}
+	s9, err := bpbc.BulkScores[uint32](pairs, bpbc.Options{SBits: 9})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows,
+		AblationRow{"score width", "s=8 (paper, can wrap)", stats.Ms(s8.Timing.SWA) + " ms", ""},
+		AblationRow{"score width", "s=9 (overflow-safe)", stats.Ms(s9.Timing.SWA) + " ms",
+			fmt.Sprintf("+%.0f%%", 100*(float64(s9.Timing.SWA)/float64(s8.Timing.SWA)-1))},
+	)
+
+	// Multi-core bulk (beyond paper).
+	for _, w := range []int{1, 4} {
+		start := time.Now()
+		if _, err := bpbc.BulkScores[uint64](pairs, bpbc.Options{Workers: w}); err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			"CPU workers", fmt.Sprintf("workers=%d", w),
+			fmt.Sprintf("%.2f GCUPS", perfmodel.GCUPS(preset.Pairs, preset.M, n, time.Since(start))),
+			"beyond-paper"})
+	}
+
+	// Shuffle vs shared-memory handoff on the simulated GPU (§V).
+	simPairs := workload.Spec{Pairs: 32, M: preset.M, Seed: 77}.Generate(min(n, 512))
+	plain, err := pipeline.RunBitwise[uint32](simPairs, pipeline.Config{})
+	if err != nil {
+		return nil, err
+	}
+	shuf, err := pipeline.RunBitwise[uint32](simPairs, pipeline.Config{UseShuffle: true})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows,
+		AblationRow{"GPU handoff", "shared memory", fmt.Sprintf("%d shared cycles", plain.SWAStats.SharedCycles), ""},
+		AblationRow{"GPU handoff", "warp shuffle (§V)", fmt.Sprintf("%d shared cycles", shuf.SWAStats.SharedCycles),
+			fmt.Sprintf("%.1fx less shared traffic", float64(plain.SWAStats.SharedCycles)/float64(shuf.SWAStats.SharedCycles))},
+	)
+	return rows, nil
+}
+
+// RenderAblations renders the ablation comparison.
+func RenderAblations(rows []AblationRow) string {
+	t := stats.NewTable("Ablations (DESIGN.md §5)", "experiment", "configuration", "result", "note")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Config, r.Value, r.Note)
+	}
+	return t.String()
+}

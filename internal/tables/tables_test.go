@@ -1,0 +1,230 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestTableIRows(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 9 {
+		t.Fatalf("expected 9 rows, got %d", len(rows))
+	}
+	matches := 0
+	for _, r := range rows {
+		if r.OurOps <= 0 || r.OurOps > 560 {
+			t.Errorf("s=%d: our ops %d out of range", r.S, r.OurOps)
+		}
+		if r.Match {
+			matches++
+		}
+		// Lemma 1 row.
+		if r.S == 32 && (r.OurOps != 560 || !r.Match) {
+			t.Errorf("s=32 should match exactly, got %+v", r)
+		}
+		if r.S == 2 && r.OurOps != 127 {
+			t.Errorf("s=2 should cost 127 ops, got %d", r.OurOps)
+		}
+	}
+	if matches < 5 {
+		t.Errorf("planner matches paper on only %d rows, expected >= 5", matches)
+	}
+	out := RenderTableI()
+	if !strings.Contains(out, "560") || !strings.Contains(out, "127") {
+		t.Error("rendered Table I missing landmark values")
+	}
+}
+
+func TestTableIIValues(t *testing.T) {
+	d := TableII()
+	if d[5][6] != 8 {
+		t.Errorf("d[5][6] = %d, want 8", d[5][6])
+	}
+	out := RenderTableII()
+	if !strings.Contains(out, "maximum score 8") {
+		t.Errorf("rendered Table II missing max score:\n%s", out)
+	}
+}
+
+func TestTableIIIValues(t *testing.T) {
+	tab := TableIII()
+	if tab[0][0] != 1 || tab[4][6] != 11 {
+		t.Errorf("schedule corners wrong: %d, %d", tab[0][0], tab[4][6])
+	}
+	if !strings.Contains(RenderTableIII(), "11") {
+		t.Error("rendered Table III missing final step")
+	}
+}
+
+func TestLemmas(t *testing.T) {
+	rows := Lemmas()
+	if len(rows) != 7 {
+		t.Fatalf("expected 7 lemma rows, got %d", len(rows))
+	}
+	if rows[0].Paper != 560 || rows[0].Ours != 560 {
+		t.Errorf("Lemma 1 row wrong: %+v", rows[0])
+	}
+	sawSW := false
+	for _, r := range rows {
+		if r.Name == "SW" {
+			sawSW = true
+			if r.GateCount <= 0 {
+				t.Error("SW row should carry a netlist gate count")
+			}
+			if r.Paper != 48*9-18 {
+				t.Errorf("SW paper count = %d", r.Paper)
+			}
+		}
+	}
+	if !sawSW {
+		t.Error("missing SW row")
+	}
+	if !strings.Contains(RenderLemmas(), "Lemma 1") {
+		t.Error("render missing Lemma 1")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	if err := VerifyFigure1(); err != nil {
+		t.Fatal(err)
+	}
+	out := RenderFigure1()
+	if !strings.Contains(out, "after stage 3") {
+		t.Error("Figure 1 missing final stage")
+	}
+	// Final stage must show the transposed provenance: A[0]'s leftmost
+	// (bit 7) cell holds original (7,0).
+	if !strings.Contains(out, "A[0]  7,0 6,0 5,0 4,0 3,0 2,0 1,0 0,0") {
+		t.Errorf("Figure 1 final state wrong:\n%s", out)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	out := RenderFigure2()
+	if !strings.Contains(out, "thread 4") || !strings.Contains(out, "t11") {
+		t.Errorf("Figure 2 missing wavefront cells:\n%s", out)
+	}
+}
+
+// TestBuildTableIVUnit runs the full Table IV/V machinery on the tiny unit
+// preset: every cell must be populated and the headline orderings must hold.
+func TestBuildTableIVUnit(t *testing.T) {
+	iv, err := BuildTableIV(workload.Unit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iv.Rows) != 3*len(workload.Paper.NList) {
+		t.Fatalf("expected %d rows, got %d", 3*len(workload.Paper.NList), len(iv.Rows))
+	}
+	byKey := map[Engine]map[int]TableIVRow{}
+	for _, r := range iv.Rows {
+		if byKey[r.Engine] == nil {
+			byKey[r.Engine] = map[int]TableIVRow{}
+		}
+		byKey[r.Engine][r.N] = r
+		if r.CPU.SWA <= 0 {
+			t.Errorf("%s n=%d: CPU SWA not measured", r.Engine, r.N)
+		}
+		if r.GPU.SWA <= 0 || r.GPU.H2G <= 0 {
+			t.Errorf("%s n=%d: GPU stages missing", r.Engine, r.N)
+		}
+		if r.PaperCPU <= 0 || r.PaperGPU <= 0 {
+			t.Errorf("%s n=%d: paper references missing", r.Engine, r.N)
+		}
+		if r.Engine == Wordwise32 && (r.CPU.W2B != 0 || r.GPU.W2B != 0) {
+			t.Errorf("wordwise should have no transpose stages")
+		}
+	}
+	// Shape check 1: GPU total beats CPU total everywhere (the paper's
+	// central claim).
+	for _, e := range Engines {
+		for _, n := range iv.NList {
+			r := byKey[e][n]
+			if r.GPU.Total() >= r.CPU.Total() {
+				t.Errorf("%s n=%d: GPU (%v) not faster than CPU (%v)",
+					e, n, r.GPU.Total(), r.CPU.Total())
+			}
+		}
+	}
+	// Shape check 2: on the GPU, bitwise-32 beats bitwise-64 beats wordwise
+	// (paper's Table IV ordering).
+	for _, n := range iv.NList {
+		b32 := byKey[Bitwise32][n].GPU.Total()
+		b64 := byKey[Bitwise64][n].GPU.Total()
+		ww := byKey[Wordwise32][n].GPU.Total()
+		if !(b32 < b64 && b64 < ww) {
+			t.Errorf("n=%d: GPU ordering b32=%v b64=%v ww=%v, want b32<b64<ww",
+				n, b32, b64, ww)
+		}
+	}
+	// Shape check 3: on the CPU, bitwise-64 is the fastest engine
+	// (paper: ~20%% faster than wordwise; bitwise-32 slowest).
+	for _, n := range iv.NList {
+		b64 := byKey[Bitwise64][n].CPU.Total()
+		b32 := byKey[Bitwise32][n].CPU.Total()
+		ww := byKey[Wordwise32][n].CPU.Total()
+		if b64 >= ww || b64 >= b32 {
+			t.Errorf("n=%d: CPU ordering b32=%v b64=%v ww=%v, want b64 fastest",
+				n, b32, b64, ww)
+		}
+	}
+
+	v := BuildTableV(iv)
+	if len(v) != len(iv.NList) {
+		t.Fatalf("Table V rows = %d", len(v))
+	}
+	for _, r := range v {
+		if r.Speedup < 50 {
+			t.Errorf("n=%d: speedup %.1f implausibly low", r.N, r.Speedup)
+		}
+		if r.GPUGCUPS <= r.CPUGCUPS {
+			t.Errorf("n=%d: GPU GCUPS not above CPU", r.N)
+		}
+		if r.PaperSpeedup < 400 || r.PaperSpeedup > 530 {
+			t.Errorf("paper speedup reference wrong: %v", r.PaperSpeedup)
+		}
+	}
+	if !strings.Contains(RenderTableIV(iv), "bitwise-32") {
+		t.Error("Table IV render broken")
+	}
+	if !strings.Contains(RenderTableV(v), "speedup") {
+		t.Error("Table V render broken")
+	}
+}
+
+func TestPaperReferenceLookups(t *testing.T) {
+	if PaperCPUTotal(Bitwise32, 1024) != time.Duration(11144.07*float64(time.Millisecond)) {
+		t.Error("paper CPU total lookup wrong")
+	}
+	if PaperGPUTotal(Bitwise32, 65536) != time.Duration(695.42*float64(time.Millisecond)) {
+		t.Error("paper GPU total lookup wrong")
+	}
+}
+
+func TestBuildAblations(t *testing.T) {
+	rows, err := BuildAblations(workload.Unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 8 {
+		t.Fatalf("expected >= 8 ablation rows, got %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Name] = true
+		if r.Value == "" {
+			t.Errorf("row %q/%q has empty value", r.Name, r.Config)
+		}
+	}
+	for _, want := range []string{"lane width", "score width", "CPU workers", "GPU handoff"} {
+		if !names[want] {
+			t.Errorf("missing ablation %q", want)
+		}
+	}
+	if !strings.Contains(RenderAblations(rows), "warp shuffle") {
+		t.Error("render missing shuffle row")
+	}
+}

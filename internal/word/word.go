@@ -1,0 +1,98 @@
+// Package word defines the lane-word abstraction used throughout the BPBC
+// (Bitwise Parallel Bulk Computation) library.
+//
+// A "word" is the machine unit whose bits carry one bit each of W independent
+// problem instances ("lanes"): bit k of a word belongs to instance k. All
+// bit-sliced arithmetic, transposes and kernels are generic over the two lane
+// widths the paper evaluates, uint32 (32 lanes) and uint64 (64 lanes).
+package word
+
+import "math/bits"
+
+// Word is the constraint satisfied by the two lane-word types the paper
+// evaluates: 32-bit and 64-bit unsigned integers.
+type Word interface {
+	~uint32 | ~uint64
+}
+
+// Lanes reports the number of lanes (bits) carried by the word type W.
+func Lanes[W Word]() int {
+	var w W
+	return bitsOf(w)
+}
+
+func bitsOf[W Word](w W) int {
+	// ^W(0) has all lanes set; counting them yields the width.
+	return bits.OnesCount64(uint64(^W(0)))
+}
+
+// Ones returns the all-ones word: every lane set.
+func Ones[W Word]() W {
+	return ^W(0)
+}
+
+// Bit returns a word with only lane k set. It panics if k is out of range,
+// matching slice-indexing semantics.
+func Bit[W Word](k int) W {
+	if k < 0 || k >= Lanes[W]() {
+		panic("word: lane index out of range")
+	}
+	return W(1) << uint(k)
+}
+
+// Broadcast returns the all-ones word when b is true and zero otherwise.
+// It is how scalar constants enter bit-sliced arithmetic: bit i of a scalar
+// constant becomes Broadcast(bit i) in plane i.
+func Broadcast[W Word](b bool) W {
+	if b {
+		return Ones[W]()
+	}
+	return 0
+}
+
+// Lane reports whether lane k of w is set.
+func Lane[W Word](w W, k int) bool {
+	return w>>uint(k)&1 != 0
+}
+
+// SetLane returns w with lane k forced to v.
+func SetLane[W Word](w W, k int, v bool) W {
+	m := W(1) << uint(k)
+	if v {
+		return w | m
+	}
+	return w &^ m
+}
+
+// LowMask returns a word with the n lowest lanes set. n may be 0..Lanes.
+func LowMask[W Word](n int) W {
+	l := Lanes[W]()
+	if n < 0 || n > l {
+		panic("word: LowMask width out of range")
+	}
+	if n == l {
+		return Ones[W]()
+	}
+	return W(1)<<uint(n) - 1
+}
+
+// HalfMask returns the mask used at transpose step distance d: within every
+// 2d-lane period the low d lanes are set (e.g. d=16 on uint32 gives
+// 0x0000FFFF, d=8 gives 0x00FF00FF, ... d=1 gives 0x55555555).
+func HalfMask[W Word](d int) W {
+	l := Lanes[W]()
+	if d <= 0 || d > l/2 || d&(d-1) != 0 {
+		panic("word: HalfMask distance must be a power of two in [1, Lanes/2]")
+	}
+	block := W(1)<<uint(d) - 1
+	var m W
+	for off := 0; off < l; off += 2 * d {
+		m |= block << uint(off)
+	}
+	return m
+}
+
+// PopCount returns the number of set lanes in w.
+func PopCount[W Word](w W) int {
+	return bits.OnesCount64(uint64(w))
+}

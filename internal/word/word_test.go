@@ -1,0 +1,167 @@
+package word
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLanes(t *testing.T) {
+	if got := Lanes[uint32](); got != 32 {
+		t.Errorf("Lanes[uint32] = %d, want 32", got)
+	}
+	if got := Lanes[uint64](); got != 64 {
+		t.Errorf("Lanes[uint64] = %d, want 64", got)
+	}
+}
+
+func TestOnes(t *testing.T) {
+	if Ones[uint32]() != 0xFFFFFFFF {
+		t.Error("Ones[uint32] wrong")
+	}
+	if Ones[uint64]() != 0xFFFFFFFFFFFFFFFF {
+		t.Error("Ones[uint64] wrong")
+	}
+}
+
+func TestBit(t *testing.T) {
+	for k := 0; k < 32; k++ {
+		if Bit[uint32](k) != uint32(1)<<k {
+			t.Fatalf("Bit[uint32](%d) wrong", k)
+		}
+	}
+	for k := 0; k < 64; k++ {
+		if Bit[uint64](k) != uint64(1)<<k {
+			t.Fatalf("Bit[uint64](%d) wrong", k)
+		}
+	}
+}
+
+func TestBitPanics(t *testing.T) {
+	for _, k := range []int{-1, 32} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit[uint32](%d) did not panic", k)
+				}
+			}()
+			Bit[uint32](k)
+		}()
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	if Broadcast[uint32](true) != 0xFFFFFFFF || Broadcast[uint32](false) != 0 {
+		t.Error("Broadcast[uint32] wrong")
+	}
+	if Broadcast[uint64](true) != ^uint64(0) || Broadcast[uint64](false) != 0 {
+		t.Error("Broadcast[uint64] wrong")
+	}
+}
+
+func TestLaneSetLane(t *testing.T) {
+	var w uint32
+	for k := 0; k < 32; k++ {
+		w = SetLane(w, k, k%3 == 0)
+	}
+	for k := 0; k < 32; k++ {
+		if Lane(w, k) != (k%3 == 0) {
+			t.Fatalf("lane %d mismatch", k)
+		}
+	}
+}
+
+func TestSetLaneRoundTrip(t *testing.T) {
+	f := func(w uint64, k uint8, v bool) bool {
+		kk := int(k % 64)
+		return Lane(SetLane(w, kk, v), kk) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetLaneClears(t *testing.T) {
+	w := Ones[uint32]()
+	w = SetLane(w, 7, false)
+	if Lane(w, 7) {
+		t.Error("SetLane(false) did not clear lane")
+	}
+	if PopCount(w) != 31 {
+		t.Errorf("PopCount = %d, want 31", PopCount(w))
+	}
+}
+
+func TestLowMask(t *testing.T) {
+	if LowMask[uint32](0) != 0 {
+		t.Error("LowMask(0) != 0")
+	}
+	if LowMask[uint32](32) != 0xFFFFFFFF {
+		t.Error("LowMask(32) wrong")
+	}
+	if LowMask[uint32](5) != 0x1F {
+		t.Error("LowMask(5) wrong")
+	}
+	if LowMask[uint64](64) != ^uint64(0) {
+		t.Error("LowMask[uint64](64) wrong")
+	}
+	if LowMask[uint64](33) != (uint64(1)<<33)-1 {
+		t.Error("LowMask[uint64](33) wrong")
+	}
+}
+
+func TestHalfMask32(t *testing.T) {
+	want := map[int]uint32{
+		16: 0x0000FFFF,
+		8:  0x00FF00FF,
+		4:  0x0F0F0F0F,
+		2:  0x33333333,
+		1:  0x55555555,
+	}
+	for d, m := range want {
+		if got := HalfMask[uint32](d); got != m {
+			t.Errorf("HalfMask[uint32](%d) = %#x, want %#x", d, got, m)
+		}
+	}
+}
+
+func TestHalfMask64(t *testing.T) {
+	want := map[int]uint64{
+		32: 0x00000000FFFFFFFF,
+		16: 0x0000FFFF0000FFFF,
+		8:  0x00FF00FF00FF00FF,
+		4:  0x0F0F0F0F0F0F0F0F,
+		2:  0x3333333333333333,
+		1:  0x5555555555555555,
+	}
+	for d, m := range want {
+		if got := HalfMask[uint64](d); got != m {
+			t.Errorf("HalfMask[uint64](%d) = %#x, want %#x", d, got, m)
+		}
+	}
+}
+
+func TestHalfMaskPanics(t *testing.T) {
+	for _, d := range []int{0, 3, 32, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("HalfMask[uint32](%d) did not panic", d)
+				}
+			}()
+			HalfMask[uint32](d)
+		}()
+	}
+}
+
+func TestHalfMaskComplement(t *testing.T) {
+	// b | b<<d must cover the full word: every bit is in exactly one half.
+	for _, d := range []int{1, 2, 4, 8, 16} {
+		b := HalfMask[uint32](d)
+		if b|(b<<uint(d)) != 0xFFFFFFFF {
+			t.Errorf("d=%d: halves do not cover word", d)
+		}
+		if b&(b<<uint(d)) != 0 {
+			t.Errorf("d=%d: halves overlap", d)
+		}
+	}
+}

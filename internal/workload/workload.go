@@ -1,0 +1,84 @@
+// Package workload defines the experiment workloads of the paper's
+// evaluation (§VI) and the scaled-down presets this reproduction uses for
+// interactive runs: the paper's CPU columns alone take hours at full scale.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/dna"
+)
+
+// Spec describes one evaluation workload.
+type Spec struct {
+	Name  string
+	Pairs int   // number of (X, Y) pairs
+	M     int   // pattern length (the paper fixes 128)
+	NList []int // text lengths to sweep
+	Seed  uint64
+}
+
+// Paper is the full workload of the paper's Table IV/V: 32K pairs, m = 128,
+// n = 1024 … 65536.
+var Paper = Spec{
+	Name:  "paper",
+	Pairs: 32768,
+	M:     128,
+	NList: []int{1024, 2048, 4096, 8192, 16384, 32768, 65536},
+	Seed:  20170529, // IPDPS Workshops 2017 opening day
+}
+
+// Quick is the scaled preset used by default: the same m and the same n
+// sweep shape (three octaves), 1/256 of the pairs. GCUPS figures are
+// directly comparable; absolute times are rescaled via perfmodel.Scale.
+var Quick = Spec{
+	Name:  "quick",
+	Pairs: 128,
+	M:     128,
+	NList: []int{1024, 2048, 4096},
+	Seed:  20170529,
+}
+
+// Unit is a tiny preset for tests.
+var Unit = Spec{
+	Name:  "unit",
+	Pairs: 64,
+	M:     32,
+	NList: []int{128, 256},
+	Seed:  7,
+}
+
+// ByName resolves a preset name.
+func ByName(name string) (Spec, error) {
+	switch name {
+	case "paper":
+		return Paper, nil
+	case "quick":
+		return Quick, nil
+	case "unit":
+		return Unit, nil
+	}
+	return Spec{}, fmt.Errorf("workload: unknown preset %q (want paper, quick or unit)", name)
+}
+
+// Generate produces the pair batch for one n of the sweep. Pairs are
+// uniformly random DNA (the paper's setting); generation is deterministic in
+// (Seed, n).
+func (s Spec) Generate(n int) []dna.Pair {
+	rng := rand.New(rand.NewPCG(s.Seed, uint64(n)))
+	return dna.RandomPairs(rng, s.Pairs, s.M, n)
+}
+
+// GenerateScreen produces a screening workload with planted homologies, used
+// by the database-filter example and benches.
+func (s Spec) GenerateScreen(n int, plantFrac float64) []dna.Pair {
+	rng := rand.New(rand.NewPCG(s.Seed+1, uint64(n)))
+	return dna.PlantedPairs(rng, s.Pairs, s.M, n, plantFrac,
+		dna.MutationModel{SubRate: 0.05, InsRate: 0.01, DelRate: 0.01})
+}
+
+// Cells returns the total cell-update count for one n.
+func (s Spec) Cells(n int) int64 {
+	return int64(s.Pairs) * int64(s.M) * int64(n)
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/swa"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"paper", "quick", "unit"} {
+		s, err := ByName(name)
+		if err != nil || s.Name != name {
+			t.Errorf("ByName(%q) = %+v, %v", name, s, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("unknown preset should fail")
+	}
+}
+
+func TestPaperSpecMatchesEvaluationSection(t *testing.T) {
+	if Paper.Pairs != 32768 {
+		t.Errorf("paper pairs = %d, want 32768 (32K)", Paper.Pairs)
+	}
+	if Paper.M != 128 {
+		t.Errorf("paper m = %d, want 128", Paper.M)
+	}
+	want := []int{1024, 2048, 4096, 8192, 16384, 32768, 65536}
+	if len(Paper.NList) != len(want) {
+		t.Fatalf("paper n sweep has %d entries", len(Paper.NList))
+	}
+	for i, n := range want {
+		if Paper.NList[i] != n {
+			t.Errorf("n[%d] = %d, want %d", i, Paper.NList[i], n)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndShaped(t *testing.T) {
+	a := Unit.Generate(128)
+	b := Unit.Generate(128)
+	if len(a) != Unit.Pairs {
+		t.Fatalf("generated %d pairs", len(a))
+	}
+	for i := range a {
+		if len(a[i].X) != Unit.M || len(a[i].Y) != 128 {
+			t.Fatalf("pair %d has shape (%d,%d)", i, len(a[i].X), len(a[i].Y))
+		}
+		if !a[i].X.Equal(b[i].X) || !a[i].Y.Equal(b[i].Y) {
+			t.Fatalf("generation not deterministic at pair %d", i)
+		}
+	}
+	// Different n must give different data.
+	c := Unit.Generate(256)
+	if a[0].X.Equal(c[0].X) {
+		t.Error("different n should reseed the generator")
+	}
+}
+
+func TestGenerateScreenPlantsHomologs(t *testing.T) {
+	pairs := Unit.GenerateScreen(256, 1.0)
+	tau := swa.PaperScoring.MaxScore(Unit.M) / 2
+	hits := 0
+	for _, p := range pairs {
+		if swa.Score(p.X, p.Y, swa.PaperScoring) > tau {
+			hits++
+		}
+	}
+	if hits < len(pairs)*9/10 {
+		t.Errorf("only %d/%d planted pairs exceed tau", hits, len(pairs))
+	}
+}
+
+func TestCells(t *testing.T) {
+	if got := Paper.Cells(1024); got != 32768*128*1024 {
+		t.Errorf("Cells = %d", got)
+	}
+}
