@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"testing"
@@ -133,13 +134,13 @@ func BenchmarkTableIV_GPU(b *testing.B) {
 	}
 	engines := []engine{
 		{"bitwise32", 32, true, 60, func(p []dna.Pair) (*pipeline.Result, error) {
-			return pipeline.RunBitwise[uint32](p, pipeline.Config{})
+			return pipeline.RunBitwise[uint32](context.Background(), p, pipeline.Config{})
 		}},
 		{"bitwise64", 64, true, 96, func(p []dna.Pair) (*pipeline.Result, error) {
-			return pipeline.RunBitwise[uint64](p, pipeline.Config{})
+			return pipeline.RunBitwise[uint64](context.Background(), p, pipeline.Config{})
 		}},
 		{"wordwise32", 32, false, 24, func(p []dna.Pair) (*pipeline.Result, error) {
-			return pipeline.RunWordwise(p, pipeline.Config{})
+			return pipeline.RunWordwise(context.Background(), p, pipeline.Config{})
 		}},
 	}
 	for _, n := range workload.Quick.NList {
@@ -215,7 +216,7 @@ func BenchmarkFigure2(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := pipeline.RunBitwise[uint32](pairs, pipeline.Config{}); err != nil {
+		if _, err := pipeline.RunBitwise[uint32](context.Background(), pairs, pipeline.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -328,7 +329,7 @@ func BenchmarkShuffleHandoff(b *testing.B) {
 			var last *pipeline.Result
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r, err := pipeline.RunBitwise[uint32](pairs, pipeline.Config{UseShuffle: shuffle})
+				r, err := pipeline.RunBitwise[uint32](context.Background(), pairs, pipeline.Config{UseShuffle: shuffle})
 				if err != nil {
 					b.Fatal(err)
 				}

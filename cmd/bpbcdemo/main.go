@@ -7,8 +7,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"repro/internal/cli"
 	"repro/internal/dna"
 	"repro/internal/match"
 	"repro/internal/tables"
@@ -23,18 +23,14 @@ func main() {
 		return
 	}
 	if *figure != 0 {
-		fmt.Fprintln(os.Stderr, "bpbcdemo: only figure 1 exists")
-		os.Exit(2)
+		cli.Exitf(2, "bpbcdemo: only figure 1 exists")
 	}
 
 	fmt.Println("=== §II straightforward string matching ===")
 	x := dna.MustParse("ATTCG")
 	y := dna.MustParse("AAATTCGGGA")
 	d, err := match.Straightforward(x, y)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cli.Check(err)
 	fmt.Printf("X=%s  Y=%s\nd = %v (0 marks an occurrence; the paper prints this vector as 110111)\n\n", x, y, d)
 
 	fmt.Println("=== §II BPBC bulk matching, the paper's 4-lane example ===")
@@ -47,10 +43,7 @@ func main() {
 		dna.MustParse("AAAAAAAA"), dna.MustParse("AATTTTTT"),
 	}
 	res, err := match.BulkSeqs[uint32](xs, ys)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cli.Check(err)
 	for j, w := range res.D {
 		fmt.Printf("d[%d] = %04b   (paper prints the complement %04b — see EXPERIMENTS.md)\n",
 			j, w&0xF, ^w&0xF)

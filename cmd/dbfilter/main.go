@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/bpbc"
+	"repro/internal/cli"
 	"repro/internal/dna"
 	"repro/internal/swa"
 )
@@ -38,31 +39,27 @@ func main() {
 	flag.Parse()
 
 	if *query == "" {
-		fmt.Fprintln(os.Stderr, "dbfilter: -query is required")
 		flag.PrintDefaults()
-		os.Exit(2)
+		cli.Exitf(2, "dbfilter: -query is required")
 	}
 	q, err := dna.Parse(*query)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "query:", err)
-		os.Exit(1)
+		cli.Die(fmt.Errorf("query: %w", err))
 	}
+
+	// Ctrl-C / SIGTERM aborts between screening passes.
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	var names []string
 	var texts []dna.Seq
 	switch {
 	case *dbPath != "":
 		f, err := os.Open(*dbPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(err)
 		recs, err := dna.ReadFASTA(f)
 		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(err)
 		for _, r := range recs {
 			names = append(names, r.Name)
 			texts = append(texts, r.Seq)
@@ -83,12 +80,10 @@ func main() {
 			texts = append(texts, t)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "dbfilter: need -db or -synthetic")
-		os.Exit(2)
+		cli.Exitf(2, "dbfilter: need -db or -synthetic")
 	}
 	if len(texts) == 0 {
-		fmt.Fprintln(os.Stderr, "dbfilter: empty database")
-		os.Exit(1)
+		cli.Exitf(1, "dbfilter: empty database")
 	}
 
 	pairs := make([]dna.Pair, len(texts))
@@ -113,10 +108,8 @@ func main() {
 
 	start := time.Now()
 	hits, err := screen(pairs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cli.Check(err)
+	cli.Check(ctx.Err())
 	strand := make([]byte, len(hits))
 	for i := range hits {
 		strand[i] = '+'
@@ -128,10 +121,8 @@ func main() {
 			rcPairs[i] = dna.Pair{X: rc, Y: t}
 		}
 		rcHits, err := screen(rcPairs)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		cli.Check(err)
+		cli.Check(ctx.Err())
 		for _, h := range rcHits {
 			hits = append(hits, h)
 			strand = append(strand, '-')

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/tables"
 	"repro/internal/workload"
 )
@@ -32,9 +33,13 @@ func main() {
 
 	spec, err := workload.ByName(*preset)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		cli.Exitf(2, "%v", err)
 	}
+
+	// Ctrl-C / SIGTERM cancels the pipeline context so long CPU sweeps and
+	// simulated GPU runs stop at the next measurement or kernel block.
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	progress := func(msg string) {
 		if !*quiet {
@@ -62,10 +67,9 @@ func main() {
 		fmt.Println(tables.RenderFigure2())
 	}
 	if want(4) || want(5) {
-		iv, err := tables.BuildTableIV(spec, progress)
+		iv, err := tables.BuildTableIV(ctx, spec, progress)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "table IV:", err)
-			os.Exit(1)
+			cli.Die(fmt.Errorf("table IV: %w", err))
 		}
 		if want(4) {
 			fmt.Println(tables.RenderTableIV(iv))
@@ -82,10 +86,9 @@ func main() {
 	}
 	if *ablations {
 		progress("ablations")
-		rows, err := tables.BuildAblations(spec)
+		rows, err := tables.BuildAblations(ctx, spec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ablations:", err)
-			os.Exit(1)
+			cli.Die(fmt.Errorf("ablations: %w", err))
 		}
 		fmt.Println(tables.RenderAblations(rows))
 	}

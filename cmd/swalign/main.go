@@ -12,8 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"repro/internal/cli"
 	"repro/internal/dna"
 	"repro/internal/swa"
 )
@@ -34,28 +34,22 @@ func main() {
 		*schedule = true
 	} else {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: swalign [flags] X Y   (or swalign -demo)")
 			flag.PrintDefaults()
-			os.Exit(2)
+			cli.Exitf(2, "usage: swalign [flags] X Y   (or swalign -demo)")
 		}
 		xStr, yStr = flag.Arg(0), flag.Arg(1)
 	}
 
 	x, err := dna.Parse(xStr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pattern:", err)
-		os.Exit(1)
+		cli.Die(fmt.Errorf("pattern: %w", err))
 	}
 	y, err := dna.Parse(yStr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "text:", err)
-		os.Exit(1)
+		cli.Die(fmt.Errorf("text: %w", err))
 	}
 	sc := swa.Scoring{Match: *match, Mismatch: *mismatch, Gap: *gap}
-	if err := sc.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	cli.Check(sc.Validate())
 
 	if *matrix {
 		d := swa.Matrix(x, y, sc)

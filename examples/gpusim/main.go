@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -17,11 +18,11 @@ func main() {
 	rng := rand.New(rand.NewPCG(7, 7))
 	batch := dna.RandomPairs(rng, pairs, m, n)
 
-	bw, err := pipeline.RunBitwise[uint32](batch, pipeline.Config{})
+	bw, err := pipeline.RunBitwise[uint32](context.Background(), batch, pipeline.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ww, err := pipeline.RunWordwise(batch, pipeline.Config{})
+	ww, err := pipeline.RunWordwise(context.Background(), batch, pipeline.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

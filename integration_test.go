@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -59,19 +60,19 @@ func TestEndToEndConsistency(t *testing.T) {
 	}
 	check("wordwise", ww.Scores)
 
-	g32, err := pipeline.RunBitwise[uint32](pairs, pipeline.Config{})
+	g32, err := pipeline.RunBitwise[uint32](context.Background(), pairs, pipeline.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	check("gpu-bitwise-32", g32.Scores)
 
-	g64, err := pipeline.RunBitwise[uint64](pairs, pipeline.Config{UseShuffle: true})
+	g64, err := pipeline.RunBitwise[uint64](context.Background(), pairs, pipeline.Config{UseShuffle: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	check("gpu-bitwise-64-shuffle", g64.Scores)
 
-	gw, err := pipeline.RunWordwise(pairs, pipeline.Config{})
+	gw, err := pipeline.RunWordwise(context.Background(), pairs, pipeline.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

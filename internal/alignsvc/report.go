@@ -1,0 +1,93 @@
+package alignsvc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cudasim"
+)
+
+// Tier identifies one rung of the degradation ladder, fastest first.
+type Tier int
+
+const (
+	// TierBitwise is the paper's five-step BPBC GPU pipeline.
+	TierBitwise Tier = iota
+	// TierWordwise is the conventional wordwise GPU baseline.
+	TierWordwise
+	// TierCPU is the swa.Score reference on the host; it cannot produce a
+	// wrong score and only fails on cancellation.
+	TierCPU
+	numTiers
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierBitwise:
+		return "bitwise"
+	case TierWordwise:
+		return "wordwise"
+	case TierCPU:
+		return "cpu"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// Attempt records one try of one tier for a batch.
+type Attempt struct {
+	Tier             Tier
+	Err              string // "" on success
+	ValidationFailed bool   // scores came back but disagreed with the reference sample
+	Faults           cudasim.FaultCounts
+}
+
+// Report is the per-batch account of what the service did: every attempt,
+// the tier that finally produced the scores, and the fault/retry tallies.
+type Report struct {
+	Tier      Tier // tier whose scores were returned
+	Attempts  []Attempt
+	Retries   int // same-tier re-runs after a failure
+	Fallbacks int // tier downgrades
+	Faults    cudasim.FaultCounts
+	Validated int // pairs re-scored on the CPU for validation
+}
+
+// String renders a one-line summary, e.g.
+// "bitwise×2 → wordwise×1 → cpu ok (2 retries, 2 fallbacks, 5 faults)".
+func (r Report) String() string {
+	var b strings.Builder
+	var runs []string
+	i := 0
+	for i < len(r.Attempts) {
+		j := i
+		for j < len(r.Attempts) && r.Attempts[j].Tier == r.Attempts[i].Tier {
+			j++
+		}
+		runs = append(runs, fmt.Sprintf("%s×%d", r.Attempts[i].Tier, j-i))
+		i = j
+	}
+	b.WriteString(strings.Join(runs, " → "))
+	fmt.Fprintf(&b, " ok=%s (%d retries, %d fallbacks, %d faults)",
+		r.Tier, r.Retries, r.Fallbacks, r.Faults.Total())
+	return b.String()
+}
+
+// BatchResult is what Align returns: exact scores plus the report.
+type BatchResult struct {
+	Scores []int
+	Report Report
+}
+
+// Stats is a snapshot of the service-level counters, for the stats and
+// observability layers to export.
+type Stats struct {
+	Batches         int64 // batches completed successfully
+	BatchesFailed   int64 // batches that exhausted every tier
+	Retries         int64 // same-tier re-runs
+	Fallbacks       int64 // tier downgrades
+	CPUFallbacks    int64 // batches ultimately served by the CPU reference
+	DeadlineHits    int64 // batches aborted by context.DeadlineExceeded
+	Cancellations   int64 // batches aborted by context.Canceled
+	PanicsRecovered int64 // kernel/pipeline panics converted to errors
+	FaultsInjected  int64 // injected faults observed across all attempts
+}

@@ -1,0 +1,417 @@
+// Package alignsvc is the resilient batch-alignment service layer: it wraps
+// the simulated GPU pipelines behind a bounded worker pool with
+// backpressure and a fault-tolerance ladder. Each batch is retried with
+// exponential backoff and jitter on transient device faults, validated
+// against a CPU-reference sample, and degraded through
+//
+//	bitwise GPU pipeline → wordwise GPU pipeline → CPU swa.Score
+//
+// until a tier produces trustworthy scores, so callers always receive
+// correct results (or a context error) together with a per-batch Report of
+// attempts, fallbacks and injected faults. Kernel panics are converted into
+// errors instead of killing the process, and service-level counters are
+// exposed through Stats for the observability layers to build on.
+package alignsvc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cudasim"
+	"repro/internal/dna"
+	"repro/internal/pipeline"
+	"repro/internal/swa"
+)
+
+// ErrClosed is returned by Align after Close.
+var ErrClosed = errors.New("alignsvc: service closed")
+
+// ValidationError reports a score that disagreed with the CPU reference
+// (the signature of silent device-memory corruption).
+type ValidationError struct {
+	Index     int
+	Got, Want int
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("alignsvc: score validation failed at pair %d: got %d, want %d",
+		e.Index, e.Got, e.Want)
+}
+
+// Config tunes the service. The zero value is usable: bitwise tier first,
+// GOMAXPROCS workers, three attempts per tier, millisecond-scale backoff,
+// 5%% score validation, no fault injection.
+type Config struct {
+	// Pipeline is the base GPU-pipeline configuration (scoring, device,
+	// lane behaviour). Its Faults field is overwritten per attempt.
+	Pipeline pipeline.Config
+	// Lanes selects the bitwise lane width, 32 (default) or 64.
+	Lanes int
+	// Workers bounds how many batches run concurrently (default
+	// GOMAXPROCS). Queue bounds how many more may wait (default Workers);
+	// beyond that, Align blocks — the backpressure signal.
+	Workers, Queue int
+	// MaxAttempts is the number of tries per GPU tier before degrading
+	// (default 3). The CPU tier always gets exactly one try.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff shape the exponential backoff between
+	// same-tier retries (defaults 1ms and 50ms). Jitter halves the low end.
+	BaseBackoff, MaxBackoff time.Duration
+	// ValidateFrac is the fraction of each batch's scores re-checked
+	// against the CPU reference (default 0.05; >= 1 checks every score,
+	// negative disables validation). Validation failures count as attempt
+	// failures and trigger retry/degradation.
+	ValidateFrac float64
+	// Seed drives jitter, validation sampling, and the per-attempt fault
+	// streams, making whole-service runs reproducible.
+	Seed uint64
+	// Faults enables deterministic fault injection on every GPU attempt.
+	// Each attempt derives its own stream from Faults.Seed, the batch
+	// number and the attempt number, so retries see fresh faults.
+	Faults cudasim.FaultConfig
+	// StartTier skips ladder rungs (e.g. TierWordwise to bypass the
+	// bitwise pipeline entirely).
+	StartTier Tier
+
+	// sleep replaces the backoff sleep in tests.
+	sleep func(context.Context, time.Duration) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lanes == 0 {
+		c.Lanes = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = c.Workers
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 50 * time.Millisecond
+	}
+	if c.ValidateFrac == 0 {
+		c.ValidateFrac = 0.05
+	}
+	if c.sleep == nil {
+		c.sleep = sleepCtx
+	}
+	return c
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+type job struct {
+	ctx   context.Context
+	pairs []dna.Pair
+	seq   uint64
+	res   chan jobResult
+}
+
+type jobResult struct {
+	batch *BatchResult
+	err   error
+}
+
+// Service is a long-lived batch-alignment service. Create with New, submit
+// with Align (safe for concurrent use), and Close when done.
+type Service struct {
+	cfg  Config
+	jobs chan *job
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+	batchSeq  atomic.Uint64
+
+	batches, batchesFailed, retries, fallbacks atomic.Int64
+	cpuFallbacks, deadlineHits, cancellations  atomic.Int64
+	panicsRecovered, faultsInjected            atomic.Int64
+}
+
+// New starts the worker pool and returns the service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:  cfg,
+		jobs: make(chan *job, cfg.Queue),
+		quit: make(chan struct{}),
+	}
+	s.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the workers after the current batches finish. Pending and
+// future Align calls return ErrClosed.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() { close(s.quit) })
+	s.wg.Wait()
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.jobs:
+			batch, err := s.process(j.ctx, j.pairs, j.seq)
+			j.res <- jobResult{batch, err}
+		}
+	}
+}
+
+// Align scores one uniform batch of pairs through the degradation ladder.
+// It blocks while the queue is full (backpressure) and honours ctx at every
+// stage: submission, retry backoff, kernel-block boundaries, and the CPU
+// fallback loop. On success the scores are exact; the report says how many
+// attempts, fallbacks and injected faults it took to get them.
+func (s *Service) Align(ctx context.Context, pairs []dna.Pair) (*BatchResult, error) {
+	j := &job{ctx: ctx, pairs: pairs, seq: s.batchSeq.Add(1), res: make(chan jobResult, 1)}
+	select {
+	case s.jobs <- j:
+	case <-ctx.Done():
+		return nil, s.noteCtxErr(ctx.Err())
+	case <-s.quit:
+		return nil, ErrClosed
+	}
+	select {
+	case r := <-j.res:
+		return r.batch, r.err
+	case <-ctx.Done():
+		return nil, s.noteCtxErr(ctx.Err())
+	case <-s.quit:
+		return nil, ErrClosed
+	}
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	return Stats{
+		Batches:         s.batches.Load(),
+		BatchesFailed:   s.batchesFailed.Load(),
+		Retries:         s.retries.Load(),
+		Fallbacks:       s.fallbacks.Load(),
+		CPUFallbacks:    s.cpuFallbacks.Load(),
+		DeadlineHits:    s.deadlineHits.Load(),
+		Cancellations:   s.cancellations.Load(),
+		PanicsRecovered: s.panicsRecovered.Load(),
+		FaultsInjected:  s.faultsInjected.Load(),
+	}
+}
+
+func (s *Service) noteCtxErr(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlineHits.Add(1)
+	case errors.Is(err, context.Canceled):
+		s.cancellations.Add(1)
+	}
+	return err
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// process walks the degradation ladder for one batch.
+func (s *Service) process(ctx context.Context, pairs []dna.Pair, seq uint64) (*BatchResult, error) {
+	rep := Report{}
+	rng := rand.New(rand.NewPCG(s.cfg.Seed^seq, 0xa1195c7e))
+	var lastErr error
+	for tier := s.cfg.StartTier; tier < numTiers; tier++ {
+		attempts := s.cfg.MaxAttempts
+		if tier == TierCPU {
+			attempts = 1
+		}
+		for a := 0; a < attempts; a++ {
+			if err := ctx.Err(); err != nil {
+				return nil, s.noteCtxErr(err)
+			}
+			scores, counts, err := s.runTier(ctx, tier, pairs, seq, uint64(int(tier)*attempts+a))
+			rep.Faults.HtoD += counts.HtoD
+			rep.Faults.DtoH += counts.DtoH
+			rep.Faults.Alloc += counts.Alloc
+			rep.Faults.Launch += counts.Launch
+			rep.Faults.BitFlips += counts.BitFlips
+			s.faultsInjected.Add(int64(counts.Total()))
+			at := Attempt{Tier: tier, Faults: counts}
+			if err == nil && tier != TierCPU {
+				var checked int
+				checked, err = s.validate(ctx, pairs, scores, rng)
+				rep.Validated += checked
+				var ve *ValidationError
+				at.ValidationFailed = errors.As(err, &ve)
+			}
+			if err == nil {
+				rep.Attempts = append(rep.Attempts, at)
+				rep.Tier = tier
+				s.batches.Add(1)
+				if tier == TierCPU {
+					s.cpuFallbacks.Add(1)
+				}
+				return &BatchResult{Scores: scores, Report: rep}, nil
+			}
+			at.Err = err.Error()
+			rep.Attempts = append(rep.Attempts, at)
+			if isCtxErr(err) {
+				return nil, s.noteCtxErr(err)
+			}
+			lastErr = err
+			if a+1 < attempts {
+				rep.Retries++
+				s.retries.Add(1)
+				if err := s.backoff(ctx, a, rng); err != nil {
+					return nil, s.noteCtxErr(err)
+				}
+			}
+		}
+		if tier+1 < numTiers {
+			rep.Fallbacks++
+			s.fallbacks.Add(1)
+		}
+	}
+	s.batchesFailed.Add(1)
+	return nil, fmt.Errorf("alignsvc: all tiers exhausted (%s): %w", rep.String(), lastErr)
+}
+
+// runTier executes one attempt of one tier, converting panics to errors and
+// collecting the attempt's injected-fault counts.
+func (s *Service) runTier(ctx context.Context, tier Tier, pairs []dna.Pair, seq, attempt uint64) (scores []int, counts cudasim.FaultCounts, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsRecovered.Add(1)
+			err = fmt.Errorf("alignsvc: recovered %s-tier panic: %v", tier, r)
+		}
+	}()
+	if tier == TierCPU {
+		scores, err = s.runCPU(ctx, pairs)
+		return scores, cudasim.FaultCounts{}, err
+	}
+	cfg := s.cfg.Pipeline
+	fcfg := s.cfg.Faults
+	// Derive an independent deterministic fault stream per attempt so a
+	// retry does not replay the exact faults that just killed the batch.
+	fcfg.Seed ^= (seq*0x9e3779b97f4a7c15 + attempt) | 1
+	inj := cudasim.NewFaultInjector(fcfg)
+	cfg.Faults = inj
+	var r *pipeline.Result
+	switch tier {
+	case TierBitwise:
+		if s.cfg.Lanes == 64 {
+			r, err = pipeline.RunBitwise[uint64](ctx, pairs, cfg)
+		} else {
+			r, err = pipeline.RunBitwise[uint32](ctx, pairs, cfg)
+		}
+	case TierWordwise:
+		r, err = pipeline.RunWordwise(ctx, pairs, cfg)
+	default:
+		return nil, inj.Counts(), fmt.Errorf("alignsvc: unknown tier %v", tier)
+	}
+	counts = inj.Counts()
+	if err != nil {
+		return nil, counts, err
+	}
+	return r.Scores, counts, nil
+}
+
+func (s *Service) scoring() swa.Scoring {
+	if s.cfg.Pipeline.Scoring == (swa.Scoring{}) {
+		return swa.PaperScoring
+	}
+	return s.cfg.Pipeline.Scoring
+}
+
+// runCPU is the final rung: the exact reference, pair by pair, checking the
+// context as it goes.
+func (s *Service) runCPU(ctx context.Context, pairs []dna.Pair) ([]int, error) {
+	sc := s.scoring()
+	scores := make([]int, len(pairs))
+	for i, p := range pairs {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		scores[i] = swa.Score(p.X, p.Y, sc)
+	}
+	return scores, nil
+}
+
+// validate re-scores a sample of the batch on the CPU reference and fails
+// on the first disagreement. Returns how many pairs were checked.
+func (s *Service) validate(ctx context.Context, pairs []dna.Pair, scores []int, rng *rand.Rand) (int, error) {
+	if s.cfg.ValidateFrac < 0 || len(pairs) == 0 {
+		return 0, nil
+	}
+	if len(scores) != len(pairs) {
+		return 0, fmt.Errorf("alignsvc: got %d scores for %d pairs", len(scores), len(pairs))
+	}
+	sc := s.scoring()
+	check := func(i int) error {
+		if want := swa.Score(pairs[i].X, pairs[i].Y, sc); scores[i] != want {
+			return &ValidationError{Index: i, Got: scores[i], Want: want}
+		}
+		return nil
+	}
+	if s.cfg.ValidateFrac >= 1 {
+		for i := range pairs {
+			if i%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return i, err
+				}
+			}
+			if err := check(i); err != nil {
+				return i + 1, err
+			}
+		}
+		return len(pairs), nil
+	}
+	n := max(1, int(float64(len(pairs))*s.cfg.ValidateFrac))
+	for k := 0; k < n; k++ {
+		if k%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return k, err
+			}
+		}
+		if err := check(rng.IntN(len(pairs))); err != nil {
+			return k + 1, err
+		}
+	}
+	return n, nil
+}
+
+// backoff sleeps base·2^attempt with half-interval jitter, capped at
+// MaxBackoff, honouring the context.
+func (s *Service) backoff(ctx context.Context, attempt int, rng *rand.Rand) error {
+	d := s.cfg.BaseBackoff << attempt
+	if d > s.cfg.MaxBackoff || d <= 0 {
+		d = s.cfg.MaxBackoff
+	}
+	d = d/2 + time.Duration(rng.Int64N(int64(d/2)+1))
+	return s.cfg.sleep(ctx, d)
+}

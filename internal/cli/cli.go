@@ -1,0 +1,51 @@
+// Package cli holds the small amount of plumbing the cmd/ tools share:
+// uniform fatal-error reporting and a signal-cancelled context, so every
+// tool exits the same way on bad input and cleans up on Ctrl-C instead of
+// dying mid-batch.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// exit is swapped out by tests.
+var exit = os.Exit
+
+// Exitf prints a formatted message to stderr and exits with code.
+func Exitf(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	exit(code)
+}
+
+// Die reports err on stderr and exits. Usage errors (from flag parsing or
+// argument validation) should use Exitf(2, ...) instead; Die is for runtime
+// failures and exits 1 — or 130 (the conventional 128+SIGINT code) when the
+// error is a context cancellation from an interrupt.
+func Die(err error) {
+	code := 1
+	if errors.Is(err, context.Canceled) {
+		code = 130
+	}
+	fmt.Fprintln(os.Stderr, err)
+	exit(code)
+}
+
+// Check is a no-op for nil err and Die otherwise.
+func Check(err error) {
+	if err != nil {
+		Die(err)
+	}
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM, and a
+// stop function releasing the signal handler. A second signal while the
+// context is already cancelled kills the process via Go's default handling,
+// so a hung run can still be terminated.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}

@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// withFakeExit captures the exit code instead of terminating the test
+// process.
+func withFakeExit(t *testing.T, fn func()) (code int) {
+	t.Helper()
+	code = -1
+	old := exit
+	exit = func(c int) { code = c; panic("exit") }
+	defer func() {
+		exit = old
+		if r := recover(); r != nil && r != "exit" {
+			panic(r)
+		}
+	}()
+	fn()
+	return code
+}
+
+func TestExitf(t *testing.T) {
+	if code := withFakeExit(t, func() { Exitf(2, "usage: %s", "x") }); code != 2 {
+		t.Fatalf("Exitf exited %d, want 2", code)
+	}
+}
+
+func TestDieCodes(t *testing.T) {
+	if code := withFakeExit(t, func() { Die(errors.New("boom")) }); code != 1 {
+		t.Fatalf("plain error exited %d, want 1", code)
+	}
+	wrapped := fmt.Errorf("run: %w", context.Canceled)
+	if code := withFakeExit(t, func() { Die(wrapped) }); code != 130 {
+		t.Fatalf("interrupt exited %d, want 130", code)
+	}
+}
+
+func TestCheckNilIsNoop(t *testing.T) {
+	Check(nil) // must not exit
+}
+
+func TestSignalContext(t *testing.T) {
+	ctx, stop := SignalContext()
+	defer stop()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh signal context already done: %v", err)
+	}
+	stop()
+}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpbc"
@@ -170,8 +171,9 @@ type GPUResult struct {
 
 // SimulateGPU runs the batch through the paper's five-step GPU pipeline on
 // the cudasim substrate, returning exact scores and the modelled
-// H2G/W2B/SWA/B2W/G2H stage times.
-func SimulateGPU(pairs []Pair, opt BulkOptions) (*GPUResult, error) {
+// H2G/W2B/SWA/B2W/G2H stage times. The context cancels the simulated run
+// between stages and kernel blocks.
+func SimulateGPU(ctx context.Context, pairs []Pair, opt BulkOptions) (*GPUResult, error) {
 	dp, err := parsePairs(pairs)
 	if err != nil {
 		return nil, err
@@ -180,9 +182,9 @@ func SimulateGPU(pairs []Pair, opt BulkOptions) (*GPUResult, error) {
 	var r *pipeline.Result
 	switch opt.Lanes {
 	case 0, 32:
-		r, err = pipeline.RunBitwise[uint32](dp, cfg)
+		r, err = pipeline.RunBitwise[uint32](ctx, dp, cfg)
 	case 64:
-		r, err = pipeline.RunBitwise[uint64](dp, cfg)
+		r, err = pipeline.RunBitwise[uint64](ctx, dp, cfg)
 	default:
 		return nil, fmt.Errorf("core: Lanes must be 32 or 64, got %d", opt.Lanes)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand/v2"
 	"strings"
 	"testing"
@@ -115,7 +116,7 @@ func TestScreenFindsPlantedPair(t *testing.T) {
 func TestSimulateGPUMatchesCPU(t *testing.T) {
 	pairs := randomPairs(64, 10, 40)
 	for _, lanes := range []int{32, 64} {
-		g, err := SimulateGPU(pairs, BulkOptions{Lanes: lanes})
+		g, err := SimulateGPU(context.Background(), pairs, BulkOptions{Lanes: lanes})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,10 +133,10 @@ func TestSimulateGPUMatchesCPU(t *testing.T) {
 			t.Error("GPU stage times missing")
 		}
 	}
-	if _, err := SimulateGPU(pairs, BulkOptions{Lanes: 5}); err == nil {
+	if _, err := SimulateGPU(context.Background(), pairs, BulkOptions{Lanes: 5}); err == nil {
 		t.Error("bad lanes should fail")
 	}
-	if _, err := SimulateGPU([]Pair{{X: "B", Y: "A"}}, BulkOptions{}); err == nil {
+	if _, err := SimulateGPU(context.Background(), []Pair{{X: "B", Y: "A"}}, BulkOptions{}); err == nil {
 		t.Error("bad sequence should fail")
 	}
 }

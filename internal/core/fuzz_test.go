@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -35,7 +36,7 @@ func FuzzEnginesAgree(f *testing.F) {
 					lanes, res.Scores[0], want, x, y)
 			}
 		}
-		g, err := core.SimulateGPU([]core.Pair{{X: x, Y: y}}, core.BulkOptions{})
+		g, err := core.SimulateGPU(context.Background(), []core.Pair{{X: x, Y: y}}, core.BulkOptions{})
 		if err != nil {
 			t.Fatalf("SimulateGPU failed: %v", err)
 		}

@@ -22,7 +22,9 @@
 package cudasim
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,12 +37,17 @@ type Device struct {
 	Spec   perfmodel.DeviceSpec
 	global []byte
 	used   int64
+	faults *FaultInjector
 }
 
 // NewDevice creates a device with the given global-memory capacity.
 func NewDevice(spec perfmodel.DeviceSpec, globalBytes int64) *Device {
 	return &Device{Spec: spec, global: make([]byte, globalBytes)}
 }
+
+// InjectFaults attaches a deterministic fault injector to the device. A nil
+// injector (the default) disables injection. Call before issuing work.
+func (d *Device) InjectFaults(f *FaultInjector) { d.faults = f }
 
 // Buf is a region of device global memory.
 type Buf struct {
@@ -55,6 +62,15 @@ func (b Buf) Size() int64 { return b.size }
 func (d *Device) Alloc(bytes int64) (Buf, error) {
 	if bytes < 0 {
 		return Buf{}, fmt.Errorf("cudasim: negative allocation")
+	}
+	// Guard before aligning: (bytes+255)&^255 would wrap negative for
+	// bytes near MaxInt64 and sail past the out-of-memory check below.
+	if bytes > math.MaxInt64-255 {
+		return Buf{}, fmt.Errorf("cudasim: out of global memory (%d requested, %d free)",
+			bytes, int64(len(d.global))-d.used)
+	}
+	if err := d.faults.trip(FaultAlloc); err != nil {
+		return Buf{}, err
 	}
 	aligned := (bytes + 255) &^ 255
 	if d.used+aligned > int64(len(d.global)) {
@@ -72,7 +88,13 @@ func (d *Device) MemcpyHtoD(dst Buf, src []byte) error {
 	if int64(len(src)) > dst.size {
 		return fmt.Errorf("cudasim: HtoD copy of %d bytes into %d-byte buffer", len(src), dst.size)
 	}
+	if err := d.faults.trip(FaultHtoD); err != nil {
+		return err
+	}
 	copy(d.global[dst.off:dst.off+int64(len(src))], src)
+	if bit := d.faults.flipBit(len(src)); bit >= 0 {
+		d.global[dst.off+bit/8] ^= 1 << (bit % 8)
+	}
 	return nil
 }
 
@@ -81,7 +103,13 @@ func (d *Device) MemcpyDtoH(dst []byte, src Buf) error {
 	if int64(len(dst)) > src.size {
 		return fmt.Errorf("cudasim: DtoH copy of %d bytes from %d-byte buffer", len(dst), src.size)
 	}
+	if err := d.faults.trip(FaultDtoH); err != nil {
+		return err
+	}
 	copy(dst, d.global[src.off:src.off+int64(len(dst))])
+	if bit := d.faults.flipBit(len(dst)); bit >= 0 {
+		dst[bit/8] ^= 1 << (bit % 8)
+	}
 	return nil
 }
 
@@ -126,15 +154,29 @@ type KernelFunc func(b *Block)
 // RunBlock calls f(b).
 func (f KernelFunc) RunBlock(b *Block) { f(b) }
 
-// Launch executes the kernel over a 1-D grid. Blocks run concurrently on
-// host goroutines; each gets a fresh shared memory. Returns the merged
-// stats of all blocks.
+// Launch executes the kernel over a 1-D grid with no cancellation point.
+// It is LaunchCtx with a background context.
 func (d *Device) Launch(blocks, threadsPerBlock int, k Kernel) (*LaunchStats, error) {
+	return d.LaunchCtx(context.Background(), blocks, threadsPerBlock, k)
+}
+
+// LaunchCtx executes the kernel over a 1-D grid. Blocks run concurrently on
+// host goroutines; each gets a fresh shared memory. Returns the merged
+// stats of all blocks. The context is observed between blocks: once it is
+// done, no further block starts and the context's error is returned, which
+// bounds cancellation latency to one block's runtime.
+func (d *Device) LaunchCtx(ctx context.Context, blocks, threadsPerBlock int, k Kernel) (*LaunchStats, error) {
 	if blocks <= 0 || threadsPerBlock <= 0 {
 		return nil, fmt.Errorf("cudasim: launch shape %d×%d invalid", blocks, threadsPerBlock)
 	}
 	if threadsPerBlock > 1024 {
 		return nil, fmt.Errorf("cudasim: %d threads per block exceeds the 1024 limit", threadsPerBlock)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := d.faults.trip(FaultLaunch); err != nil {
+		return nil, err
 	}
 	total := &LaunchStats{Blocks: blocks, ThreadsPerBlock: threadsPerBlock}
 	workers := min(runtime.GOMAXPROCS(0), blocks)
@@ -151,7 +193,7 @@ func (d *Device) Launch(blocks, threadsPerBlock int, k Kernel) (*LaunchStats, er
 				}
 			}()
 			local := &LaunchStats{}
-			for {
+			for ctx.Err() == nil {
 				bi := int(next.Add(1)) - 1
 				if bi >= blocks {
 					break
@@ -174,6 +216,9 @@ func (d *Device) Launch(blocks, threadsPerBlock int, k Kernel) (*LaunchStats, er
 	case r := <-panics:
 		return nil, fmt.Errorf("cudasim: kernel panicked: %v", r)
 	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return total, nil
 }

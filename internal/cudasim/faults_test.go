@@ -1,0 +1,171 @@
+package cudasim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+// Regression: (bytes+255)&^255 used to wrap negative for huge requests and
+// slip past the out-of-memory check, handing out a bogus buffer.
+func TestAllocOverflowGuard(t *testing.T) {
+	d := NewDevice(perfmodel.TitanX, 1024)
+	for _, bytes := range []int64{math.MaxInt64, math.MaxInt64 - 100, math.MaxInt64 - 255} {
+		if _, err := d.Alloc(bytes); err == nil {
+			t.Errorf("Alloc(%d) succeeded on a 1 KiB device", bytes)
+		}
+	}
+	// The guard must not break ordinary allocations.
+	if _, err := d.Alloc(512); err != nil {
+		t.Fatalf("Alloc(512): %v", err)
+	}
+}
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	cfg := FaultConfig{Seed: 7, HtoD: 0.5, DtoH: 0.5, Launch: 0.5}
+	run := func() []string {
+		d := NewDevice(perfmodel.TitanX, 1<<16)
+		d.InjectFaults(NewFaultInjector(cfg))
+		buf, err := d.Alloc(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace []string
+		for i := 0; i < 20; i++ {
+			if err := d.MemcpyHtoD(buf, make([]byte, 64)); err != nil {
+				trace = append(trace, "H")
+			} else {
+				trace = append(trace, "h")
+			}
+			if err := d.MemcpyDtoH(make([]byte, 64), buf); err != nil {
+				trace = append(trace, "D")
+			} else {
+				trace = append(trace, "d")
+			}
+		}
+		return trace
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault stream not deterministic at step %d: %v vs %v", i, a, b)
+		}
+	}
+	// With 50% rates over 40 decisions, both outcomes must occur.
+	hit := map[string]bool{}
+	for _, s := range a {
+		hit[s] = true
+	}
+	if !hit["H"] || !hit["h"] || !hit["D"] || !hit["d"] {
+		t.Fatalf("expected a mix of faults and successes, got %v", a)
+	}
+}
+
+func TestFaultErrorsAreInjected(t *testing.T) {
+	d := NewDevice(perfmodel.TitanX, 1<<16)
+	d.InjectFaults(NewFaultInjector(FaultConfig{Seed: 1, HtoD: 1, DtoH: 1, Alloc: 1, Launch: 1}))
+	if _, err := d.Alloc(64); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Alloc: want ErrInjected, got %v", err)
+	}
+	// Allocate on a clean device, then re-attach faults for the transfers.
+	d2 := NewDevice(perfmodel.TitanX, 1<<16)
+	buf, err := d2.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.InjectFaults(NewFaultInjector(FaultConfig{Seed: 1, HtoD: 1, DtoH: 1, Launch: 1}))
+	if err := d2.MemcpyHtoD(buf, make([]byte, 64)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("HtoD: want ErrInjected, got %v", err)
+	}
+	if err := d2.MemcpyDtoH(make([]byte, 64), buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("DtoH: want ErrInjected, got %v", err)
+	}
+	noop := KernelFunc(func(b *Block) {})
+	if _, err := d2.Launch(1, 32, noop); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Launch: want ErrInjected, got %v", err)
+	}
+	c := d2.faults.Counts()
+	if c.HtoD != 1 || c.DtoH != 1 || c.Launch != 1 {
+		t.Fatalf("counts = %+v, want one of each transfer/launch class", c)
+	}
+	var fe *FaultError
+	if err := d2.MemcpyHtoD(buf, make([]byte, 8)); !errors.As(err, &fe) || fe.Op != FaultHtoD {
+		t.Fatalf("want typed *FaultError with Op=HtoD, got %v", err)
+	}
+}
+
+func TestBitFlipCorruptsTransfer(t *testing.T) {
+	d := NewDevice(perfmodel.TitanX, 1<<16)
+	buf, err := d.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFaults(NewFaultInjector(FaultConfig{Seed: 3, BitFlip: 1}))
+	src := make([]byte, 256)
+	if err := d.MemcpyHtoD(buf, src); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFaults(nil) // read back unfaulted
+	got := make([]byte, 256)
+	if err := d.MemcpyDtoH(got, buf); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^src[i])>>b&1 == 1 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("expected exactly one flipped bit, found %d", diff)
+	}
+}
+
+func TestLaunchCtxCancellation(t *testing.T) {
+	d := NewDevice(perfmodel.TitanX, 1<<16)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	noop := KernelFunc(func(b *Block) {})
+	if _, err := d.LaunchCtx(ctx, 4, 32, noop); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestLaunchCtxCancelMidGrid(t *testing.T) {
+	d := NewDevice(perfmodel.TitanX, 1<<16)
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	k := KernelFunc(func(b *Block) {
+		ran++
+		if ran == 2 {
+			cancel()
+		}
+	})
+	// Force a single worker so the cancel lands deterministically between
+	// block iterations.
+	_, err := d.LaunchCtx(ctx, 1_000_000, 1, k)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran >= 1_000_000 {
+		t.Fatal("cancellation did not stop the block loop early")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	if inj := NewFaultInjector(FaultConfig{}); inj != nil {
+		t.Fatal("zero config should yield a nil (inert) injector")
+	}
+	var inj *FaultInjector
+	if err := inj.trip(FaultHtoD); err != nil {
+		t.Fatal("nil injector tripped")
+	}
+	if inj.Counts() != (FaultCounts{}) {
+		t.Fatal("nil injector counted")
+	}
+}

@@ -77,7 +77,8 @@ func ReadFASTA(r io.Reader) ([]Record, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// lineNo counts fully scanned lines, so the failure is on the next.
+		return nil, fmt.Errorf("dna: line %d: %w", lineNo+1, err)
 	}
 	if err := flush(); err != nil {
 		return nil, err

@@ -1,0 +1,72 @@
+package dna
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFASTA checks that any input either fails cleanly or round-trips
+// exactly through WriteFASTA → ReadFASTA.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add(">a\nACGT\n")
+	f.Add(">a desc with spaces\nACGT\nGGTT\n")
+	f.Add(";comment\n>b\n  AC GT\n")  // whitespace inside a line fails Parse
+	f.Add("ACGT\n>late-header\nAC\n") // data before header
+	f.Add(">empty\n>also-empty\n")    // records with no sequence
+	f.Add(">>gt-in-name\nACGT\n")     // name begins with '>'
+	f.Add(">x\nacgt\n")               // case handling per Parse
+	f.Add("\n\n;only comments\n\n")   // no records at all
+	f.Add(">dup\nA\n>dup\nC\n")       // duplicate names
+	f.Add(">crlf\r\nACGT\r\n")        // windows line endings
+	f.Add(">bad\nACGU\n")             // invalid base
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ReadFASTA(strings.NewReader(in))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, recs...); err != nil {
+			t.Fatalf("WriteFASTA of parsed records: %v", err)
+		}
+		back, err := ReadFASTA(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written FASTA: %v\ninput: %q\nwritten: %q", err, in, buf.String())
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip: %d records became %d", len(recs), len(back))
+		}
+		for i := range recs {
+			if back[i].Name != recs[i].Name {
+				t.Fatalf("record %d name %q became %q", i, recs[i].Name, back[i].Name)
+			}
+			if !back[i].Seq.Equal(recs[i].Seq) {
+				t.Fatalf("record %d sequence changed: %q -> %q", i, recs[i].Seq, back[i].Seq)
+			}
+		}
+	})
+}
+
+func TestReadFASTADataBeforeHeaderNamesLine(t *testing.T) {
+	_, err := ReadFASTA(strings.NewReader(";c\n\nACGT\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want data-before-header error naming line 3, got %v", err)
+	}
+}
+
+func TestReadFASTAScannerOverflowWrapsLineNumber(t *testing.T) {
+	// One line beyond the scanner's 16 MiB token limit.
+	var b strings.Builder
+	b.WriteString(">huge\n")
+	b.WriteString(strings.Repeat("A", 16*1024*1024+2))
+	b.WriteString("\n")
+	_, err := ReadFASTA(strings.NewReader(b.String()))
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("want bufio.ErrTooLong, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("scanner error should carry the line number: %v", err)
+	}
+}

@@ -70,20 +70,22 @@ func AllocBuffers(d *cudasim.Device, l Layout) (*Buffers, error) {
 	g := int64(l.Groups())
 	var b Buffers
 	var err error
-	alloc := func(dst *cudasim.Buf, n int64) {
+	alloc := func(dst *cudasim.Buf, name string, n int64) {
 		if err != nil {
 			return
 		}
-		*dst, err = d.Alloc(n)
+		if *dst, err = d.Alloc(n); err != nil {
+			err = fmt.Errorf("kernels: alloc %s (%d bytes): %w", name, n, err)
+		}
 	}
-	alloc(&b.XWord, int64(l.Pairs)*int64(l.M))
-	alloc(&b.YWord, int64(l.Pairs)*int64(l.N))
-	alloc(&b.XH, g*int64(l.M)*lb)
-	alloc(&b.XL, g*int64(l.M)*lb)
-	alloc(&b.YH, g*int64(l.N)*lb)
-	alloc(&b.YL, g*int64(l.N)*lb)
-	alloc(&b.ScorePlanes, g*int64(l.S)*lb)
-	alloc(&b.Scores, g*int64(l.Lanes)*lb)
+	alloc(&b.XWord, "XWord", int64(l.Pairs)*int64(l.M))
+	alloc(&b.YWord, "YWord", int64(l.Pairs)*int64(l.N))
+	alloc(&b.XH, "XH", g*int64(l.M)*lb)
+	alloc(&b.XL, "XL", g*int64(l.M)*lb)
+	alloc(&b.YH, "YH", g*int64(l.N)*lb)
+	alloc(&b.YL, "YL", g*int64(l.N)*lb)
+	alloc(&b.ScorePlanes, "ScorePlanes", g*int64(l.S)*lb)
+	alloc(&b.Scores, "Scores", g*int64(l.Lanes)*lb)
 	if err != nil {
 		return nil, err
 	}

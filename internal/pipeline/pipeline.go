@@ -14,6 +14,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -34,6 +36,14 @@ type Config struct {
 	PCIe    perfmodel.PCIeLink
 	// UseShuffle enables the §V warp-shuffle handoff in the SWA kernel.
 	UseShuffle bool
+	// GlobalBytes overrides the device global-memory capacity (0 = size
+	// automatically for the batch). Small values force allocation failures,
+	// which the alignsvc degradation ladder and the OOM tests rely on.
+	GlobalBytes int64
+	// Faults, when non-nil, is attached to the simulated device so
+	// transfers, allocations and launches can fail (or flip bits)
+	// deterministically. See cudasim.FaultConfig.
+	Faults *cudasim.FaultInjector
 }
 
 func (c Config) withDefaults() Config {
@@ -70,8 +80,10 @@ type Result struct {
 }
 
 // RunBitwise executes the full BPBC pipeline for a uniform batch of pairs
-// with lane width W, returning exact scores and modelled stage times.
-func RunBitwise[W word.Word](pairs []dna.Pair, cfg Config) (*Result, error) {
+// with lane width W, returning exact scores and modelled stage times. The
+// context is observed before every stage and between kernel blocks, so
+// cancellation and deadlines propagate with block-level latency.
+func RunBitwise[W word.Word](ctx context.Context, pairs []dna.Pair, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	lanes := word.Lanes[W]()
 	l, err := layoutFor(pairs, lanes, cfg)
@@ -88,7 +100,7 @@ func RunBitwise[W word.Word](pairs []dna.Pair, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	dev := cudasim.NewDevice(cfg.Device, deviceBytes(l))
+	dev := newDevice(cfg, l)
 	bufs, err := kernels.AllocBuffers(dev, l)
 	if err != nil {
 		return nil, err
@@ -97,21 +109,24 @@ func RunBitwise[W word.Word](pairs []dna.Pair, cfg Config) (*Result, error) {
 	res := &Result{Lanes: lanes, SBits: l.S}
 
 	// Step 1: H2G. Wordwise chars, one byte each (what cudaMemcpy moves).
-	if err := uploadWordwise(dev, bufs, pairs, l); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if err := uploadWordwise(dev, bufs, pairs, l); err != nil {
+		return nil, fmt.Errorf("pipeline: H2G: %w", err)
 	}
 	res.Times.H2G = cfg.PCIe.Transfer(int64(l.Pairs) * int64(l.M+l.N))
 
 	// Step 2: W2B, one launch per input array.
 	kx := &kernels.W2BKernel[W]{L: l, Src: bufs.XWord, DstH: bufs.XH, DstL: bufs.XL, Length: l.M}
-	sx, err := dev.Launch(kx.GridDim(), kernels.TransposeThreads, kx)
+	sx, err := dev.LaunchCtx(ctx, kx.GridDim(), kernels.TransposeThreads, kx)
 	if err != nil {
-		return nil, err
+		return nil, wrapStage("W2B", err)
 	}
 	ky := &kernels.W2BKernel[W]{L: l, Src: bufs.YWord, DstH: bufs.YH, DstL: bufs.YL, Length: l.N}
-	sy, err := dev.Launch(ky.GridDim(), kernels.TransposeThreads, ky)
+	sy, err := dev.LaunchCtx(ctx, ky.GridDim(), kernels.TransposeThreads, ky)
 	if err != nil {
-		return nil, err
+		return nil, wrapStage("W2B", err)
 	}
 	res.W2BStats = *sx
 	mergeInto(&res.W2BStats, sy)
@@ -120,48 +135,55 @@ func RunBitwise[W word.Word](pairs []dna.Pair, cfg Config) (*Result, error) {
 
 	// Step 3: the BPBC wavefront kernel, one block per lane group.
 	ks := &kernels.SWAKernel[W]{L: l, B: bufs, Par: par, UseShuffle: cfg.UseShuffle}
-	ss, err := dev.Launch(l.Groups(), l.M, ks)
+	ss, err := dev.LaunchCtx(ctx, l.Groups(), l.M, ks)
 	if err != nil {
-		return nil, err
+		return nil, wrapStage("SWA", err)
 	}
 	res.SWAStats = *ss
 	res.Times.SWA = ss.Cost(true, kernels.SWARegs(l.S, lanes)).Time(cfg.Device)
 
 	// Step 4: B2W.
 	kb := &kernels.B2WKernel[W]{L: l, B: bufs}
-	sb, err := dev.Launch(kb.GridDim(), kernels.TransposeThreads, kb)
+	sb, err := dev.LaunchCtx(ctx, kb.GridDim(), kernels.TransposeThreads, kb)
 	if err != nil {
-		return nil, err
+		return nil, wrapStage("B2W", err)
 	}
 	res.B2WStats = *sb
 	res.Times.B2W = sb.Cost(true, regsT).Time(cfg.Device)
 
 	// Step 5: G2H — one word per pair.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res.Scores, err = downloadScores[W](dev, bufs, l)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pipeline: G2H: %w", err)
 	}
 	res.Times.G2H = cfg.PCIe.Transfer(int64(l.Pairs) * 4)
 	return res, nil
 }
 
 // RunWordwise executes the conventional baseline: H2G, the wordwise
-// wavefront kernel (one block per pair), G2H. No transposes.
-func RunWordwise(pairs []dna.Pair, cfg Config) (*Result, error) {
+// wavefront kernel (one block per pair), G2H. No transposes. Context
+// semantics match RunBitwise.
+func RunWordwise(ctx context.Context, pairs []dna.Pair, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	l, err := layoutFor(pairs, 32, cfg)
 	if err != nil {
 		return nil, err
 	}
-	dev := cudasim.NewDevice(cfg.Device, deviceBytes(l))
+	dev := newDevice(cfg, l)
 	bufs, err := kernels.AllocBuffers(dev, l)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Lanes: 1, SBits: 32}
 
-	if err := uploadWordwise(dev, bufs, pairs, l); err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if err := uploadWordwise(dev, bufs, pairs, l); err != nil {
+		return nil, fmt.Errorf("pipeline: H2G: %w", err)
 	}
 	res.Times.H2G = cfg.PCIe.Transfer(int64(l.Pairs) * int64(l.M+l.N))
 
@@ -171,17 +193,20 @@ func RunWordwise(pairs []dna.Pair, cfg Config) (*Result, error) {
 		Mismat: int32(cfg.Scoring.Mismatch),
 		Gap:    int32(cfg.Scoring.Gap),
 	}
-	ss, err := dev.Launch(l.Pairs, l.M, k)
+	ss, err := dev.LaunchCtx(ctx, l.Pairs, l.M, k)
 	if err != nil {
-		return nil, err
+		return nil, wrapStage("SWA", err)
 	}
 	res.SWAStats = *ss
 	res.Times.SWA = ss.Cost(false, kernels.WordwiseRegs).Time(cfg.Device)
 
 	// G2H: one int32 per pair.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	raw := make([]byte, 4*l.Pairs)
 	if err := dev.MemcpyDtoH(raw, bufs.Scores); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pipeline: G2H: %w", err)
 	}
 	res.Scores = make([]int, l.Pairs)
 	for i := range res.Scores {
@@ -192,11 +217,36 @@ func RunWordwise(pairs []dna.Pair, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// newDevice builds the simulated device for a run, honouring the capacity
+// override and attaching the fault injector if configured.
+func newDevice(cfg Config, l kernels.Layout) *cudasim.Device {
+	bytes := cfg.GlobalBytes
+	if bytes == 0 {
+		bytes = deviceBytes(l)
+	}
+	dev := cudasim.NewDevice(cfg.Device, bytes)
+	dev.InjectFaults(cfg.Faults)
+	return dev
+}
+
+// wrapStage names the failing pipeline stage while keeping context errors
+// bare, so callers can compare against context.Canceled/DeadlineExceeded.
+func wrapStage(stage string, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return fmt.Errorf("pipeline: %s: %w", stage, err)
+}
+
 func layoutFor(pairs []dna.Pair, lanes int, cfg Config) (kernels.Layout, error) {
 	if len(pairs) == 0 {
 		return kernels.Layout{}, fmt.Errorf("pipeline: no pairs")
 	}
 	m, n := len(pairs[0].X), len(pairs[0].Y)
+	// Guard before bitslice.RequiredBits below, which panics on m = 0.
+	if m == 0 || n < m {
+		return kernels.Layout{}, fmt.Errorf("pipeline: invalid sequence shape (m=%d, n=%d)", m, n)
+	}
 	for i, p := range pairs {
 		if len(p.X) != m || len(p.Y) != n {
 			return kernels.Layout{}, fmt.Errorf("pipeline: pair %d has shape (%d,%d), want (%d,%d)",

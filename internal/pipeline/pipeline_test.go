@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math/rand/v2"
 	"testing"
 
@@ -20,7 +21,7 @@ func refScores(pairs []dna.Pair, sc swa.Scoring) []int {
 func TestBitwisePipelineMatchesReference32(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 1))
 	pairs := dna.PlantedPairs(rng, 70, 24, 96, 0.5, dna.MutationModel{SubRate: 0.1})
-	res, err := RunBitwise[uint32](pairs, Config{})
+	res, err := RunBitwise[uint32](context.Background(), pairs, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestBitwisePipelineMatchesReference32(t *testing.T) {
 func TestBitwisePipelineMatchesReference64(t *testing.T) {
 	rng := rand.New(rand.NewPCG(2, 2))
 	pairs := dna.PlantedPairs(rng, 130, 16, 64, 0.5, dna.MutationModel{SubRate: 0.2})
-	res, err := RunBitwise[uint64](pairs, Config{})
+	res, err := RunBitwise[uint64](context.Background(), pairs, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestBitwisePipelineMatchesReference64(t *testing.T) {
 func TestWordwisePipelineMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 3))
 	pairs := dna.PlantedPairs(rng, 40, 20, 80, 0.5, dna.MutationModel{SubRate: 0.1})
-	res, err := RunWordwise(pairs, Config{})
+	res, err := RunWordwise(context.Background(), pairs, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestPipelineCustomScoring(t *testing.T) {
 	rng := rand.New(rand.NewPCG(4, 4))
 	sc := swa.Scoring{Match: 3, Mismatch: 2, Gap: 2}
 	pairs := dna.RandomPairs(rng, 33, 12, 48)
-	res, err := RunBitwise[uint32](pairs, Config{Scoring: sc})
+	res, err := RunBitwise[uint32](context.Background(), pairs, Config{Scoring: sc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestPipelineCustomScoring(t *testing.T) {
 func TestPipelineStageTimesPopulated(t *testing.T) {
 	rng := rand.New(rand.NewPCG(5, 5))
 	pairs := dna.RandomPairs(rng, 64, 16, 64)
-	res, err := RunBitwise[uint32](pairs, Config{})
+	res, err := RunBitwise[uint32](context.Background(), pairs, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestPipelineStageTimesPopulated(t *testing.T) {
 }
 
 func TestPipelineErrors(t *testing.T) {
-	if _, err := RunBitwise[uint32](nil, Config{}); err == nil {
+	if _, err := RunBitwise[uint32](context.Background(), nil, Config{}); err == nil {
 		t.Error("empty batch should fail")
 	}
 	rng := rand.New(rand.NewPCG(6, 6))
@@ -117,14 +118,14 @@ func TestPipelineErrors(t *testing.T) {
 		{X: dna.RandSeq(rng, 8), Y: dna.RandSeq(rng, 32)},
 		{X: dna.RandSeq(rng, 8), Y: dna.RandSeq(rng, 33)},
 	}
-	if _, err := RunBitwise[uint32](ragged, Config{}); err == nil {
+	if _, err := RunBitwise[uint32](context.Background(), ragged, Config{}); err == nil {
 		t.Error("ragged batch should fail")
 	}
-	if _, err := RunWordwise(nil, Config{}); err == nil {
+	if _, err := RunWordwise(context.Background(), nil, Config{}); err == nil {
 		t.Error("wordwise empty batch should fail")
 	}
 	bad := []dna.Pair{{X: dna.RandSeq(rng, 8), Y: dna.RandSeq(rng, 32)}}
-	if _, err := RunBitwise[uint32](bad, Config{Scoring: swa.Scoring{Match: -1}}); err == nil {
+	if _, err := RunBitwise[uint32](context.Background(), bad, Config{Scoring: swa.Scoring{Match: -1}}); err == nil {
 		t.Error("bad scoring should fail")
 	}
 }
@@ -138,7 +139,7 @@ func TestSWAStatsLinearInN(t *testing.T) {
 	const m = 32
 	stats := func(n int) [5]int64 {
 		pairs := dna.RandomPairs(rng, 32, m, n)
-		res, err := RunBitwise[uint32](pairs, Config{SBits: 9})
+		res, err := RunBitwise[uint32](context.Background(), pairs, Config{SBits: 9})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -162,11 +163,11 @@ func TestSWAStatsLinearInN(t *testing.T) {
 func TestSWAStatsProportionalToGroups(t *testing.T) {
 	rng := rand.New(rand.NewPCG(8, 8))
 	const m, n = 16, 64
-	one, err := RunBitwise[uint32](dna.RandomPairs(rng, 32, m, n), Config{SBits: 9})
+	one, err := RunBitwise[uint32](context.Background(), dna.RandomPairs(rng, 32, m, n), Config{SBits: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	four, err := RunBitwise[uint32](dna.RandomPairs(rng, 128, m, n), Config{SBits: 9})
+	four, err := RunBitwise[uint32](context.Background(), dna.RandomPairs(rng, 128, m, n), Config{SBits: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,11 +191,11 @@ func TestSWAStatsProportionalToGroups(t *testing.T) {
 func TestBitwiseBeatsWordwiseOnSimulatedGPU(t *testing.T) {
 	rng := rand.New(rand.NewPCG(9, 9))
 	pairs := dna.RandomPairs(rng, 128, 32, 256)
-	bw, err := RunBitwise[uint32](pairs, Config{})
+	bw, err := RunBitwise[uint32](context.Background(), pairs, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ww, err := RunWordwise(pairs, Config{})
+	ww, err := RunWordwise(context.Background(), pairs, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func scaleStats(s cudasim.LaunchStats, k int64) *cudasim.LaunchStats {
 func TestPipelinePartialGroup(t *testing.T) {
 	rng := rand.New(rand.NewPCG(10, 10))
 	pairs := dna.RandomPairs(rng, 33, 8, 24) // 2 groups, second nearly empty
-	res, err := RunBitwise[uint32](pairs, Config{})
+	res, err := RunBitwise[uint32](context.Background(), pairs, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,11 +243,11 @@ func TestPipelinePartialGroup(t *testing.T) {
 func TestShuffleHandoffEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewPCG(11, 11))
 	pairs := dna.PlantedPairs(rng, 96, 48, 192, 0.5, dna.MutationModel{SubRate: 0.1})
-	plain, err := RunBitwise[uint32](pairs, Config{})
+	plain, err := RunBitwise[uint32](context.Background(), pairs, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	shuf, err := RunBitwise[uint32](pairs, Config{UseShuffle: true})
+	shuf, err := RunBitwise[uint32](context.Background(), pairs, Config{UseShuffle: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,11 +274,11 @@ func TestShuffleHandoffEquivalence(t *testing.T) {
 func TestShuffleHandoffEquivalence64(t *testing.T) {
 	rng := rand.New(rand.NewPCG(12, 12))
 	pairs := dna.RandomPairs(rng, 64, 40, 160)
-	plain, err := RunBitwise[uint64](pairs, Config{})
+	plain, err := RunBitwise[uint64](context.Background(), pairs, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	shuf, err := RunBitwise[uint64](pairs, Config{UseShuffle: true})
+	shuf, err := RunBitwise[uint64](context.Background(), pairs, Config{UseShuffle: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,7 +22,7 @@ type AblationRow struct {
 
 // BuildAblations runs the design-choice experiments of DESIGN.md §5 at the
 // given preset scale and returns a comparison table.
-func BuildAblations(preset workload.Spec) ([]AblationRow, error) {
+func BuildAblations(ctx context.Context, preset workload.Spec) ([]AblationRow, error) {
 	var rows []AblationRow
 	n := preset.NList[0]
 	pairs := preset.Generate(n)
@@ -72,11 +73,11 @@ func BuildAblations(preset workload.Spec) ([]AblationRow, error) {
 
 	// Shuffle vs shared-memory handoff on the simulated GPU (§V).
 	simPairs := workload.Spec{Pairs: 32, M: preset.M, Seed: 77}.Generate(min(n, 512))
-	plain, err := pipeline.RunBitwise[uint32](simPairs, pipeline.Config{})
+	plain, err := pipeline.RunBitwise[uint32](ctx, simPairs, pipeline.Config{})
 	if err != nil {
 		return nil, err
 	}
-	shuf, err := pipeline.RunBitwise[uint32](simPairs, pipeline.Config{UseShuffle: true})
+	shuf, err := pipeline.RunBitwise[uint32](ctx, simPairs, pipeline.Config{UseShuffle: true})
 	if err != nil {
 		return nil, err
 	}

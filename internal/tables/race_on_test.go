@@ -1,0 +1,7 @@
+//go:build race
+
+package tables
+
+// raceEnabled gates wall-clock performance assertions that the race
+// detector's instrumentation overhead invalidates.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -78,8 +79,9 @@ type TableIVResult struct {
 // BuildTableIV measures the CPU engines on the preset workload and runs the
 // GPU simulator extrapolation, producing a row per engine per n of the
 // paper's sweep. All times are normalised to the paper's 32K-pair workload
-// so they are directly comparable with the published table.
-func BuildTableIV(preset workload.Spec, progress func(string)) (*TableIVResult, error) {
+// so they are directly comparable with the published table. The context is
+// checked between measurements, so Ctrl-C interrupts long CPU sweeps.
+func BuildTableIV(ctx context.Context, preset workload.Spec, progress func(string)) (*TableIVResult, error) {
 	if progress == nil {
 		progress = func(string) {}
 	}
@@ -99,6 +101,9 @@ func BuildTableIV(preset workload.Spec, progress func(string)) (*TableIVResult, 
 			return nil, err
 		}
 		for _, n := range preset.NList {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			progress(fmt.Sprintf("CPU %s n=%d (%d pairs)", e, n, preset.Pairs))
 			pairs := preset.Generate(n)
 			t, err := runCPU(e, pairs)
@@ -114,7 +119,7 @@ func BuildTableIV(preset workload.Spec, progress func(string)) (*TableIVResult, 
 	gpuBases := map[Engine]*gpuBase{}
 	for _, e := range Engines {
 		progress(fmt.Sprintf("GPU simulator calibration %s", e))
-		b, err := measureGPUBase(e, preset.M)
+		b, err := measureGPUBase(ctx, e, preset.M)
 		if err != nil {
 			return nil, err
 		}
@@ -199,7 +204,7 @@ type gpuStats struct {
 	w2b, swa, b2w cudasim.LaunchStats
 }
 
-func measureGPUBase(e Engine, m int) (*gpuBase, error) {
+func measureGPUBase(ctx context.Context, e Engine, m int) (*gpuBase, error) {
 	const nA, nB = 256, 512
 	lanes := 32
 	if e == Bitwise64 {
@@ -215,11 +220,11 @@ func measureGPUBase(e Engine, m int) (*gpuBase, error) {
 		var err error
 		switch e {
 		case Bitwise32:
-			r, err = pipeline.RunBitwise[uint32](pairs, pipeline.Config{})
+			r, err = pipeline.RunBitwise[uint32](ctx, pairs, pipeline.Config{})
 		case Bitwise64:
-			r, err = pipeline.RunBitwise[uint64](pairs, pipeline.Config{})
+			r, err = pipeline.RunBitwise[uint64](ctx, pairs, pipeline.Config{})
 		case Wordwise32:
-			r, err = pipeline.RunWordwise(pairs, pipeline.Config{})
+			r, err = pipeline.RunWordwise(ctx, pairs, pipeline.Config{})
 		default:
 			return gpuStats{}, fmt.Errorf("tables: unknown engine %q", e)
 		}

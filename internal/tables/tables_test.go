@@ -1,6 +1,7 @@
 package tables
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -112,7 +113,7 @@ func TestFigure2(t *testing.T) {
 // TestBuildTableIVUnit runs the full Table IV/V machinery on the tiny unit
 // preset: every cell must be populated and the headline orderings must hold.
 func TestBuildTableIVUnit(t *testing.T) {
-	iv, err := BuildTableIV(workload.Unit, nil)
+	iv, err := BuildTableIV(context.Background(), workload.Unit, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,8 +162,13 @@ func TestBuildTableIVUnit(t *testing.T) {
 		}
 	}
 	// Shape check 3: on the CPU, bitwise-64 is the fastest engine
-	// (paper: ~20%% faster than wordwise; bitwise-32 slowest).
+	// (paper: ~20%% faster than wordwise; bitwise-32 slowest). Skipped
+	// under the race detector, whose per-access instrumentation distorts
+	// the engines' relative throughput.
 	for _, n := range iv.NList {
+		if raceEnabled {
+			break
+		}
 		b64 := byKey[Bitwise64][n].CPU.Total()
 		b32 := byKey[Bitwise32][n].CPU.Total()
 		ww := byKey[Wordwise32][n].CPU.Total()
@@ -205,7 +211,7 @@ func TestPaperReferenceLookups(t *testing.T) {
 }
 
 func TestBuildAblations(t *testing.T) {
-	rows, err := BuildAblations(workload.Unit)
+	rows, err := BuildAblations(context.Background(), workload.Unit)
 	if err != nil {
 		t.Fatal(err)
 	}
