@@ -9,7 +9,10 @@
 //
 // Usage:
 //
-//	dbfilter -query ACGT... [-db db.fasta | -synthetic 1024] [-tau T] [-lanes 32]
+//	dbfilter -query ACGT... [-db db.fasta | -synthetic 1024] [-tau T] [-lanes 32] [-json]
+//
+// With -json the screening summary and hits are printed as one JSON
+// document instead of the text rendering.
 package main
 
 import (
@@ -25,6 +28,28 @@ import (
 	"repro/internal/swa"
 )
 
+// screenJSON is the -json wire form: stable snake_case names, duration in
+// milliseconds, hits always a list (possibly empty, never null).
+type screenJSON struct {
+	Entries   int       `json:"entries"`
+	M         int       `json:"m"`
+	N         int       `json:"n"`
+	Tau       int       `json:"tau"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Hits      []hitJSON `json:"hits"`
+}
+
+type hitJSON struct {
+	Name       string  `json:"name"`
+	Index      int     `json:"index"`
+	Score      int     `json:"score"`
+	Strand     string  `json:"strand"`
+	AlignScore int     `json:"align_score"`
+	AlignedX   string  `json:"aligned_x"`
+	AlignedY   string  `json:"aligned_y"`
+	Identity   float64 `json:"identity"`
+}
+
 func main() {
 	query := flag.String("query", "", "query pattern (ACGT letters)")
 	dbPath := flag.String("db", "", "FASTA file of equal-length database sequences")
@@ -36,11 +61,24 @@ func main() {
 	both := flag.Bool("both", false, "also screen the reverse complement of the query (both strands)")
 	workers := flag.Int("workers", 1, "lane groups scored concurrently")
 	seed := flag.Uint64("seed", 42, "synthetic generator seed")
+	asJSON := flag.Bool("json", false, "print the result as JSON")
 	flag.Parse()
 
+	if flag.NArg() != 0 {
+		flag.PrintDefaults()
+		cli.Exitf(2, "dbfilter: unexpected arguments %v", flag.Args())
+	}
 	if *query == "" {
 		flag.PrintDefaults()
 		cli.Exitf(2, "dbfilter: -query is required")
+	}
+	if *lanes != 32 && *lanes != 64 {
+		flag.PrintDefaults()
+		cli.Exitf(2, "dbfilter: -lanes must be 32 or 64, got %d", *lanes)
+	}
+	if *dbPath != "" && *synthetic > 0 {
+		flag.PrintDefaults()
+		cli.Exitf(2, "dbfilter: -db and -synthetic are mutually exclusive")
 	}
 	q, err := dna.Parse(*query)
 	if err != nil {
@@ -129,6 +167,27 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
+
+	if *asJSON {
+		out := screenJSON{
+			Entries: len(pairs), M: len(q), N: len(texts[0]),
+			Tau:       threshold,
+			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+			Hits:      []hitJSON{},
+		}
+		for i, h := range hits {
+			out.Hits = append(out.Hits, hitJSON{
+				Name: names[h.Index], Index: h.Index,
+				Score: h.Score, Strand: string(strand[i]),
+				AlignScore: h.Alignment.Score,
+				AlignedX:   h.Alignment.AlignedX,
+				AlignedY:   h.Alignment.AlignedY,
+				Identity:   h.Alignment.Identity(),
+			})
+		}
+		cli.Check(cli.PrintJSON(out))
+		return
+	}
 
 	fmt.Printf("screened %d entries (m=%d, n=%d) at τ=%d in %v: %d hit(s)\n\n",
 		len(pairs), len(q), len(texts[0]), threshold, elapsed.Round(time.Millisecond), len(hits))

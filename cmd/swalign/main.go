@@ -5,8 +5,11 @@
 //
 // Usage:
 //
-//	swalign [-match 2] [-mismatch 1] [-gap 1] [-matrix] [-schedule] X Y
+//	swalign [-match 2] [-mismatch 1] [-gap 1] [-matrix] [-schedule] [-json] X Y
 //	swalign -demo
+//
+// With -json the result (and, if requested, the matrix and schedule) is
+// printed as a single JSON document instead of the text rendering.
 package main
 
 import (
@@ -18,6 +21,48 @@ import (
 	"repro/internal/swa"
 )
 
+// alignJSON is the -json wire form: stable snake_case names, with the
+// matrix and schedule present only when their flags asked for them.
+type alignJSON struct {
+	X         string        `json:"x"`
+	Y         string        `json:"y"`
+	Scoring   scoringJSON   `json:"scoring"`
+	Alignment alignmentJSON `json:"alignment"`
+	Matrix    [][]int       `json:"matrix,omitempty"`
+	Schedule  [][]int       `json:"schedule,omitempty"`
+}
+
+type scoringJSON struct {
+	Match    int `json:"match"`
+	Mismatch int `json:"mismatch"`
+	Gap      int `json:"gap"`
+}
+
+type alignmentJSON struct {
+	Score      int     `json:"score"`
+	XStart     int     `json:"x_start"`
+	XEnd       int     `json:"x_end"`
+	YStart     int     `json:"y_start"`
+	YEnd       int     `json:"y_end"`
+	AlignedX   string  `json:"aligned_x"`
+	AlignedY   string  `json:"aligned_y"`
+	Matches    int     `json:"matches"`
+	Mismatches int     `json:"mismatches"`
+	Gaps       int     `json:"gaps"`
+	Identity   float64 `json:"identity"`
+}
+
+func toAlignmentJSON(a swa.Alignment) alignmentJSON {
+	return alignmentJSON{
+		Score:  a.Score,
+		XStart: a.XStart, XEnd: a.XEnd,
+		YStart: a.YStart, YEnd: a.YEnd,
+		AlignedX: a.AlignedX, AlignedY: a.AlignedY,
+		Matches: a.Matches, Mismatches: a.Mismatches, Gaps: a.Gaps,
+		Identity: a.Identity(),
+	}
+}
+
 func main() {
 	match := flag.Int("match", 2, "match reward c1")
 	mismatch := flag.Int("mismatch", 1, "mismatch penalty c2 (magnitude)")
@@ -25,6 +70,7 @@ func main() {
 	matrix := flag.Bool("matrix", false, "print the full scoring matrix")
 	schedule := flag.Bool("schedule", false, "print the wavefront schedule (Table III)")
 	demo := flag.Bool("demo", false, "run the paper's Table II example (X=TACTG, Y=GAACTGA)")
+	asJSON := flag.Bool("json", false, "print the result as JSON")
 	flag.Parse()
 
 	var xStr, yStr string
@@ -49,7 +95,26 @@ func main() {
 		cli.Die(fmt.Errorf("text: %w", err))
 	}
 	sc := swa.Scoring{Match: *match, Mismatch: *mismatch, Gap: *gap}
-	cli.Check(sc.Validate())
+	if err := sc.Validate(); err != nil {
+		flag.PrintDefaults()
+		cli.Exitf(2, "swalign: %v", err)
+	}
+
+	if *asJSON {
+		out := alignJSON{
+			X: xStr, Y: yStr,
+			Scoring:   scoringJSON{Match: sc.Match, Mismatch: sc.Mismatch, Gap: sc.Gap},
+			Alignment: toAlignmentJSON(swa.Align(x, y, sc)),
+		}
+		if *matrix {
+			out.Matrix = swa.Matrix(x, y, sc)
+		}
+		if *schedule {
+			out.Schedule = swa.ScheduleTable(len(x), len(y))
+		}
+		cli.Check(cli.PrintJSON(out))
+		return
+	}
 
 	if *matrix {
 		d := swa.Matrix(x, y, sc)

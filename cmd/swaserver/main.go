@@ -1,0 +1,151 @@
+// Command swaserver runs the HTTP alignment server: alignsvc.Service (the
+// retry/degradation ladder over the simulated GPU pipelines) behind
+// internal/server's admission control.
+//
+// Endpoints: POST /align, GET /healthz, /readyz, /statsz. On SIGINT/SIGTERM
+// the server stops admitting work (/readyz flips to 503), drains in-flight
+// batches for -grace, then exits 0.
+//
+// Usage:
+//
+//	swaserver [-addr :8468] [-workers N] [-inflight N] [-queued N]
+//	          [-grace 15s] [-timeout 30s] [-lanes 32]
+//	          [-fault-launch 0.3 -fault-bitflip 0.2 ...]   (chaos mode)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/alignsvc"
+	"repro/internal/cli"
+	"repro/internal/cudasim"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8468", "listen address (host:port; port 0 picks a free one)")
+	workers := flag.Int("workers", 0, "service worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "service queue depth (0 = workers)")
+	lanes := flag.Int("lanes", 32, "bitwise lane width: 32 or 64")
+	maxAttempts := flag.Int("max-attempts", 3, "attempts per GPU tier before degrading")
+	validate := flag.Float64("validate", 0.05, "fraction of scores re-checked on the CPU (>=1 checks all)")
+	baseBackoff := flag.Duration("base-backoff", time.Millisecond, "base retry backoff")
+	maxBackoff := flag.Duration("max-backoff", 50*time.Millisecond, "retry backoff cap")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive tier failures tripping the circuit breaker (<0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "open-breaker cooldown before the half-open probe")
+
+	inflight := flag.Int("inflight", 0, "max align requests executing concurrently (0 = 2×GOMAXPROCS)")
+	queued := flag.Int("queued", 0, "max align requests waiting for a slot before 429 (0 = inflight)")
+	maxPairs := flag.Int("max-pairs", 4096, "max pairs per batch")
+	maxSeqLen := flag.Int("max-seqlen", 16384, "max sequence length")
+	maxBody := flag.Int64("max-body", 8<<20, "max request body bytes")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
+
+	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
+	faultHtoD := flag.Float64("fault-htod", 0, "HtoD transfer failure rate [0,1]")
+	faultDtoH := flag.Float64("fault-dtoh", 0, "DtoH transfer failure rate [0,1]")
+	faultAlloc := flag.Float64("fault-alloc", 0, "device allocation failure rate [0,1]")
+	faultLaunch := flag.Float64("fault-launch", 0, "kernel launch failure rate [0,1]")
+	faultBitFlip := flag.Float64("fault-bitflip", 0, "silent bit-flip rate per transfer [0,1]")
+	flag.Parse()
+
+	if flag.NArg() != 0 {
+		flag.PrintDefaults()
+		cli.Exitf(2, "swaserver: unexpected arguments %v", flag.Args())
+	}
+	if *lanes != 32 && *lanes != 64 {
+		cli.Exitf(2, "swaserver: -lanes must be 32 or 64, got %d", *lanes)
+	}
+	if *grace <= 0 {
+		cli.Exitf(2, "swaserver: -grace must be positive, got %v", *grace)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"-validate", *validate}, {"-fault-htod", *faultHtoD}, {"-fault-dtoh", *faultDtoH},
+		{"-fault-alloc", *faultAlloc}, {"-fault-launch", *faultLaunch}, {"-fault-bitflip", *faultBitFlip},
+	} {
+		if r.name != "-validate" && (r.v < 0 || r.v > 1) {
+			cli.Exitf(2, "swaserver: %s must be in [0,1], got %v", r.name, r.v)
+		}
+	}
+
+	svc := alignsvc.New(alignsvc.Config{
+		Lanes:           *lanes,
+		Workers:         *workers,
+		Queue:           *queue,
+		MaxAttempts:     *maxAttempts,
+		ValidateFrac:    *validate,
+		BaseBackoff:     *baseBackoff,
+		MaxBackoff:      *maxBackoff,
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+		Seed:            *faultSeed,
+		Faults: cudasim.FaultConfig{
+			Seed:    *faultSeed,
+			HtoD:    *faultHtoD,
+			DtoH:    *faultDtoH,
+			Alloc:   *faultAlloc,
+			Launch:  *faultLaunch,
+			BitFlip: *faultBitFlip,
+		},
+	})
+	srv, err := server.New(server.Config{
+		Service:        svc,
+		MaxInFlight:    *inflight,
+		MaxQueued:      *queued,
+		MaxPairs:       *maxPairs,
+		MaxSeqLen:      *maxSeqLen,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	cli.Check(err)
+
+	ln, err := net.Listen("tcp", *addr)
+	cli.Check(err)
+	// The listening line goes to stdout so scripts (and the e2e test) can
+	// discover a :0-assigned port.
+	fmt.Printf("swaserver listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	select {
+	case err := <-serveErr:
+		svc.Close()
+		cli.Die(fmt.Errorf("swaserver: serve: %w", err))
+	case <-ctx.Done():
+	}
+	stop() // a second signal force-kills via Go's default handling
+
+	// Graceful shutdown: refuse new aligns and flip /readyz (still served,
+	// so load balancers see not-ready), drain in-flight batches within the
+	// grace period, then close the listener and the service.
+	log.Printf("swaserver: signal received, draining (grace %v)", *grace)
+	srv.BeginDrain()
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	drainErr := srv.Drain(graceCtx)
+	if err := httpSrv.Shutdown(graceCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("swaserver: http shutdown: %v", err)
+	}
+	svc.Close()
+	if drainErr != nil {
+		cli.Die(fmt.Errorf("swaserver: %w", drainErr))
+	}
+	log.Printf("swaserver: drained cleanly")
+}

@@ -1,0 +1,164 @@
+package alignsvc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the three classic circuit-breaker states.
+type BreakerState int
+
+const (
+	// BreakerClosed lets every request through; consecutive tier failures
+	// are counted and trip the breaker open at the configured threshold.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen short-circuits the tier: the ladder skips it without
+	// paying the retry/backoff cost, until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe request try the tier; success
+	// closes the breaker, failure re-opens it for another cooldown.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ParseBreakerState is the inverse of BreakerState.String.
+func ParseBreakerState(s string) (BreakerState, error) {
+	switch s {
+	case "closed":
+		return BreakerClosed, nil
+	case "open":
+		return BreakerOpen, nil
+	case "half-open":
+		return BreakerHalfOpen, nil
+	}
+	return 0, fmt.Errorf("alignsvc: unknown breaker state %q", s)
+}
+
+// BreakerSnapshot is the exported view of one tier's breaker, published
+// through Stats (and from there /statsz).
+type BreakerSnapshot struct {
+	Tier     Tier
+	State    BreakerState
+	Failures int // consecutive tier failures while closed
+}
+
+// tierOutcome is what a tier execution reports back to its breaker.
+type tierOutcome int
+
+const (
+	tierSucceeded tierOutcome = iota
+	tierFailed
+	// tierAbandoned means the attempt ended on a context error: the tier's
+	// health is unknown, so the outcome must not move the breaker, but a
+	// half-open probe slot has to be released.
+	tierAbandoned
+)
+
+// breaker is one tier's circuit breaker. A nil *breaker is valid and always
+// allows (used for the CPU tier, which cannot be tripped).
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that trip the breaker
+	cooldown  time.Duration // open duration before the half-open probe
+	now       func() time.Time
+
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	trips, shortCircuits, probes int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow decides whether the tier may run now. probe is true when the caller
+// holds the single half-open probe slot and must report back via release.
+func (b *breaker) allow() (allowed, probe bool) {
+	if b == nil {
+		return true, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.shortCircuits++
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = false
+		fallthrough
+	default: // BreakerHalfOpen
+		if b.probing {
+			b.shortCircuits++
+			return false, false
+		}
+		b.probing = true
+		b.probes++
+		return true, true
+	}
+}
+
+// release reports the outcome of an allowed execution. probe must be the
+// value allow returned.
+func (b *breaker) release(out tierOutcome, probe bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		switch out {
+		case tierSucceeded:
+			b.state = BreakerClosed
+			b.failures = 0
+		case tierFailed:
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+		return
+	}
+	// Closed-state execution. (If the breaker tripped concurrently the
+	// bookkeeping below is still sound: successes reset, failures count.)
+	switch out {
+	case tierSucceeded:
+		b.failures = 0
+	case tierFailed:
+		b.failures++
+		if b.state == BreakerClosed && b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+	}
+}
+
+// snapshot returns the exported view plus the breaker's counters.
+func (b *breaker) snapshot(tier Tier) (BreakerSnapshot, int64, int64, int64) {
+	if b == nil {
+		return BreakerSnapshot{Tier: tier, State: BreakerClosed}, 0, 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{Tier: tier, State: b.state, Failures: b.failures},
+		b.trips, b.shortCircuits, b.probes
+}

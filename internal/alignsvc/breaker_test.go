@@ -1,0 +1,194 @@
+package alignsvc
+
+import (
+	"context"
+	"slices"
+	"testing"
+	"time"
+
+	"repro/internal/cudasim"
+)
+
+// fakeClock is a manually advanced clock for breaker unit tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(2, 100*time.Millisecond, clk.now)
+
+	// Closed: failures below the threshold keep it closed, a success resets.
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("fresh breaker should allow")
+	}
+	b.release(tierFailed, false)
+	b.release(tierSucceeded, false)
+	if snap, _, _, _ := b.snapshot(TierBitwise); snap.State != BreakerClosed || snap.Failures != 0 {
+		t.Fatalf("after fail+success: %+v", snap)
+	}
+
+	// Two consecutive failures trip it open.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("closed breaker refused at failure %d", i)
+		}
+		b.release(tierFailed, false)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker should short-circuit")
+	}
+
+	// Cooldown elapses → half-open admits exactly one probe.
+	clk.advance(101 * time.Millisecond)
+	ok, probe := b.allow()
+	if !ok || !probe {
+		t.Fatalf("want half-open probe, got ok=%v probe=%v", ok, probe)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second request during probe should short-circuit")
+	}
+
+	// Abandoned probe (context error) releases the slot without deciding.
+	b.release(tierAbandoned, true)
+	if snap, _, _, _ := b.snapshot(TierBitwise); snap.State != BreakerHalfOpen {
+		t.Fatalf("abandoned probe moved state to %v", snap.State)
+	}
+
+	// Failed probe re-opens for a fresh cooldown.
+	_, probe = b.allow()
+	b.release(tierFailed, probe)
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker should re-open after failed probe")
+	}
+
+	// Successful probe closes.
+	clk.advance(101 * time.Millisecond)
+	_, probe = b.allow()
+	b.release(tierSucceeded, probe)
+	snap, trips, shorts, probes := b.snapshot(TierBitwise)
+	if snap.State != BreakerClosed {
+		t.Fatalf("after successful probe: %+v", snap)
+	}
+	if trips != 2 || shorts != 3 || probes != 3 {
+		t.Fatalf("counters trips=%d shorts=%d probes=%d, want 2/3/3", trips, shorts, probes)
+	}
+}
+
+func TestNilBreakerAlwaysAllows(t *testing.T) {
+	var b *breaker
+	if ok, probe := b.allow(); !ok || probe {
+		t.Fatalf("nil breaker allow() = %v, %v", ok, probe)
+	}
+	b.release(tierFailed, false) // must not panic
+	if snap, _, _, _ := b.snapshot(TierCPU); snap.State != BreakerClosed {
+		t.Fatalf("nil snapshot: %+v", snap)
+	}
+}
+
+// TestBreakerTripsAndRecovers is the acceptance scenario: repeated bitwise
+// failures trip the breaker open so later batches skip the GPU tiers
+// entirely, and once the faults stop a half-open probe closes it again.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	s := New(Config{
+		Seed:            5,
+		Workers:         1,
+		MaxAttempts:     1,
+		BreakerFailures: 2,
+		BreakerCooldown: 20 * time.Millisecond,
+		BaseBackoff:     10 * time.Microsecond,
+		MaxBackoff:      50 * time.Microsecond,
+		// Every kernel launch fails: both GPU tiers are down.
+		Faults: cudasim.FaultConfig{Seed: 5, Launch: 1},
+	})
+	defer s.Close()
+	pairs := plantedPairs(32, 16, 32, 77)
+	want := refScores(pairs)
+
+	// Two batches of launch failures trip both GPU breakers (threshold 2,
+	// one attempt per tier per batch). Every batch still gets exact scores
+	// from the CPU rung.
+	for i := 0; i < 2; i++ {
+		res, err := s.Align(context.Background(), pairs)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		assertScores(t, res.Scores, want)
+		if res.Report.Tier != TierCPU {
+			t.Fatalf("batch %d served by %v, want cpu", i, res.Report.Tier)
+		}
+	}
+
+	// The next batch must short-circuit: no GPU attempts at all.
+	res, err := s.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScores(t, res.Scores, want)
+	if !slices.Contains(res.Report.Skips, TierBitwise) || !slices.Contains(res.Report.Skips, TierWordwise) {
+		t.Fatalf("open breakers did not skip GPU tiers: skips=%v", res.Report.Skips)
+	}
+	if len(res.Report.Attempts) != 1 || res.Report.Attempts[0].Tier != TierCPU {
+		t.Fatalf("short-circuited batch still attempted GPU tiers: %+v", res.Report.Attempts)
+	}
+	st := s.Stats()
+	if st.BreakerTrips < 2 || st.BreakerShortCircuits < 2 {
+		t.Fatalf("breaker counters: %+v", st)
+	}
+	for _, br := range st.Breakers {
+		if br.State != BreakerOpen {
+			t.Fatalf("breaker %v state %v, want open", br.Tier, br.State)
+		}
+	}
+
+	// Faults stop; after the cooldown a half-open probe runs the bitwise
+	// tier again, succeeds, and closes the breaker.
+	s.SetFaults(cudasim.FaultConfig{})
+	time.Sleep(25 * time.Millisecond)
+	res, err = s.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScores(t, res.Scores, want)
+	if res.Report.Tier != TierBitwise {
+		t.Fatalf("recovered batch served by %v, want bitwise", res.Report.Tier)
+	}
+	st = s.Stats()
+	if st.BreakerProbes == 0 {
+		t.Fatalf("no half-open probes recorded: %+v", st)
+	}
+	for _, br := range st.Breakers {
+		if br.Tier == TierBitwise && br.State != BreakerClosed {
+			t.Fatalf("bitwise breaker state %v after recovery, want closed", br.State)
+		}
+	}
+	if res.Report.Elapsed <= 0 {
+		t.Fatalf("Report.Elapsed = %v, want > 0", res.Report.Elapsed)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	s := New(Config{
+		Seed:            6,
+		MaxAttempts:     1,
+		BreakerFailures: -1, // disabled
+		BaseBackoff:     10 * time.Microsecond,
+		MaxBackoff:      50 * time.Microsecond,
+		Faults:          cudasim.FaultConfig{Seed: 6, Launch: 1},
+	})
+	defer s.Close()
+	pairs := plantedPairs(32, 16, 32, 78)
+	for i := 0; i < 4; i++ {
+		res, err := s.Align(context.Background(), pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Report.Skips) != 0 {
+			t.Fatalf("disabled breaker skipped tiers: %v", res.Report.Skips)
+		}
+	}
+	if st := s.Stats(); st.BreakerTrips != 0 || st.BreakerShortCircuits != 0 {
+		t.Fatalf("disabled breaker counted activity: %+v", st)
+	}
+}

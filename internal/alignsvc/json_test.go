@@ -1,0 +1,90 @@
+package alignsvc
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cudasim"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	in := Report{
+		Tier: TierWordwise,
+		Attempts: []Attempt{
+			{Tier: TierBitwise, Err: "boom", Faults: cudasim.FaultCounts{HtoD: 1, BitFlips: 2}},
+			{Tier: TierBitwise, Err: "validation", ValidationFailed: true},
+			{Tier: TierWordwise},
+		},
+		Retries:   1,
+		Fallbacks: 1,
+		Skips:     []Tier{TierBitwise},
+		Faults:    cudasim.FaultCounts{HtoD: 1, BitFlips: 2},
+		Validated: 7,
+		Elapsed:   1500 * time.Microsecond,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"tier":"wordwise"`, `"elapsed_ms":1.5`, `"bit_flips":2`,
+		`"skips":["bitwise"]`, `"validation_failed":true`,
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("marshalled report missing %s:\n%s", want, b)
+		}
+	}
+	var out Report
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed report:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	in := Stats{
+		Batches: 10, BatchesFailed: 1, Retries: 4, Fallbacks: 2,
+		CPUFallbacks: 1, DeadlineHits: 3, Cancellations: 2,
+		PanicsRecovered: 1, FaultsInjected: 42,
+		BreakerTrips: 2, BreakerShortCircuits: 5, BreakerProbes: 3,
+		Breakers: []BreakerSnapshot{
+			{Tier: TierBitwise, State: BreakerOpen, Failures: 0},
+			{Tier: TierWordwise, State: BreakerHalfOpen, Failures: 1},
+		},
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`"batches":10`, `"deadline_hits":3`, `"breaker_trips":2`,
+		`"state":"open"`, `"state":"half-open"`, `"consecutive_failures":1`,
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("marshalled stats missing %s:\n%s", want, b)
+		}
+	}
+	var out Stats
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed stats:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestTierJSONRejectsUnknown(t *testing.T) {
+	var tier Tier
+	if err := json.Unmarshal([]byte(`"quantum"`), &tier); err == nil {
+		t.Fatal("unknown tier name unmarshalled without error")
+	}
+	var st BreakerState
+	if err := json.Unmarshal([]byte(`"melted"`), &st); err == nil {
+		t.Fatal("unknown breaker state unmarshalled without error")
+	}
+}

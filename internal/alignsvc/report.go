@@ -3,6 +3,7 @@ package alignsvc
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/cudasim"
 )
@@ -33,6 +34,19 @@ func (t Tier) String() string {
 	return fmt.Sprintf("tier(%d)", int(t))
 }
 
+// ParseTier is the inverse of Tier.String.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "bitwise":
+		return TierBitwise, nil
+	case "wordwise":
+		return TierWordwise, nil
+	case "cpu":
+		return TierCPU, nil
+	}
+	return 0, fmt.Errorf("alignsvc: unknown tier %q", s)
+}
+
 // Attempt records one try of one tier for a batch.
 type Attempt struct {
 	Tier             Tier
@@ -46,10 +60,12 @@ type Attempt struct {
 type Report struct {
 	Tier      Tier // tier whose scores were returned
 	Attempts  []Attempt
-	Retries   int // same-tier re-runs after a failure
-	Fallbacks int // tier downgrades
+	Retries   int    // same-tier re-runs after a failure
+	Fallbacks int    // tier downgrades after exhausting a tier's attempts
+	Skips     []Tier // tiers skipped because their circuit breaker was open
 	Faults    cudasim.FaultCounts
-	Validated int // pairs re-scored on the CPU for validation
+	Validated int           // pairs re-scored on the CPU for validation
+	Elapsed   time.Duration // wall time from dequeue to scores
 }
 
 // String renders a one-line summary, e.g.
@@ -69,6 +85,13 @@ func (r Report) String() string {
 	b.WriteString(strings.Join(runs, " → "))
 	fmt.Fprintf(&b, " ok=%s (%d retries, %d fallbacks, %d faults)",
 		r.Tier, r.Retries, r.Fallbacks, r.Faults.Total())
+	if len(r.Skips) > 0 {
+		var names []string
+		for _, t := range r.Skips {
+			names = append(names, t.String())
+		}
+		fmt.Fprintf(&b, " [breaker skipped %s]", strings.Join(names, ", "))
+	}
 	return b.String()
 }
 
@@ -90,4 +113,9 @@ type Stats struct {
 	Cancellations   int64 // batches aborted by context.Canceled
 	PanicsRecovered int64 // kernel/pipeline panics converted to errors
 	FaultsInjected  int64 // injected faults observed across all attempts
+
+	BreakerTrips         int64 // closed→open and half-open→open transitions
+	BreakerShortCircuits int64 // tier attempts skipped by an open breaker
+	BreakerProbes        int64 // half-open probe batches admitted
+	Breakers             []BreakerSnapshot
 }

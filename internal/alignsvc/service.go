@@ -78,9 +78,20 @@ type Config struct {
 	// StartTier skips ladder rungs (e.g. TierWordwise to bypass the
 	// bitwise pipeline entirely).
 	StartTier Tier
+	// BreakerFailures is how many consecutive batch-level failures of a GPU
+	// tier trip its circuit breaker open (default 5; negative disables the
+	// breakers). While a breaker is open the ladder skips that tier
+	// entirely instead of paying the retry ladder on every batch.
+	BreakerFailures int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// single half-open probe batch is let through (default 500ms). The
+	// probe's success closes the breaker; its failure re-opens it.
+	BreakerCooldown time.Duration
 
 	// sleep replaces the backoff sleep in tests.
 	sleep func(context.Context, time.Duration) error
+	// now replaces the breaker clock in tests.
+	now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -105,8 +116,17 @@ func (c Config) withDefaults() Config {
 	if c.ValidateFrac == 0 {
 		c.ValidateFrac = 0.05
 	}
+	if c.BreakerFailures == 0 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 500 * time.Millisecond
+	}
 	if c.sleep == nil {
 		c.sleep = sleepCtx
+	}
+	if c.now == nil {
+		c.now = time.Now
 	}
 	return c
 }
@@ -145,6 +165,12 @@ type Service struct {
 	closeOnce sync.Once
 	batchSeq  atomic.Uint64
 
+	// breakers holds the per-tier circuit breakers; the CPU slot stays nil
+	// (the reference rung cannot be tripped). faults is the live fault
+	// config, swappable at runtime via SetFaults for chaos harnesses.
+	breakers [numTiers]*breaker
+	faults   atomic.Pointer[cudasim.FaultConfig]
+
 	batches, batchesFailed, retries, fallbacks atomic.Int64
 	cpuFallbacks, deadlineHits, cancellations  atomic.Int64
 	panicsRecovered, faultsInjected            atomic.Int64
@@ -158,11 +184,25 @@ func New(cfg Config) *Service {
 		jobs: make(chan *job, cfg.Queue),
 		quit: make(chan struct{}),
 	}
+	f := cfg.Faults
+	s.faults.Store(&f)
+	if cfg.BreakerFailures > 0 {
+		for _, t := range []Tier{TierBitwise, TierWordwise} {
+			s.breakers[t] = newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown, cfg.now)
+		}
+	}
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go s.worker()
 	}
 	return s
+}
+
+// SetFaults replaces the fault-injection config for all future attempts.
+// Chaos harnesses use it to start and stop fault storms against a live
+// service (and to let tripped breakers recover via their probes).
+func (s *Service) SetFaults(f cudasim.FaultConfig) {
+	s.faults.Store(&f)
 }
 
 // Close stops the workers after the current batches finish. Pending and
@@ -209,9 +249,10 @@ func (s *Service) Align(ctx context.Context, pairs []dna.Pair) (*BatchResult, er
 	}
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters, including the per-tier circuit
+// breaker states.
 func (s *Service) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Batches:         s.batches.Load(),
 		BatchesFailed:   s.batchesFailed.Load(),
 		Retries:         s.retries.Load(),
@@ -222,6 +263,14 @@ func (s *Service) Stats() Stats {
 		PanicsRecovered: s.panicsRecovered.Load(),
 		FaultsInjected:  s.faultsInjected.Load(),
 	}
+	for _, t := range []Tier{TierBitwise, TierWordwise} {
+		snap, trips, shorts, probes := s.breakers[t].snapshot(t)
+		st.Breakers = append(st.Breakers, snap)
+		st.BreakerTrips += trips
+		st.BreakerShortCircuits += shorts
+		st.BreakerProbes += probes
+	}
+	return st
 }
 
 func (s *Service) noteCtxErr(err error) error {
@@ -238,65 +287,94 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// process walks the degradation ladder for one batch.
+// process walks the degradation ladder for one batch, consulting each GPU
+// tier's circuit breaker before paying for its attempts.
 func (s *Service) process(ctx context.Context, pairs []dna.Pair, seq uint64) (*BatchResult, error) {
 	rep := Report{}
+	start := s.cfg.now()
 	rng := rand.New(rand.NewPCG(s.cfg.Seed^seq, 0xa1195c7e))
 	var lastErr error
 	for tier := s.cfg.StartTier; tier < numTiers; tier++ {
-		attempts := s.cfg.MaxAttempts
-		if tier == TierCPU {
-			attempts = 1
+		allowed, probe := s.breakers[tier].allow()
+		if !allowed {
+			rep.Skips = append(rep.Skips, tier)
+			continue
 		}
-		for a := 0; a < attempts; a++ {
-			if err := ctx.Err(); err != nil {
-				return nil, s.noteCtxErr(err)
-			}
-			scores, counts, err := s.runTier(ctx, tier, pairs, seq, uint64(int(tier)*attempts+a))
-			rep.Faults.HtoD += counts.HtoD
-			rep.Faults.DtoH += counts.DtoH
-			rep.Faults.Alloc += counts.Alloc
-			rep.Faults.Launch += counts.Launch
-			rep.Faults.BitFlips += counts.BitFlips
-			s.faultsInjected.Add(int64(counts.Total()))
-			at := Attempt{Tier: tier, Faults: counts}
-			if err == nil && tier != TierCPU {
-				var checked int
-				checked, err = s.validate(ctx, pairs, scores, rng)
-				rep.Validated += checked
-				var ve *ValidationError
-				at.ValidationFailed = errors.As(err, &ve)
-			}
-			if err == nil {
-				rep.Attempts = append(rep.Attempts, at)
-				rep.Tier = tier
-				s.batches.Add(1)
-				if tier == TierCPU {
-					s.cpuFallbacks.Add(1)
-				}
-				return &BatchResult{Scores: scores, Report: rep}, nil
-			}
-			at.Err = err.Error()
-			rep.Attempts = append(rep.Attempts, at)
-			if isCtxErr(err) {
-				return nil, s.noteCtxErr(err)
-			}
+		res, err := s.runTierAttempts(ctx, tier, pairs, seq, rng, &rep)
+		switch {
+		case err == nil:
+			s.breakers[tier].release(tierSucceeded, probe)
+			res.Report.Elapsed = s.cfg.now().Sub(start)
+			return res, nil
+		case isCtxErr(err):
+			s.breakers[tier].release(tierAbandoned, probe)
+			return nil, s.noteCtxErr(err)
+		default:
+			s.breakers[tier].release(tierFailed, probe)
 			lastErr = err
-			if a+1 < attempts {
-				rep.Retries++
-				s.retries.Add(1)
-				if err := s.backoff(ctx, a, rng); err != nil {
-					return nil, s.noteCtxErr(err)
-				}
+			if tier+1 < numTiers {
+				rep.Fallbacks++
+				s.fallbacks.Add(1)
 			}
-		}
-		if tier+1 < numTiers {
-			rep.Fallbacks++
-			s.fallbacks.Add(1)
 		}
 	}
 	s.batchesFailed.Add(1)
 	return nil, fmt.Errorf("alignsvc: all tiers exhausted (%s): %w", rep.String(), lastErr)
+}
+
+// runTierAttempts runs up to MaxAttempts tries of one tier with backoff,
+// recording every attempt in rep. It returns the batch result on success, a
+// bare context error on cancellation, or the last attempt error once the
+// tier is exhausted.
+func (s *Service) runTierAttempts(ctx context.Context, tier Tier, pairs []dna.Pair, seq uint64, rng *rand.Rand, rep *Report) (*BatchResult, error) {
+	attempts := s.cfg.MaxAttempts
+	if tier == TierCPU {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		scores, counts, err := s.runTier(ctx, tier, pairs, seq, uint64(int(tier)*attempts+a))
+		rep.Faults.HtoD += counts.HtoD
+		rep.Faults.DtoH += counts.DtoH
+		rep.Faults.Alloc += counts.Alloc
+		rep.Faults.Launch += counts.Launch
+		rep.Faults.BitFlips += counts.BitFlips
+		s.faultsInjected.Add(int64(counts.Total()))
+		at := Attempt{Tier: tier, Faults: counts}
+		if err == nil && tier != TierCPU {
+			var checked int
+			checked, err = s.validate(ctx, pairs, scores, rng)
+			rep.Validated += checked
+			var ve *ValidationError
+			at.ValidationFailed = errors.As(err, &ve)
+		}
+		if err == nil {
+			rep.Attempts = append(rep.Attempts, at)
+			rep.Tier = tier
+			s.batches.Add(1)
+			if tier == TierCPU {
+				s.cpuFallbacks.Add(1)
+			}
+			return &BatchResult{Scores: scores, Report: *rep}, nil
+		}
+		at.Err = err.Error()
+		rep.Attempts = append(rep.Attempts, at)
+		if isCtxErr(err) {
+			return nil, err
+		}
+		lastErr = err
+		if a+1 < attempts {
+			rep.Retries++
+			s.retries.Add(1)
+			if err := s.backoff(ctx, a, rng); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nil, lastErr
 }
 
 // runTier executes one attempt of one tier, converting panics to errors and
@@ -313,7 +391,7 @@ func (s *Service) runTier(ctx context.Context, tier Tier, pairs []dna.Pair, seq,
 		return scores, cudasim.FaultCounts{}, err
 	}
 	cfg := s.cfg.Pipeline
-	fcfg := s.cfg.Faults
+	fcfg := *s.faults.Load()
 	// Derive an independent deterministic fault stream per attempt so a
 	// retry does not replay the exact faults that just killed the batch.
 	fcfg.Seed ^= (seq*0x9e3779b97f4a7c15 + attempt) | 1

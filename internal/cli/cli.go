@@ -6,8 +6,10 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +42,18 @@ func Check(err error) {
 	if err != nil {
 		Die(err)
 	}
+}
+
+// stdout is swapped out by tests.
+var stdout io.Writer = os.Stdout
+
+// PrintJSON writes v to stdout as indented JSON with a trailing newline —
+// the shared implementation behind every tool's -json flag, so machine
+// output is formatted identically everywhere.
+func PrintJSON(v any) error {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // SignalContext returns a context cancelled on SIGINT or SIGTERM, and a

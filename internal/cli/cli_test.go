@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -51,4 +52,21 @@ func TestSignalContext(t *testing.T) {
 		t.Fatalf("fresh signal context already done: %v", err)
 	}
 	stop()
+}
+
+func TestPrintJSON(t *testing.T) {
+	var buf bytes.Buffer
+	old := stdout
+	stdout = &buf
+	defer func() { stdout = old }()
+	if err := PrintJSON(map[string]int{"score": 7}); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"score\": 7\n}\n"
+	if buf.String() != want {
+		t.Fatalf("PrintJSON wrote %q, want %q", buf.String(), want)
+	}
+	if err := PrintJSON(func() {}); err == nil {
+		t.Fatal("PrintJSON of an unmarshalable value must error")
+	}
 }

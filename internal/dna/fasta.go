@@ -2,10 +2,43 @@ package dna
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 )
+
+// ErrFASTALimit is the sentinel wrapped by every *FASTALimitError, so
+// callers can distinguish a policy rejection from a parse failure with
+// errors.Is(err, dna.ErrFASTALimit).
+var ErrFASTALimit = errors.New("dna: fasta limit exceeded")
+
+// FASTALimits bounds ReadFASTALimited against adversarial input. Zero
+// fields are unlimited.
+type FASTALimits struct {
+	// MaxSeqLen caps the number of bases accumulated per record; parsing
+	// stops as soon as a record's body would exceed it, before the memory
+	// is spent.
+	MaxSeqLen int
+	// MaxRecords caps how many records the reader will return.
+	MaxRecords int
+}
+
+// FASTALimitError reports which record tripped which limit.
+type FASTALimitError struct {
+	Record string // name of the offending record
+	Line   int    // 1-based input line where the limit tripped
+	What   string // "sequence length" or "record count"
+	Limit  int
+}
+
+func (e *FASTALimitError) Error() string {
+	return fmt.Sprintf("dna: line %d: record %q exceeds the %s limit (%d)",
+		e.Line, e.Record, e.What, e.Limit)
+}
+
+// Unwrap makes errors.Is(err, ErrFASTALimit) hold.
+func (e *FASTALimitError) Unwrap() error { return ErrFASTALimit }
 
 // Record is one named sequence, as read from or written to FASTA.
 type Record struct {
@@ -35,9 +68,19 @@ func WriteFASTA(w io.Writer, records ...Record) error {
 	return bw.Flush()
 }
 
-// ReadFASTA parses all records from r. Lines starting with ';' are treated
-// as comments; blank lines are skipped.
+// ReadFASTA parses all records from r with no limits applied. Lines
+// starting with ';' are treated as comments; blank lines are skipped. For
+// untrusted input use ReadFASTALimited, which bounds memory growth.
 func ReadFASTA(r io.Reader) ([]Record, error) {
+	return ReadFASTALimited(r, FASTALimits{})
+}
+
+// ReadFASTALimited is ReadFASTA hardened against unbounded records: it
+// enforces lim while scanning, returning a typed *FASTALimitError (wrapping
+// ErrFASTALimit) as soon as a record would exceed a cap — before the
+// offending memory is allocated, so adversarial input cannot balloon the
+// process.
+func ReadFASTALimited(r io.Reader, lim FASTALimits) ([]Record, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var records []Record
@@ -68,10 +111,19 @@ func ReadFASTA(r io.Reader) ([]Record, error) {
 			if err := flush(); err != nil {
 				return nil, err
 			}
-			cur = &Record{Name: strings.TrimSpace(line[1:])}
+			name := strings.TrimSpace(line[1:])
+			if lim.MaxRecords > 0 && len(records) >= lim.MaxRecords {
+				return nil, &FASTALimitError{Record: name, Line: lineNo,
+					What: "record count", Limit: lim.MaxRecords}
+			}
+			cur = &Record{Name: name}
 		default:
 			if cur == nil {
 				return nil, fmt.Errorf("dna: line %d: sequence data before header", lineNo)
+			}
+			if lim.MaxSeqLen > 0 && body.Len()+len(line) > lim.MaxSeqLen {
+				return nil, &FASTALimitError{Record: cur.Name, Line: lineNo,
+					What: "sequence length", Limit: lim.MaxSeqLen}
 			}
 			body.WriteString(line)
 		}

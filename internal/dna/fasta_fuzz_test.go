@@ -23,9 +23,35 @@ func FuzzReadFASTA(f *testing.F) {
 	f.Add(">crlf\r\nACGT\r\n")        // windows line endings
 	f.Add(">bad\nACGU\n")             // invalid base
 	f.Fuzz(func(t *testing.T, in string) {
+		// The limited reader must agree with the unlimited one: it either
+		// fails with the typed limit error, or returns identical records
+		// all within bounds. It must never grow a record past the cap.
+		lim := FASTALimits{MaxSeqLen: 8, MaxRecords: 3}
+		lrecs, lerr := ReadFASTALimited(strings.NewReader(in), lim)
+		if lerr == nil {
+			if len(lrecs) > lim.MaxRecords {
+				t.Fatalf("limited read returned %d records, cap %d", len(lrecs), lim.MaxRecords)
+			}
+			for _, r := range lrecs {
+				if len(r.Seq) > lim.MaxSeqLen {
+					t.Fatalf("limited read returned %d-base record %q, cap %d",
+						len(r.Seq), r.Name, lim.MaxSeqLen)
+				}
+			}
+		}
+
 		recs, err := ReadFASTA(strings.NewReader(in))
 		if err != nil {
+			if lerr == nil && err.Error() != "" {
+				// A parse failure the limited reader missed can only mean
+				// the limit tripped first on a record the unlimited parse
+				// rejects later — but lerr == nil says no limit tripped.
+				t.Fatalf("unlimited read failed (%v) but limited read succeeded", err)
+			}
 			return // rejected cleanly
+		}
+		if lerr != nil && !errors.Is(lerr, ErrFASTALimit) {
+			t.Fatalf("limited read failed untyped on input the unlimited read accepts: %v", lerr)
 		}
 		var buf bytes.Buffer
 		if err := WriteFASTA(&buf, recs...); err != nil {
@@ -47,6 +73,49 @@ func FuzzReadFASTA(f *testing.F) {
 			}
 		}
 	})
+}
+
+func TestReadFASTALimitedSeqLen(t *testing.T) {
+	in := ">ok\nACGT\n>huge\nACGTACGT\nACGTACGT\n"
+	recs, err := ReadFASTALimited(strings.NewReader(in), FASTALimits{MaxSeqLen: 8})
+	if recs != nil {
+		t.Fatalf("limited read returned records alongside the error: %v", recs)
+	}
+	var le *FASTALimitError
+	if !errors.As(err, &le) || !errors.Is(err, ErrFASTALimit) {
+		t.Fatalf("want *FASTALimitError wrapping ErrFASTALimit, got %v", err)
+	}
+	if le.Record != "huge" || le.What != "sequence length" || le.Limit != 8 || le.Line != 5 {
+		t.Fatalf("limit error details: %+v", le)
+	}
+	// Exactly at the cap is fine.
+	if _, err := ReadFASTALimited(strings.NewReader(">x\nACGTACGT\n"), FASTALimits{MaxSeqLen: 8}); err != nil {
+		t.Fatalf("at-cap record rejected: %v", err)
+	}
+}
+
+func TestReadFASTALimitedRecordCount(t *testing.T) {
+	in := ">a\nA\n>b\nC\n>c\nG\n"
+	_, err := ReadFASTALimited(strings.NewReader(in), FASTALimits{MaxRecords: 2})
+	var le *FASTALimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *FASTALimitError, got %v", err)
+	}
+	if le.Record != "c" || le.What != "record count" || le.Limit != 2 {
+		t.Fatalf("limit error details: %+v", le)
+	}
+	recs, err := ReadFASTALimited(strings.NewReader(in), FASTALimits{MaxRecords: 3})
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("at-cap records: %d, %v", len(recs), err)
+	}
+}
+
+func TestReadFASTAUnlimitedByDefault(t *testing.T) {
+	in := ">a\n" + strings.Repeat("ACGT", 64) + "\n"
+	recs, err := ReadFASTA(strings.NewReader(in))
+	if err != nil || len(recs) != 1 || len(recs[0].Seq) != 256 {
+		t.Fatalf("unlimited read: %d records, %v", len(recs), err)
+	}
 }
 
 func TestReadFASTADataBeforeHeaderNamesLine(t *testing.T) {

@@ -1,0 +1,490 @@
+// Package server is the network face of the alignment service: a
+// long-running HTTP server that wraps alignsvc.Service with the admission
+// control a production deployment needs. Requests are bounded three ways —
+// body size (http.MaxBytesReader), batch shape (max pairs, max sequence
+// length) and concurrency (a semaphore-bounded in-flight limit with a
+// bounded wait queue that sheds load with 429 + Retry-After) — and every
+// request carries a deadline that flows through context.Context into the
+// pipeline and kernel-block plumbing, surfacing as 504 on expiry. /healthz,
+// /readyz and /statsz expose liveness, drain state and the JSON counters;
+// Server.BeginDrain + Drain implement graceful shutdown.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alignsvc"
+	"repro/internal/dna"
+	"repro/internal/workload"
+)
+
+// Config tunes the server. Service is required; every other field has a
+// serving-friendly default.
+type Config struct {
+	// Service executes the batches. The server does not own it: callers
+	// Close it after Drain.
+	Service *alignsvc.Service
+	// MaxInFlight bounds how many align requests execute concurrently
+	// (default 2×GOMAXPROCS). MaxQueued bounds how many more may wait for a
+	// slot (default MaxInFlight); beyond that the server sheds load with
+	// 429 + Retry-After instead of queueing unboundedly.
+	MaxInFlight, MaxQueued int
+	// MaxBodyBytes caps the request body via http.MaxBytesReader
+	// (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxPairs and MaxSeqLen cap the batch shape (defaults 4096 pairs,
+	// 16384 bases). Oversized requests get 413.
+	MaxPairs, MaxSeqLen int
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// MaxTimeout caps what a client may ask for (defaults 30s, 2m).
+	DefaultTimeout, MaxTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = c.MaxInFlight
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxPairs <= 0 {
+		c.MaxPairs = 4096
+	}
+	if c.MaxSeqLen <= 0 {
+		c.MaxSeqLen = 16384
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Error codes returned in ErrorResponse.Code — the machine-readable half of
+// every non-200 answer.
+const (
+	CodeBadRequest = "bad_request" // malformed JSON, bad bases, bad shape
+	CodeTooLarge   = "too_large"   // body, pairs or sequence length over the cap
+	CodeShed       = "shed"        // admission queue full, retry later
+	CodeDraining   = "draining"    // server is shutting down
+	CodeDeadline   = "deadline"    // per-request deadline expired
+	CodeCanceled   = "canceled"    // client went away mid-request
+	CodeInternal   = "internal"    // every tier exhausted (should not happen)
+)
+
+// AlignRequest is the /align request body. Either Pairs or Preset must be
+// set. TimeoutMS overrides the server's default deadline (capped at
+// MaxTimeout).
+type AlignRequest struct {
+	Pairs []PairJSON `json:"pairs,omitempty"`
+	// Preset generates the batch server-side from a named workload.Spec
+	// ("unit", "quick", "paper"); N selects the text length from the
+	// spec's sweep (default: the first entry).
+	Preset    string `json:"preset,omitempty"`
+	N         int    `json:"n,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// PairJSON is one (pattern, text) pair as ACGT strings.
+type PairJSON struct {
+	X string `json:"x"`
+	Y string `json:"y"`
+}
+
+// AlignResponse is the /align success body.
+type AlignResponse struct {
+	Scores []int           `json:"scores"`
+	Report alignsvc.Report `json:"report"`
+}
+
+// ErrorResponse is the body of every non-200 answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// ServerStats counts what the admission layer did, for /statsz.
+type ServerStats struct {
+	Requests  int64 `json:"requests"`   // align requests received
+	Completed int64 `json:"completed"`  // answered 200 with scores
+	Shed      int64 `json:"shed"`       // 429: queue full
+	Rejected  int64 `json:"rejected"`   // 4xx: malformed or oversized
+	Deadlines int64 `json:"deadlines"`  // 504: deadline expired
+	Draining  int64 `json:"draining"`   // 503: refused during drain
+	InFlight  int64 `json:"in_flight"`  // executing right now
+	Queued    int64 `json:"queued"`     // waiting for a slot right now
+	MaxQueued int64 `json:"max_queued"` // the queue bound
+}
+
+// StatszResponse is the /statsz body: admission counters plus the service's
+// own counters (including circuit-breaker states).
+type StatszResponse struct {
+	Server  ServerStats    `json:"server"`
+	Service alignsvc.Stats `json:"service"`
+}
+
+// Server is the HTTP alignment server. Create with New, expose Handler()
+// behind an http.Server, and BeginDrain + Drain on shutdown.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	sem chan struct{}
+
+	draining  chan struct{}
+	drainOnce func()
+	inflight  atomic.Int64
+	queued    atomic.Int64
+
+	requests, completed, shed, rejected atomic.Int64
+	deadlines, drainRefusals            atomic.Int64
+}
+
+// New builds the server around an existing service.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Service == nil {
+		return nil, errors.New("server: Config.Service is required")
+	}
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		draining: make(chan struct{}),
+	}
+	var once atomic.Bool
+	s.drainOnce = func() {
+		if once.CompareAndSwap(false, true) {
+			close(s.draining)
+		}
+	}
+	s.mux.HandleFunc("/align", s.handleAlign)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s, nil
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips /readyz to 503 and makes new /align requests fail fast
+// with 503 "draining"; in-flight requests keep running. Safe to call more
+// than once.
+func (s *Server) BeginDrain() { s.drainOnce() }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Drain blocks until every in-flight align request has finished or ctx
+// expires (the grace period). It implies BeginDrain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if s.inflight.Load() == 0 && s.queued.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server: drain: %d request(s) still in flight: %w",
+				s.inflight.Load()+s.queued.Load(), ctx.Err())
+		case <-t.C:
+		}
+	}
+}
+
+// Stats snapshots the admission counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Requests:  s.requests.Load(),
+		Completed: s.completed.Load(),
+		Shed:      s.shed.Load(),
+		Rejected:  s.rejected.Load(),
+		Deadlines: s.deadlines.Load(),
+		Draining:  s.drainRefusals.Load(),
+		InFlight:  s.inflight.Load(),
+		Queued:    s.queued.Load(),
+		MaxQueued: int64(s.cfg.MaxQueued),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"ok":true}`)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"ready":false,"reason":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"ready":true}`)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatszResponse{
+		Server:  s.Stats(),
+		Service: s.cfg.Service.Stats(),
+	})
+}
+
+func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "POST only")
+		return
+	}
+	s.requests.Add(1)
+	if s.Draining() {
+		s.drainRefusals.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+
+	pairs, timeout, status, code, err := s.parseRequest(w, r)
+	if err != nil {
+		s.rejected.Add(1)
+		s.writeError(w, status, code, err.Error())
+		return
+	}
+
+	// Admission: try for an execution slot; if none is free, wait in the
+	// bounded queue; if the queue is full, shed.
+	release, admit := s.admit(r.Context())
+	switch admit {
+	case admitShed:
+		s.shed.Add(1)
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.writeError(w, http.StatusTooManyRequests, CodeShed,
+			fmt.Sprintf("admission queue full (%d waiting)", s.cfg.MaxQueued))
+		return
+	case admitDraining:
+		s.drainRefusals.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	case admitCtxDone:
+		s.writeError(w, statusClientClosedRequest, CodeCanceled, "client went away while queued")
+		return
+	}
+	defer release()
+
+	// Deadline propagation: the request context (client disconnects) plus
+	// the per-request deadline flow into the service, the pipeline, and the
+	// kernel-block scheduler.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	res, err := s.cfg.Service.Align(ctx, pairs)
+	if err != nil {
+		s.writeAlignError(w, r, err)
+		return
+	}
+	s.completed.Add(1)
+	writeJSON(w, http.StatusOK, AlignResponse{Scores: res.Scores, Report: res.Report})
+}
+
+// parseRequest decodes, bounds and validates the request body, returning
+// the batch and the effective deadline, or the HTTP status + error code to
+// reject with.
+func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (pairs []dna.Pair, timeout time.Duration, status int, code string, err error) {
+	var req AlignRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, 0, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				fmt.Errorf("body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		}
+		return nil, 0, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad JSON: %w", err)
+	}
+
+	switch {
+	case len(req.Pairs) > 0 && req.Preset != "":
+		return nil, 0, http.StatusBadRequest, CodeBadRequest,
+			errors.New("pairs and preset are mutually exclusive")
+	case req.Preset != "":
+		pairs, status, code, err = s.presetPairs(req)
+		if err != nil {
+			return nil, 0, status, code, err
+		}
+	case len(req.Pairs) > 0:
+		pairs, status, code, err = s.parsePairs(req.Pairs)
+		if err != nil {
+			return nil, 0, status, code, err
+		}
+	default:
+		return nil, 0, http.StatusBadRequest, CodeBadRequest,
+			errors.New("request needs pairs or preset")
+	}
+
+	timeout = s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = min(time.Duration(req.TimeoutMS)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+	return pairs, timeout, 0, "", nil
+}
+
+// parsePairs converts and bounds client-supplied pairs. The pipeline wants
+// a uniform batch (same m, same n, n ≥ m), so reject ragged input here with
+// a clear 400 instead of burning the service's retry ladder on it.
+func (s *Server) parsePairs(in []PairJSON) ([]dna.Pair, int, string, error) {
+	if len(in) > s.cfg.MaxPairs {
+		return nil, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Errorf("%d pairs exceeds the %d-pair cap", len(in), s.cfg.MaxPairs)
+	}
+	pairs := make([]dna.Pair, len(in))
+	m, n := len(in[0].X), len(in[0].Y)
+	if m == 0 || n < m {
+		return nil, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("invalid shape: pattern %d bases, text %d (need 0 < m ≤ n)", m, n)
+	}
+	if n > s.cfg.MaxSeqLen {
+		return nil, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Errorf("sequence length %d exceeds the %d-base cap", n, s.cfg.MaxSeqLen)
+	}
+	for i, p := range in {
+		if len(p.X) != m || len(p.Y) != n {
+			return nil, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("pair %d has shape (%d,%d), want the batch's uniform (%d,%d)",
+					i, len(p.X), len(p.Y), m, n)
+		}
+		x, err := dna.Parse(p.X)
+		if err != nil {
+			return nil, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("pair %d pattern: %w", i, err)
+		}
+		y, err := dna.Parse(p.Y)
+		if err != nil {
+			return nil, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("pair %d text: %w", i, err)
+		}
+		pairs[i] = dna.Pair{X: x, Y: y}
+	}
+	return pairs, 0, "", nil
+}
+
+// presetPairs generates a named workload server-side, reusing the validated
+// workload.Spec presets.
+func (s *Server) presetPairs(req AlignRequest) ([]dna.Pair, int, string, error) {
+	spec, err := workload.ByName(req.Preset)
+	if err != nil {
+		return nil, http.StatusBadRequest, CodeBadRequest, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, http.StatusBadRequest, CodeBadRequest, err
+	}
+	n := req.N
+	if n == 0 {
+		n = spec.NList[0]
+	}
+	if n < spec.M || n <= 0 {
+		return nil, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("preset %q: n = %d invalid (need %d ≤ n)", req.Preset, n, spec.M)
+	}
+	if spec.Pairs > s.cfg.MaxPairs {
+		return nil, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Errorf("preset %q generates %d pairs, over the %d-pair cap", req.Preset, spec.Pairs, s.cfg.MaxPairs)
+	}
+	if n > s.cfg.MaxSeqLen {
+		return nil, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			fmt.Errorf("preset %q at n = %d exceeds the %d-base cap", req.Preset, n, s.cfg.MaxSeqLen)
+	}
+	return spec.Generate(n), 0, "", nil
+}
+
+type admitResult int
+
+const (
+	admitOK admitResult = iota
+	admitShed
+	admitDraining
+	admitCtxDone
+)
+
+// admit implements the two-level admission control: a semaphore of
+// MaxInFlight execution slots and a bounded wait queue of MaxQueued
+// requests in front of it.
+func (s *Server) admit(ctx context.Context) (release func(), res admitResult) {
+	enter := func() func() {
+		s.inflight.Add(1)
+		return func() {
+			s.inflight.Add(-1)
+			<-s.sem
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return enter(), admitOK
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueued) {
+		s.queued.Add(-1)
+		return nil, admitShed
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return enter(), admitOK
+	case <-ctx.Done():
+		return nil, admitCtxDone
+	case <-s.draining:
+		return nil, admitDraining
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional 499 for a client that
+// disconnected before the response was ready.
+const statusClientClosedRequest = 499
+
+// writeAlignError maps service errors onto HTTP statuses + typed codes.
+func (s *Server) writeAlignError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlines.Add(1)
+		s.writeError(w, http.StatusGatewayTimeout, CodeDeadline, "deadline expired: "+err.Error())
+	case errors.Is(err, context.Canceled):
+		s.writeError(w, statusClientClosedRequest, CodeCanceled, "request canceled")
+	case errors.Is(err, alignsvc.ErrClosed):
+		s.drainRefusals.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "service closed")
+	default:
+		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}

@@ -49,6 +49,31 @@ var Unit = Spec{
 	Seed:  7,
 }
 
+// Validate rejects specs that would generate a degenerate or unrunnable
+// workload: non-positive Pairs or M, an empty NList, or text lengths that
+// are non-positive or shorter than the pattern (the pipeline requires
+// n ≥ m). Server request presets call this before generating anything.
+func (s Spec) Validate() error {
+	if s.Pairs <= 0 {
+		return fmt.Errorf("workload %q: Pairs must be positive, got %d", s.Name, s.Pairs)
+	}
+	if s.M <= 0 {
+		return fmt.Errorf("workload %q: M must be positive, got %d", s.Name, s.M)
+	}
+	if len(s.NList) == 0 {
+		return fmt.Errorf("workload %q: NList must not be empty", s.Name)
+	}
+	for i, n := range s.NList {
+		if n <= 0 {
+			return fmt.Errorf("workload %q: NList[%d] must be positive, got %d", s.Name, i, n)
+		}
+		if n < s.M {
+			return fmt.Errorf("workload %q: NList[%d] = %d is shorter than the pattern (m = %d)", s.Name, i, n, s.M)
+		}
+	}
+	return nil
+}
+
 // ByName resolves a preset name.
 func ByName(name string) (Spec, error) {
 	switch name {

@@ -71,6 +71,33 @@ func TestGenerateScreenPlantsHomologs(t *testing.T) {
 	}
 }
 
+func TestValidate(t *testing.T) {
+	for _, name := range []string{"paper", "quick", "unit"} {
+		s, _ := ByName(name)
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %q fails validation: %v", name, err)
+		}
+	}
+	bad := []struct {
+		name string
+		spec Spec
+	}{
+		{"zero pairs", Spec{Pairs: 0, M: 8, NList: []int{16}}},
+		{"negative pairs", Spec{Pairs: -1, M: 8, NList: []int{16}}},
+		{"zero m", Spec{Pairs: 4, M: 0, NList: []int{16}}},
+		{"negative m", Spec{Pairs: 4, M: -8, NList: []int{16}}},
+		{"empty nlist", Spec{Pairs: 4, M: 8, NList: nil}},
+		{"zero n", Spec{Pairs: 4, M: 8, NList: []int{16, 0}}},
+		{"negative n", Spec{Pairs: 4, M: 8, NList: []int{-16}}},
+		{"n shorter than m", Spec{Pairs: 4, M: 8, NList: []int{4}}},
+	}
+	for _, tc := range bad {
+		if err := tc.spec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.spec)
+		}
+	}
+}
+
 func TestCells(t *testing.T) {
 	if got := Paper.Cells(1024); got != 32768*128*1024 {
 		t.Errorf("Cells = %d", got)
