@@ -4,6 +4,8 @@
 // Usage:
 //
 //	swabench [-preset quick|paper|unit] [-table N] [-figure N]
+//	swabench -preset quick -bench-out BENCH_pipeline.json
+//	swabench -check-bench BENCH_pipeline.json
 //
 // With no selection flags it prints everything. Tables I-III and the lemma
 // checks are analytic and instant; Table IV measures the CPU engines on the
@@ -11,6 +13,12 @@
 // takes hours on the CPU side, exactly as the paper's own CPU columns did)
 // and extrapolates the GPU simulator's exact kernel statistics to the
 // paper's scale.
+//
+// -bench-out runs only the bitwise pipeline over the preset's n-sweep and
+// writes a machine-readable JSON document (schema repro/bench-pipeline/v1:
+// workload shape, per-stage simulated ns, wall ns, GCUPS, host info) instead
+// of the human-readable tables. -check-bench validates such a file and exits
+// nonzero if it is malformed — CI's bench-smoke job uses the two together.
 package main
 
 import (
@@ -18,7 +26,10 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/bench"
 	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/tables"
 	"repro/internal/workload"
 )
@@ -28,8 +39,23 @@ func main() {
 	table := flag.Int("table", 0, "print only table N (1-5); 0 = all")
 	figure := flag.Int("figure", 0, "print only figure N (1-2); 0 = all selected by -table")
 	ablations := flag.Bool("ablations", false, "also run the DESIGN.md §5 ablations")
+	benchOut := flag.String("bench-out", "", "write a bench-pipeline JSON document to FILE and exit (skips the tables)")
+	checkBench := flag.String("check-bench", "", "validate a bench-pipeline JSON document and exit")
+	metricsOut := flag.String("metrics-out", "", "with -bench-out: also dump the run's Prometheus metrics to FILE (- = stderr)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
+
+	if *checkBench != "" {
+		f, err := bench.ReadFile(*checkBench)
+		if err == nil {
+			err = f.Validate()
+		}
+		if err != nil {
+			cli.Exitf(1, "swabench: %v", err)
+		}
+		fmt.Printf("swabench: %s ok (%s workload, %d runs)\n", *checkBench, f.Workload, len(f.Runs))
+		return
+	}
 
 	spec, err := workload.ByName(*preset)
 	if err != nil {
@@ -40,6 +66,31 @@ func main() {
 	// simulated GPU runs stop at the next measurement or kernel block.
 	ctx, stop := cli.SignalContext()
 	defer stop()
+
+	if *benchOut != "" {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "... bench: bitwise pipeline over preset %q (%d pairs, %d shapes)\n",
+				spec.Name, spec.Pairs, len(spec.NList))
+		}
+		reg := obs.NewRegistry()
+		f, err := bench.Collect(ctx, spec, pipeline.Config{Metrics: reg})
+		if err != nil {
+			cli.Die(fmt.Errorf("swabench: bench: %w", err))
+		}
+		if err := f.WriteFile(*benchOut); err != nil {
+			cli.Die(fmt.Errorf("swabench: bench: %w", err))
+		}
+		if *metricsOut != "" {
+			if err := cli.MetricsDump(*metricsOut, reg); err != nil {
+				cli.Die(fmt.Errorf("swabench: metrics: %w", err))
+			}
+		}
+		for _, r := range f.Runs {
+			fmt.Printf("bench m=%d n=%d pairs=%d lanes=%d gcups=%.2f\n", r.M, r.N, r.Pairs, r.Lanes, r.GCUPS)
+		}
+		fmt.Printf("swabench: wrote %s\n", *benchOut)
+		return
+	}
 
 	progress := func(msg string) {
 		if !*quiet {

@@ -2,14 +2,19 @@
 // retry/degradation ladder over the simulated GPU pipelines) behind
 // internal/server's admission control.
 //
-// Endpoints: POST /align, GET /healthz, /readyz, /statsz. On SIGINT/SIGTERM
-// the server stops admitting work (/readyz flips to 503), drains in-flight
-// batches for -grace, then exits 0.
+// Endpoints: POST /align, GET /healthz, /readyz, /statsz, /metricsz
+// (Prometheus text). On SIGINT/SIGTERM the server stops admitting work
+// (/readyz flips to 503), drains in-flight batches for -grace, then exits 0.
+//
+// -ops-addr starts a second listener with the operational endpoints —
+// /metricsz, /tracez (recent request traces) and net/http/pprof under
+// /debug/pprof/. It is off by default and should stay firewalled: pprof can
+// dump heap contents.
 //
 // Usage:
 //
-//	swaserver [-addr :8468] [-workers N] [-inflight N] [-queued N]
-//	          [-grace 15s] [-timeout 30s] [-lanes 32]
+//	swaserver [-addr :8468] [-ops-addr :8469] [-workers N] [-inflight N]
+//	          [-queued N] [-grace 15s] [-timeout 30s] [-lanes 32]
 //	          [-fault-launch 0.3 -fault-bitflip 0.2 ...]   (chaos mode)
 package main
 
@@ -31,6 +36,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8468", "listen address (host:port; port 0 picks a free one)")
+	opsAddr := flag.String("ops-addr", "", "ops listen address for /metricsz, /tracez and pprof (empty = disabled)")
 	workers := flag.Int("workers", 0, "service worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "service queue depth (0 = workers)")
 	lanes := flag.Int("lanes", 32, "bitwise lane width: 32 or 64")
@@ -122,6 +128,21 @@ func main() {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
+	// The ops listener is best-effort: it serves pprof and metrics for
+	// operators and is simply closed on shutdown (no drain needed).
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		cli.Check(err)
+		fmt.Printf("swaserver ops listening on %s\n", opsLn.Addr())
+		opsSrv = &http.Server{Handler: srv.OpsHandler()}
+		go func() {
+			if err := opsSrv.Serve(opsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("swaserver: ops serve: %v", err)
+			}
+		}()
+	}
+
 	ctx, stop := cli.SignalContext()
 	defer stop()
 	select {
@@ -142,6 +163,9 @@ func main() {
 	drainErr := srv.Drain(graceCtx)
 	if err := httpSrv.Shutdown(graceCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("swaserver: http shutdown: %v", err)
+	}
+	if opsSrv != nil {
+		_ = opsSrv.Close()
 	}
 	svc.Close()
 	if drainErr != nil {

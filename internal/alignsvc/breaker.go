@@ -80,10 +80,27 @@ type breaker struct {
 	probing  bool      // a half-open probe is in flight
 
 	trips, shortCircuits, probes int64
+
+	// onTransition, when set, observes every state change (under the
+	// breaker's lock, so it must not call back into the breaker). The
+	// service uses it to export transition counters and a state gauge.
+	onTransition func(to BreakerState)
 }
 
 func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
 	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// setState moves the breaker to a new state, notifying the transition hook.
+// Callers hold b.mu.
+func (b *breaker) setState(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(to)
+	}
 }
 
 // allow decides whether the tier may run now. probe is true when the caller
@@ -102,7 +119,7 @@ func (b *breaker) allow() (allowed, probe bool) {
 			b.shortCircuits++
 			return false, false
 		}
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = false
 		fallthrough
 	default: // BreakerHalfOpen
@@ -128,10 +145,10 @@ func (b *breaker) release(out tierOutcome, probe bool) {
 		b.probing = false
 		switch out {
 		case tierSucceeded:
-			b.state = BreakerClosed
+			b.setState(BreakerClosed)
 			b.failures = 0
 		case tierFailed:
-			b.state = BreakerOpen
+			b.setState(BreakerOpen)
 			b.openedAt = b.now()
 			b.trips++
 		}
@@ -145,7 +162,7 @@ func (b *breaker) release(out tierOutcome, probe bool) {
 	case tierFailed:
 		b.failures++
 		if b.state == BreakerClosed && b.failures >= b.threshold {
-			b.state = BreakerOpen
+			b.setState(BreakerOpen)
 			b.openedAt = b.now()
 			b.trips++
 		}

@@ -1,0 +1,120 @@
+package alignsvc
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cudasim"
+	"repro/internal/obs"
+)
+
+// TestServiceMetrics drives a faulty batch through the ladder and checks the
+// obs registry picked up queue wait, per-tier counters and the pipeline's
+// stage histograms (proving the registry flows service → pipeline).
+func TestServiceMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{
+		Seed:         5,
+		Metrics:      reg,
+		MaxAttempts:  2,
+		ValidateFrac: -1,
+		BaseBackoff:  10 * time.Microsecond,
+		MaxBackoff:   50 * time.Microsecond,
+	})
+	defer s.Close()
+
+	pairs := plantedPairs(64, 16, 32, 4)
+	tr := obs.NewTrace("")
+	ctx := obs.WithTrace(context.Background(), tr)
+	if _, err := s.Align(ctx, pairs); err != nil {
+		t.Fatal(err)
+	}
+
+	if h := reg.Histogram("alignsvc_queue_wait_seconds", nil); h.Count() != 1 {
+		t.Errorf("queue wait observations = %d, want 1", h.Count())
+	}
+	if c := reg.Counter(obs.L("alignsvc_batches_total", "tier", "bitwise")); c.Value() != 1 {
+		t.Errorf("bitwise batches = %d, want 1", c.Value())
+	}
+	if h := reg.Histogram(obs.L("alignsvc_batch_seconds", "tier", "bitwise"), nil); h.Count() != 1 {
+		t.Errorf("batch seconds observations = %d, want 1", h.Count())
+	}
+	// The pipeline recorded into the same registry.
+	if h := reg.Histogram(obs.L("pipeline_stage_sim_seconds", "pipeline", "bitwise", "stage", "swa"), nil); h.Count() != 1 {
+		t.Errorf("pipeline swa histogram = %d, want 1", h.Count())
+	}
+
+	// The trace carries the queue-wait → service → tier → stage span chain.
+	names := make(map[string]bool)
+	for _, sp := range tr.Spans() {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{
+		"alignsvc.queue_wait", "alignsvc.process", "alignsvc.tier.bitwise", "pipeline.swa",
+	} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestServiceRetryAndFallbackMetrics forces bitwise failures so retries,
+// fallbacks and breaker transitions surface in the registry.
+func TestServiceRetryAndFallbackMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{
+		Seed:            6,
+		Metrics:         reg,
+		MaxAttempts:     2,
+		ValidateFrac:    -1,
+		BaseBackoff:     10 * time.Microsecond,
+		MaxBackoff:      50 * time.Microsecond,
+		BreakerFailures: 1,
+		Faults:          cudasim.FaultConfig{Seed: 11, Launch: 1}, // every launch fails
+	})
+	defer s.Close()
+
+	pairs := plantedPairs(32, 16, 32, 5)
+	res, err := s.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Tier != TierCPU {
+		t.Fatalf("served by %v, want cpu under a total launch-fault storm", res.Report.Tier)
+	}
+	if c := reg.Counter(obs.L("alignsvc_retries_total", "tier", "bitwise")); c.Value() != 1 {
+		t.Errorf("bitwise retries = %d, want 1", c.Value())
+	}
+	if c := reg.Counter(obs.L("alignsvc_fallbacks_total", "from", "bitwise")); c.Value() != 1 {
+		t.Errorf("bitwise fallbacks = %d, want 1", c.Value())
+	}
+	if c := reg.Counter("alignsvc_faults_injected_total"); c.Value() == 0 {
+		t.Error("faults injected counter still zero")
+	}
+	// BreakerFailures=1: both GPU tiers tripped open.
+	for _, tier := range []string{"bitwise", "wordwise"} {
+		if c := reg.Counter(obs.L("alignsvc_breaker_transitions_total", "tier", tier, "to", "open")); c.Value() != 1 {
+			t.Errorf("%s open transitions = %d, want 1", tier, c.Value())
+		}
+		if g := reg.Gauge(obs.L("alignsvc_breaker_state", "tier", tier)); g.Value() != float64(BreakerOpen) {
+			t.Errorf("%s breaker state gauge = %v, want open", tier, g.Value())
+		}
+	}
+
+	// The whole stack renders to one exposition.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE alignsvc_retries_total counter",
+		"# TYPE alignsvc_breaker_state gauge",
+		`alignsvc_breaker_transitions_total{tier="bitwise",to="open"} 1`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cudasim"
 	"repro/internal/dna"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/swa"
 )
@@ -87,6 +88,10 @@ type Config struct {
 	// single half-open probe batch is let through (default 500ms). The
 	// probe's success closes the breaker; its failure re-opens it.
 	BreakerCooldown time.Duration
+	// Metrics receives the service's queue-wait and batch-latency
+	// histograms plus retry/fallback/breaker counters (nil = obs.Default()).
+	// It is also handed to the pipelines unless Pipeline.Metrics is set.
+	Metrics *obs.Registry
 
 	// sleep replaces the backoff sleep in tests.
 	sleep func(context.Context, time.Duration) error
@@ -143,10 +148,11 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 type job struct {
-	ctx   context.Context
-	pairs []dna.Pair
-	seq   uint64
-	res   chan jobResult
+	ctx       context.Context
+	pairs     []dna.Pair
+	seq       uint64
+	submitted time.Time // when Align enqueued it, for the queue-wait metric
+	res       chan jobResult
 }
 
 type jobResult struct {
@@ -170,6 +176,7 @@ type Service struct {
 	// config, swappable at runtime via SetFaults for chaos harnesses.
 	breakers [numTiers]*breaker
 	faults   atomic.Pointer[cudasim.FaultConfig]
+	obs      *obs.Registry
 
 	batches, batchesFailed, retries, fallbacks atomic.Int64
 	cpuFallbacks, deadlineHits, cancellations  atomic.Int64
@@ -179,16 +186,37 @@ type Service struct {
 // New starts the worker pool and returns the service.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
 	s := &Service{
 		cfg:  cfg,
 		jobs: make(chan *job, cfg.Queue),
 		quit: make(chan struct{}),
+		obs:  reg,
 	}
+	reg.Help("alignsvc_queue_wait_seconds", "time a batch waited for a worker")
+	reg.Help("alignsvc_batch_seconds", "dequeue-to-scores latency of successful batches, by serving tier")
+	reg.Help("alignsvc_batches_total", "successful batches by serving tier")
+	reg.Help("alignsvc_retries_total", "same-tier re-runs after a failed attempt")
+	reg.Help("alignsvc_fallbacks_total", "tier downgrades after exhausting a tier")
+	reg.Help("alignsvc_breaker_transitions_total", "circuit-breaker state transitions by tier")
+	reg.Help("alignsvc_breaker_state", "current breaker state (0 closed, 1 open, 2 half-open)")
 	f := cfg.Faults
 	s.faults.Store(&f)
 	if cfg.BreakerFailures > 0 {
 		for _, t := range []Tier{TierBitwise, TierWordwise} {
-			s.breakers[t] = newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown, cfg.now)
+			b := newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown, cfg.now)
+			state := reg.Gauge(obs.L("alignsvc_breaker_state", "tier", t.String()))
+			state.Set(float64(BreakerClosed))
+			tier := t.String()
+			b.onTransition = func(to BreakerState) {
+				reg.Counter(obs.L("alignsvc_breaker_transitions_total",
+					"tier", tier, "to", to.String())).Inc()
+				state.Set(float64(to))
+			}
+			s.breakers[t] = b
 		}
 	}
 	s.wg.Add(cfg.Workers)
@@ -219,7 +247,12 @@ func (s *Service) worker() {
 		case <-s.quit:
 			return
 		case j := <-s.jobs:
+			wait := time.Since(j.submitted)
+			s.obs.Histogram("alignsvc_queue_wait_seconds", obs.LatencyBuckets).ObserveDuration(wait)
+			obs.FromContext(j.ctx).AddSpan("alignsvc.queue_wait", j.submitted, wait)
+			endSvc := obs.FromContext(j.ctx).StartSpan("alignsvc.process")
 			batch, err := s.process(j.ctx, j.pairs, j.seq)
+			endSvc()
 			j.res <- jobResult{batch, err}
 		}
 	}
@@ -231,7 +264,8 @@ func (s *Service) worker() {
 // fallback loop. On success the scores are exact; the report says how many
 // attempts, fallbacks and injected faults it took to get them.
 func (s *Service) Align(ctx context.Context, pairs []dna.Pair) (*BatchResult, error) {
-	j := &job{ctx: ctx, pairs: pairs, seq: s.batchSeq.Add(1), res: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, pairs: pairs, seq: s.batchSeq.Add(1),
+		submitted: time.Now(), res: make(chan jobResult, 1)}
 	select {
 	case s.jobs <- j:
 	case <-ctx.Done():
@@ -277,8 +311,10 @@ func (s *Service) noteCtxErr(err error) error {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.deadlineHits.Add(1)
+		s.obs.Counter("alignsvc_deadline_total").Inc()
 	case errors.Is(err, context.Canceled):
 		s.cancellations.Add(1)
+		s.obs.Counter("alignsvc_canceled_total").Inc()
 	}
 	return err
 }
@@ -298,13 +334,18 @@ func (s *Service) process(ctx context.Context, pairs []dna.Pair, seq uint64) (*B
 		allowed, probe := s.breakers[tier].allow()
 		if !allowed {
 			rep.Skips = append(rep.Skips, tier)
+			s.obs.Counter(obs.L("alignsvc_breaker_skips_total", "tier", tier.String())).Inc()
 			continue
 		}
+		endTier := obs.FromContext(ctx).StartSpan("alignsvc.tier." + tier.String())
 		res, err := s.runTierAttempts(ctx, tier, pairs, seq, rng, &rep)
+		endTier()
 		switch {
 		case err == nil:
 			s.breakers[tier].release(tierSucceeded, probe)
 			res.Report.Elapsed = s.cfg.now().Sub(start)
+			s.obs.Histogram(obs.L("alignsvc_batch_seconds", "tier", tier.String()),
+				obs.LatencyBuckets).ObserveDuration(res.Report.Elapsed)
 			return res, nil
 		case isCtxErr(err):
 			s.breakers[tier].release(tierAbandoned, probe)
@@ -315,10 +356,12 @@ func (s *Service) process(ctx context.Context, pairs []dna.Pair, seq uint64) (*B
 			if tier+1 < numTiers {
 				rep.Fallbacks++
 				s.fallbacks.Add(1)
+				s.obs.Counter(obs.L("alignsvc_fallbacks_total", "from", tier.String())).Inc()
 			}
 		}
 	}
 	s.batchesFailed.Add(1)
+	s.obs.Counter("alignsvc_batches_failed_total").Inc()
 	return nil, fmt.Errorf("alignsvc: all tiers exhausted (%s): %w", rep.String(), lastErr)
 }
 
@@ -343,6 +386,7 @@ func (s *Service) runTierAttempts(ctx context.Context, tier Tier, pairs []dna.Pa
 		rep.Faults.Launch += counts.Launch
 		rep.Faults.BitFlips += counts.BitFlips
 		s.faultsInjected.Add(int64(counts.Total()))
+		s.obs.Counter("alignsvc_faults_injected_total").Add(int64(counts.Total()))
 		at := Attempt{Tier: tier, Faults: counts}
 		if err == nil && tier != TierCPU {
 			var checked int
@@ -355,6 +399,7 @@ func (s *Service) runTierAttempts(ctx context.Context, tier Tier, pairs []dna.Pa
 			rep.Attempts = append(rep.Attempts, at)
 			rep.Tier = tier
 			s.batches.Add(1)
+			s.obs.Counter(obs.L("alignsvc_batches_total", "tier", tier.String())).Inc()
 			if tier == TierCPU {
 				s.cpuFallbacks.Add(1)
 			}
@@ -362,6 +407,9 @@ func (s *Service) runTierAttempts(ctx context.Context, tier Tier, pairs []dna.Pa
 		}
 		at.Err = err.Error()
 		rep.Attempts = append(rep.Attempts, at)
+		if at.ValidationFailed {
+			s.obs.Counter(obs.L("alignsvc_validation_failures_total", "tier", tier.String())).Inc()
+		}
 		if isCtxErr(err) {
 			return nil, err
 		}
@@ -369,6 +417,7 @@ func (s *Service) runTierAttempts(ctx context.Context, tier Tier, pairs []dna.Pa
 		if a+1 < attempts {
 			rep.Retries++
 			s.retries.Add(1)
+			s.obs.Counter(obs.L("alignsvc_retries_total", "tier", tier.String())).Inc()
 			if err := s.backoff(ctx, a, rng); err != nil {
 				return nil, err
 			}
@@ -383,6 +432,7 @@ func (s *Service) runTier(ctx context.Context, tier Tier, pairs []dna.Pair, seq,
 	defer func() {
 		if r := recover(); r != nil {
 			s.panicsRecovered.Add(1)
+			s.obs.Counter(obs.L("alignsvc_panics_recovered_total", "tier", tier.String())).Inc()
 			err = fmt.Errorf("alignsvc: recovered %s-tier panic: %v", tier, r)
 		}
 	}()
@@ -391,6 +441,11 @@ func (s *Service) runTier(ctx context.Context, tier Tier, pairs []dna.Pair, seq,
 		return scores, cudasim.FaultCounts{}, err
 	}
 	cfg := s.cfg.Pipeline
+	if cfg.Metrics == nil {
+		// Hand the pipelines the service registry so one scrape sees the
+		// whole stack.
+		cfg.Metrics = s.obs
+	}
 	fcfg := *s.faults.Load()
 	// Derive an independent deterministic fault stream per attempt so a
 	// retry does not replay the exact faults that just killed the batch.

@@ -1,0 +1,169 @@
+// Package bench collects machine-readable pipeline benchmark results. It
+// runs the bitwise pipeline over a workload's n-sweep and emits one JSON
+// document (schema repro/bench-pipeline/v1) with the workload shape, the
+// per-stage simulated times of the paper's five-stage breakdown (Table IV),
+// the wall-clock cost of the simulation itself, and GCUPS per run — the
+// paper's headline metric. swabench -bench-out writes the file; CI's
+// bench-smoke job validates it and archives it as an artifact so regressions
+// show up as a diffable JSON change.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// Schema identifies the JSON layout. Bump the suffix on breaking changes.
+const Schema = "repro/bench-pipeline/v1"
+
+// Host records where the numbers were measured. Simulated stage times are
+// host-independent; wall times are not.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Hostname  string `json:"hostname,omitempty"`
+}
+
+// StageNS is the five-stage simulated-time breakdown in nanoseconds,
+// mirroring pipeline.StageTimes.
+type StageNS struct {
+	H2G int64 `json:"h2g_ns"`
+	W2B int64 `json:"w2b_ns"`
+	SWA int64 `json:"swa_ns"`
+	B2W int64 `json:"b2w_ns"`
+	G2H int64 `json:"g2h_ns"`
+}
+
+// Run is one (pairs, m, n) shape of the sweep.
+type Run struct {
+	Pairs int `json:"pairs"`
+	M     int `json:"m"`
+	N     int `json:"n"`
+	Lanes int `json:"lanes"`
+	SBits int `json:"s_bits"`
+
+	Stages     StageNS `json:"stages_sim"`
+	SimTotalNS int64   `json:"sim_total_ns"`
+	WallNS     int64   `json:"wall_ns"`
+	GCUPS      float64 `json:"gcups"`
+}
+
+// File is the full document.
+type File struct {
+	Schema    string `json:"schema"`
+	Workload  string `json:"workload"`
+	CreatedAt string `json:"created_at,omitempty"` // RFC 3339 UTC
+	Host      Host   `json:"host"`
+	Runs      []Run  `json:"runs"`
+}
+
+// Collect runs the bitwise pipeline once per n in the spec's sweep and
+// returns the filled document. cfg is passed through to the pipeline (zero
+// value is fine); ctx cancellation aborts between kernel blocks.
+func Collect(ctx context.Context, spec workload.Spec, cfg pipeline.Config) (*File, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	hostname, _ := os.Hostname()
+	f := &File{
+		Schema:    Schema,
+		Workload:  spec.Name,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Host: Host{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS,
+			GOARCH:    runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+			Hostname:  hostname,
+		},
+	}
+	for _, n := range spec.NList {
+		pairs := spec.Generate(n)
+		begin := time.Now()
+		res, err := pipeline.RunBitwise[uint32](ctx, pairs, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: n = %d: %w", n, err)
+		}
+		f.Runs = append(f.Runs, Run{
+			Pairs: res.Pairs, M: res.M, N: res.N,
+			Lanes: res.Lanes, SBits: res.SBits,
+			Stages: StageNS{
+				H2G: res.Times.H2G.Nanoseconds(),
+				W2B: res.Times.W2B.Nanoseconds(),
+				SWA: res.Times.SWA.Nanoseconds(),
+				B2W: res.Times.B2W.Nanoseconds(),
+				G2H: res.Times.G2H.Nanoseconds(),
+			},
+			SimTotalNS: res.Times.Total().Nanoseconds(),
+			WallNS:     time.Since(begin).Nanoseconds(),
+			GCUPS:      res.GCUPS(),
+		})
+	}
+	return f, nil
+}
+
+// Validate checks the invariants CI's bench-smoke job relies on: the right
+// schema, at least two distinct (m, n) shapes, and physically sensible
+// numbers (positive GCUPS, nonzero simulated time, SWA dominated breakdown
+// is NOT required — only presence).
+func (f *File) Validate() error {
+	if f.Schema != Schema {
+		return fmt.Errorf("bench: schema %q, want %q", f.Schema, Schema)
+	}
+	if len(f.Runs) < 2 {
+		return fmt.Errorf("bench: %d run(s), want at least 2 shapes", len(f.Runs))
+	}
+	shapes := make(map[[2]int]bool)
+	for i, r := range f.Runs {
+		if r.Pairs <= 0 || r.M <= 0 || r.N < r.M {
+			return fmt.Errorf("bench: run %d has degenerate shape (%d pairs, m=%d, n=%d)", i, r.Pairs, r.M, r.N)
+		}
+		if r.GCUPS <= 0 {
+			return fmt.Errorf("bench: run %d (m=%d, n=%d) has GCUPS %v, want > 0", i, r.M, r.N, r.GCUPS)
+		}
+		if r.SimTotalNS <= 0 {
+			return fmt.Errorf("bench: run %d (m=%d, n=%d) has zero simulated time", i, r.M, r.N)
+		}
+		sum := r.Stages.H2G + r.Stages.W2B + r.Stages.SWA + r.Stages.B2W + r.Stages.G2H
+		if sum != r.SimTotalNS {
+			return fmt.Errorf("bench: run %d stage sum %d ≠ total %d", i, sum, r.SimTotalNS)
+		}
+		shapes[[2]int{r.M, r.N}] = true
+	}
+	if len(shapes) < 2 {
+		return fmt.Errorf("bench: all %d runs share one (m, n) shape", len(f.Runs))
+	}
+	return nil
+}
+
+// WriteFile writes the document as indented JSON (trailing newline, so the
+// artifact diffs cleanly).
+func (f *File) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a document written by WriteFile. It does not Validate.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &f, nil
+}

@@ -196,8 +196,18 @@ func extractScores[W word.Word](g *groupState[W], count int, out []int) {
 	}
 }
 
+// failGroup is a test seam: when non-nil, it is consulted before scoring
+// each lane group so tests can force the parallel driver's error path, which
+// is unreachable through the public API (inputs are fully validated before
+// any group runs).
+var failGroup func(gi int) error
+
 // BulkScores computes the maximum local-alignment score of every pair using
 // the BPBC engine with lane width W. All pairs must share one (m, n) shape.
+//
+// If a group fails mid-run, the returned Result is non-nil alongside the
+// error: its Scores are incomplete, but Timing aggregates every group that
+// finished, so callers can still account for the work done.
 func BulkScores[W word.Word](pairs []dna.Pair, opt Options) (*Result, error) {
 	m, n, err := checkUniform(pairs)
 	if err != nil {
@@ -227,7 +237,7 @@ func BulkScores[W word.Word](pairs []dna.Pair, opt Options) (*Result, error) {
 		g := newGroupState[W](par, n)
 		for gi := 0; gi < groups; gi++ {
 			if err := scoreOneGroup(g, pairs, gi, lanes, res); err != nil {
-				return nil, err
+				return res, err
 			}
 		}
 		return res, nil
@@ -268,7 +278,7 @@ func BulkScores[W word.Word](pairs []dna.Pair, opt Options) (*Result, error) {
 		res.Timing.add(<-timings)
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return res, firstErr
 	}
 	return res, nil
 }
@@ -278,6 +288,11 @@ func scoreOneGroup[W word.Word](g *groupState[W], pairs []dna.Pair, gi, lanes in
 }
 
 func scoreOneGroupTimed[W word.Word](g *groupState[W], pairs []dna.Pair, gi, lanes int, res *Result, tm *Timing) error {
+	if failGroup != nil {
+		if err := failGroup(gi); err != nil {
+			return err
+		}
+	}
 	lo := gi * lanes
 	hi := min(lo+lanes, len(pairs))
 	xsSeqs := make([]dna.Seq, hi-lo)

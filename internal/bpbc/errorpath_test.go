@@ -1,0 +1,124 @@
+package bpbc
+
+import (
+	"errors"
+	"math/rand/v2"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dna"
+)
+
+// withFailGroup installs the test seam for one test and removes it after.
+func withFailGroup(t *testing.T, f func(gi int) error) {
+	t.Helper()
+	failGroup = f
+	t.Cleanup(func() { failGroup = nil })
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most base,
+// tolerating the runtime's own background goroutines settling.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("goroutines did not settle: %d running, want <= %d", runtime.NumGoroutine(), base)
+}
+
+// TestParallelDriverErrorPath forces a mid-run group failure and checks the
+// driver's guarantees: the error surfaces, the work channel is drained so
+// the sender never blocks, no worker goroutine leaks, and the returned
+// Result aggregates the Timing of every group that finished.
+func TestParallelDriverErrorPath(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	// 16 groups of 32 lanes: plenty of work queued behind the failure so a
+	// non-draining worker would deadlock the sender.
+	pairs := dna.RandomPairs(rng, 16*32, 16, 64)
+
+	boom := errors.New("group detonated")
+	var scored atomic.Int64
+	withFailGroup(t, func(gi int) error {
+		if gi == 3 {
+			return boom
+		}
+		scored.Add(1)
+		return nil
+	})
+
+	base := runtime.NumGoroutine()
+	done := make(chan struct{})
+	var res *Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = BulkScores[uint32](pairs, Options{Workers: 4})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("BulkScores deadlocked on the error path (work channel not drained)")
+	}
+
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected group failure", err)
+	}
+	if res == nil {
+		t.Fatal("error path returned a nil Result; want partial Result with Timing")
+	}
+	if scored.Load() == 0 {
+		t.Fatal("no group finished before the failure; test is vacuous")
+	}
+	if res.Timing.Total() <= 0 {
+		t.Errorf("partial Result.Timing = %+v, want the finished groups' time aggregated", res.Timing)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestParallelDriverAllWorkersFail makes every group fail so all workers hit
+// the error path at once: exactly one error wins, and nothing leaks.
+func TestParallelDriverAllWorkersFail(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 0))
+	pairs := dna.RandomPairs(rng, 8*32, 8, 32)
+	withFailGroup(t, func(gi int) error {
+		return errors.New("every group fails")
+	})
+
+	base := runtime.NumGoroutine()
+	res, err := BulkScores[uint32](pairs, Options{Workers: 4})
+	if err == nil || !strings.Contains(err.Error(), "every group fails") {
+		t.Fatalf("err = %v", err)
+	}
+	if res == nil {
+		t.Fatal("want a partial Result even when everything failed")
+	}
+	waitGoroutines(t, base)
+}
+
+// TestSerialDriverErrorReturnsPartialResult pins the serial path to the same
+// contract as the parallel one.
+func TestSerialDriverErrorReturnsPartialResult(t *testing.T) {
+	rng := rand.New(rand.NewPCG(44, 0))
+	pairs := dna.RandomPairs(rng, 4*32, 8, 32)
+	boom := errors.New("second group fails")
+	withFailGroup(t, func(gi int) error {
+		if gi == 1 {
+			return boom
+		}
+		return nil
+	})
+	res, err := BulkScores[uint32](pairs, Options{Workers: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if res == nil || res.Timing.Total() <= 0 {
+		t.Fatalf("res = %+v, want partial Result with group 0's Timing", res)
+	}
+}

@@ -12,7 +12,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+
+	"repro/internal/obs"
 )
 
 // exit is swapped out by tests.
@@ -54,6 +57,21 @@ func PrintJSON(v any) error {
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
+}
+
+// MetricsDump writes reg's Prometheus text exposition to path — or to
+// stderr when path is "-" — giving one-shot commands the same view the
+// server serves at /metricsz (per-stage pipeline histograms, GCUPS, run
+// counters) without standing up a listener.
+func MetricsDump(path string, reg *obs.Registry) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stderr)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // SignalContext returns a context cancelled on SIGINT or SIGTERM, and a

@@ -164,7 +164,12 @@ func (d *Device) Launch(blocks, threadsPerBlock int, k Kernel) (*LaunchStats, er
 // host goroutines; each gets a fresh shared memory. Returns the merged
 // stats of all blocks. The context is observed between blocks: once it is
 // done, no further block starts and the context's error is returned, which
-// bounds cancellation latency to one block's runtime.
+// bounds cancellation latency to one block's runtime. A kernel panic
+// likewise aborts the grid — no worker claims another block once any block
+// has panicked — and the panic from the lowest-indexed panicking block is
+// reported, so a multi-block failure is deterministic. On both the
+// cancellation and panic paths the returned stats still tally all work
+// performed before the abort (partial, but accurate).
 func (d *Device) LaunchCtx(ctx context.Context, blocks, threadsPerBlock int, k Kernel) (*LaunchStats, error) {
 	if blocks <= 0 || threadsPerBlock <= 0 {
 		return nil, fmt.Errorf("cudasim: launch shape %d×%d invalid", blocks, threadsPerBlock)
@@ -181,23 +186,44 @@ func (d *Device) LaunchCtx(ctx context.Context, blocks, threadsPerBlock int, k K
 	total := &LaunchStats{Blocks: blocks, ThreadsPerBlock: threadsPerBlock}
 	workers := min(runtime.GOMAXPROCS(0), blocks)
 	var next atomic.Int64
+	var abort atomic.Bool
 	var wg sync.WaitGroup
-	panics := make(chan any, workers)
+	// Each worker tallies into its own slot; the merge happens below, after
+	// wg.Wait, in this goroutine. That keeps merging lock-free (no shared
+	// mutex serialising concurrent launches or devices) and guarantees a
+	// panicking worker's partial tallies are still counted: its slot is
+	// populated incrementally as blocks run, not in a final merge step the
+	// panic could skip.
+	locals := make([]LaunchStats, workers)
+	type panicRec struct {
+		block int
+		val   any
+	}
+	var panicMu sync.Mutex
+	var firstPanic *panicRec
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			claimed := -1
 			defer func() {
 				if r := recover(); r != nil {
-					panics <- r
+					// Stop the grid: no worker claims another block.
+					abort.Store(true)
+					panicMu.Lock()
+					if firstPanic == nil || claimed < firstPanic.block {
+						firstPanic = &panicRec{block: claimed, val: r}
+					}
+					panicMu.Unlock()
 				}
 			}()
-			local := &LaunchStats{}
-			for ctx.Err() == nil {
+			local := &locals[w]
+			for ctx.Err() == nil && !abort.Load() {
 				bi := int(next.Add(1)) - 1
 				if bi >= blocks {
 					break
 				}
+				claimed = bi
 				b := &Block{
 					Idx:   bi,
 					Dim:   threadsPerBlock,
@@ -208,26 +234,24 @@ func (d *Device) LaunchCtx(ctx context.Context, blocks, threadsPerBlock int, k K
 				k.RunBlock(b)
 				b.flushPhase()
 			}
-			mergeStats(total, local)
 		}()
 	}
 	wg.Wait()
-	select {
-	case r := <-panics:
-		return nil, fmt.Errorf("cudasim: kernel panicked: %v", r)
-	default:
+	for w := range locals {
+		mergeStats(total, &locals[w])
+	}
+	if firstPanic != nil {
+		return total, fmt.Errorf("cudasim: kernel panicked in block %d: %v", firstPanic.block, firstPanic.val)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return total, err
 	}
 	return total, nil
 }
 
-var mergeMu sync.Mutex
-
+// mergeStats folds src into dst. It is only called from the goroutine that
+// owns the launch, after every worker has finished, so it needs no locking.
 func mergeStats(dst, src *LaunchStats) {
-	mergeMu.Lock()
-	defer mergeMu.Unlock()
 	dst.ALUOps += src.ALUOps
 	dst.GlobalLoadBytes += src.GlobalLoadBytes
 	dst.GlobalStoreBytes += src.GlobalStoreBytes

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets are the default histogram bounds for latency observations
+// in seconds: 1µs to 10s, one decade per pair of buckets. They cover both
+// the modelled device times (microseconds) and host wall times under load
+// (milliseconds to seconds).
+var LatencyBuckets = []float64{
+	1e-6, 5e-6, 25e-6, 1e-4, 5e-4, 2.5e-3, 1e-2, 5e-2, 0.25, 1, 4, 10,
+}
+
+// GCUPSBuckets are histogram bounds for throughput observations in GCUPS
+// (billions of cell updates per second), spanning CPU engines (<1) to the
+// modelled GPU pipelines (tens to hundreds).
+var GCUPSBuckets = []float64{0.1, 0.5, 1, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+// Histogram is a fixed-bucket histogram with atomic counts: Observe is one
+// atomic add per call (plus two for sum and count), with no locking.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds; +Inf is implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = LatencyBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not ascending at %d: %v", i, buckets))
+		}
+	}
+	h := &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Int64, len(buckets)+1), // +1 for +Inf
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.upper) && v > h.upper[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// write renders the histogram in exposition format: cumulative _bucket
+// series with the le label appended to the metric's own labels, then _sum
+// and _count.
+func (h *Histogram) write(w io.Writer, family, labels string) error {
+	cum := int64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.upper) {
+			le = formatFloat(h.upper[i])
+		}
+		sep := ""
+		if labels != "" {
+			sep = ","
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", family, labels, sep, le, cum); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, suffix, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", family, suffix, h.Count())
+	return err
+}

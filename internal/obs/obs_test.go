@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("requests_total") != c {
+		t.Error("second registration returned a different counter")
+	}
+	g := r.Gauge("inflight")
+	g.Set(3)
+	g.Add(-1.5)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x as gauge after counter should panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got < 5.5 || got > 5.6 {
+		t.Errorf("sum = %v, want ≈5.555", got)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		"lat_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelledExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Help("http_requests_total", "align requests by route and code")
+	r.Counter(L("http_requests_total", "route", "align", "code", "200")).Add(7)
+	r.Counter(L("http_requests_total", "route", "align", "code", "429")).Add(2)
+	r.Histogram(L("stage_seconds", "stage", "swa"), []float64{0.5}).Observe(0.25)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP http_requests_total align requests by route and code",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{route="align",code="200"} 7`,
+		`http_requests_total{route="align",code="429"} 2`,
+		`stage_seconds_bucket{stage="swa",le="0.5"} 1`,
+		`stage_seconds_sum{stage="swa"} 0.25`,
+		`stage_seconds_count{stage="swa"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family, even with two children.
+	if strings.Count(out, "# TYPE http_requests_total") != 1 {
+		t.Errorf("family header repeated:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := L("m", "k", `a"b\c`)
+	want := `m{k="a\"b\\c"}`
+	if got != want {
+		t.Errorf("L = %s, want %s", got, want)
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h", nil).Observe(0.001)
+				r.Gauge("g").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c").Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", r.Counter("c").Value())
+	}
+	if r.Histogram("h", nil).Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", r.Histogram("h", nil).Count())
+	}
+	if r.Gauge("g").Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000", r.Gauge("g").Value())
+	}
+}
+
+func TestTraceSpansAndContext(t *testing.T) {
+	tr := NewTrace("")
+	if tr.ID() == "" {
+		t.Error("generated trace ID is empty")
+	}
+	ctx := WithTrace(context.Background(), tr)
+	if TraceID(ctx) != tr.ID() {
+		t.Error("TraceID(ctx) does not round-trip")
+	}
+	end := FromContext(ctx).StartSpan("stage.swa")
+	time.Sleep(time.Millisecond)
+	end()
+	FromContext(ctx).AddSpan("queue_wait", time.Now().Add(-2*time.Millisecond), 2*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "stage.swa" || spans[0].DurUS <= 0 {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x")()
+	tr.AddSpan("y", time.Now(), time.Second)
+	if tr.ID() != "" || tr.Spans() != nil {
+		t.Error("nil trace should be inert")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context should carry no trace")
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(2)
+	for i := 0; i < 3; i++ {
+		tr := NewTrace("")
+		tr.StartSpan("s")()
+		r.Add(tr)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("ring holds %d, want 2", len(snap))
+	}
+	for _, rec := range snap {
+		if rec.ID == "" || len(rec.Spans) != 1 {
+			t.Errorf("bad record %+v", rec)
+		}
+	}
+}

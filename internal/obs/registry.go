@@ -1,0 +1,291 @@
+// Package obs is the dependency-free observability layer of the serving
+// stack: a metrics registry (atomic counters, gauges and fixed-bucket
+// latency histograms with Prometheus text exposition) plus lightweight
+// request tracing (a trace ID generated at the server edge, propagated via
+// context.Context, with structured span records for queue-wait → service →
+// tier → pipeline-stage). Everything is stdlib-only and safe for concurrent
+// use; the hot-path operations are single atomic adds.
+//
+// Metric naming follows the Prometheus conventions: families like
+// pipeline_stage_sim_seconds carry constant label sets rendered into the
+// metric name with L, e.g.
+//
+//	reg.Histogram(obs.L("pipeline_stage_sim_seconds", "pipeline", "bitwise",
+//	        "stage", "swa"), obs.LatencyBuckets).Observe(d.Seconds())
+//
+// Most code records into the process-wide Default registry; tests pass
+// their own Registry for isolation.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The value is a float64 stored
+// atomically.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metricKind tags what a registered name holds, so a name cannot silently
+// change type between registrations.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+type entry struct {
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*entry // full name (with rendered labels) → metric
+	help    map[string]string // family name → HELP text
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]*entry),
+		help:    make(map[string]string),
+	}
+}
+
+// def is the process-wide default registry, used when a layer is not handed
+// an explicit one.
+var def = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return def }
+
+// L renders a metric family name with a constant label set, e.g.
+// L("http_requests_total", "route", "align", "code", "200") →
+// `http_requests_total{route="align",code="200"}`. Label values are escaped
+// per the exposition format. Panics on an odd key/value count (programmer
+// error).
+func L(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("obs: L(%q) with odd label list", family))
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// splitName separates a full metric name into its family and the rendered
+// label block (without braces; "" when unlabelled).
+func splitName(full string) (family, labels string) {
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		return full[:i], strings.TrimSuffix(full[i+1:], "}")
+	}
+	return full, ""
+}
+
+// Help sets the HELP line for a metric family. First writer wins; calling
+// it is optional.
+func (r *Registry) Help(family, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.help[family]; !ok {
+		r.help[family] = text
+	}
+}
+
+func (r *Registry) get(name string, kind metricKind) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.metrics[name]
+	if !ok {
+		e = &entry{kind: kind}
+		switch kind {
+		case kindCounter:
+			e.c = &Counter{}
+		case kindGauge:
+			e.g = &Gauge{}
+		}
+		r.metrics[name] = e
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, e.kind, kind))
+	}
+	return e
+}
+
+// Counter returns the counter with the given full name, creating it on
+// first use. Panics if the name is already registered as another kind.
+func (r *Registry) Counter(name string) *Counter {
+	return r.get(name, kindCounter).c
+}
+
+// Gauge returns the gauge with the given full name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.get(name, kindGauge).g
+}
+
+// Histogram returns the histogram with the given full name, creating it
+// with the given bucket upper bounds on first use (later calls may pass nil
+// buckets). Buckets must be sorted ascending; a +Inf bucket is implicit.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.metrics[name]
+	if !ok {
+		e = &entry{kind: kindHistogram, h: newHistogram(buckets)}
+		r.metrics[name] = e
+	}
+	if e.kind != kindHistogram {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as histogram", name, e.kind))
+	}
+	return e.h
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), grouped by family with deterministic ordering.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	entries := make(map[string]*entry, len(r.metrics))
+	for n, e := range r.metrics {
+		entries[n] = e
+	}
+	help := make(map[string]string, len(r.help))
+	for f, h := range r.help {
+		help[f] = h
+	}
+	r.mu.Unlock()
+
+	// Order by (family, labels) so families stay contiguous and HELP/TYPE
+	// headers are emitted exactly once each.
+	sort.Slice(names, func(i, j int) bool {
+		fi, li := splitName(names[i])
+		fj, lj := splitName(names[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return li < lj
+	})
+
+	lastFamily := ""
+	for _, n := range names {
+		e := entries[n]
+		family, labels := splitName(n)
+		if family != lastFamily {
+			if h, ok := help[family]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, h); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, e.kind); err != nil {
+				return err
+			}
+			lastFamily = family
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", n, e.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", n, formatFloat(e.g.Value()))
+		case kindHistogram:
+			err = e.h.write(w, family, labels)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float the way Prometheus expects (no exponent for
+// ordinary magnitudes, +Inf spelled out).
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

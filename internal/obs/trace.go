@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Span is one timed segment of a trace: queue wait, a tier attempt, a
+// pipeline stage. Start is the offset from the trace's own start, so spans
+// serialise compactly and never leak absolute host times.
+type Span struct {
+	Name    string `json:"name"`
+	StartUS int64  `json:"start_us"` // offset from trace start, microseconds
+	DurUS   int64  `json:"dur_us"`
+}
+
+// Trace is one request's span collection, carried through context.Context.
+// All methods are nil-safe: code instrumenting a path just calls
+// obs.FromContext(ctx).StartSpan(...) and gets a no-op when no trace is
+// attached (background jobs, tests).
+type Trace struct {
+	id    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTraceID returns a fresh 64-bit hex trace ID.
+func NewTraceID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// NewTrace starts a trace. An empty id generates one.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace ID ("" for a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartSpan opens a span and returns the function that closes it. Safe on a
+// nil trace (returns a no-op).
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() { t.AddSpan(name, begin, time.Since(begin)) }
+}
+
+// AddSpan records an already-measured span. Safe on a nil trace.
+func (t *Trace) AddSpan(name string, begin time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	off := begin.Sub(t.start)
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Name:    name,
+		StartUS: off.Microseconds(),
+		DurUS:   dur.Microseconds(),
+	})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans. Safe on a nil trace.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil (every Trace method is
+// nil-safe, so callers never need to check).
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// TraceID returns the context's trace ID, or "".
+func TraceID(ctx context.Context) string { return FromContext(ctx).ID() }
+
+// TraceRecord is a finished trace as published by a TraceRing (e.g. the
+// server's /tracez).
+type TraceRecord struct {
+	ID    string `json:"trace_id"`
+	Spans []Span `json:"spans"`
+}
+
+// TraceRing is a bounded ring of recently finished traces, for debugging
+// endpoints. Concurrency-safe.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []TraceRecord
+	next int
+	full bool
+}
+
+// NewTraceRing returns a ring holding the last n traces (n ≥ 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]TraceRecord, n)}
+}
+
+// Add records a finished trace.
+func (r *TraceRing) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	rec := TraceRecord{ID: t.ID(), Spans: t.Spans()}
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the stored traces, oldest first.
+func (r *TraceRing) Snapshot() []TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []TraceRecord
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

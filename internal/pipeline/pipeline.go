@@ -23,6 +23,7 @@ import (
 	"repro/internal/cudasim"
 	"repro/internal/dna"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/swa"
 	"repro/internal/word"
@@ -44,6 +45,16 @@ type Config struct {
 	// transfers, allocations and launches can fail (or flip bits)
 	// deterministically. See cudasim.FaultConfig.
 	Faults *cudasim.FaultInjector
+	// Metrics receives the per-stage latency histograms, run counters and
+	// GCUPS figures (nil = obs.Default()). Tests pass a private registry.
+	Metrics *obs.Registry
+}
+
+func (c Config) metrics() *obs.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return obs.Default()
 }
 
 func (c Config) withDefaults() Config {
@@ -73,18 +84,77 @@ func (s StageTimes) Total() time.Duration {
 type Result struct {
 	Scores []int
 	Times  StageTimes
+	// Wall is the measured host wall-clock per stage: the time the
+	// functional simulator itself took, as opposed to Times, the modelled
+	// device time. Both distributions are exported as histograms.
+	Wall StageTimes
 	// Stats exposes the exact kernel work tallies (W2B covers both input
 	// arrays; launches are summed).
 	W2BStats, SWAStats, B2WStats cudasim.LaunchStats
 	Lanes, SBits                 int
+	// Pairs, M, N record the batch shape, so GCUPS is computable from the
+	// result alone.
+	Pairs, M, N int
+}
+
+// GCUPS returns the modelled throughput of the run in billions of cell
+// updates per second (the paper's headline metric), based on the modelled
+// device time.
+func (r *Result) GCUPS() float64 {
+	return perfmodel.GCUPS(r.Pairs, r.M, r.N, r.Times.Total())
+}
+
+// stageRecorder observes one pipeline run's per-stage wall and modelled
+// durations into the registry's histograms and the context's trace.
+type stageRecorder struct {
+	reg  *obs.Registry
+	tr   *obs.Trace
+	pipe string // "bitwise" or "wordwise"
+}
+
+func newStageRecorder(ctx context.Context, cfg Config, pipe string) stageRecorder {
+	reg := cfg.metrics()
+	reg.Help("pipeline_stage_wall_seconds", "host wall-clock per pipeline stage")
+	reg.Help("pipeline_stage_sim_seconds", "modelled device time per pipeline stage")
+	reg.Help("pipeline_runs_total", "pipeline runs by outcome")
+	reg.Help("pipeline_gcups", "modelled GCUPS per completed run")
+	return stageRecorder{reg: reg, tr: obs.FromContext(ctx), pipe: pipe}
+}
+
+// stage records one completed stage given its host start time and modelled
+// duration, and returns the wall time it measured.
+func (s stageRecorder) stage(name string, begin time.Time, sim time.Duration) time.Duration {
+	wall := time.Since(begin)
+	s.reg.Histogram(obs.L("pipeline_stage_wall_seconds", "pipeline", s.pipe, "stage", name),
+		obs.LatencyBuckets).ObserveDuration(wall)
+	s.reg.Histogram(obs.L("pipeline_stage_sim_seconds", "pipeline", s.pipe, "stage", name),
+		obs.LatencyBuckets).ObserveDuration(sim)
+	s.tr.AddSpan("pipeline."+name, begin, wall)
+	return wall
+}
+
+// finish records the run counter and, on success, the run's GCUPS.
+func (s stageRecorder) finish(res *Result, err error) {
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	s.reg.Counter(obs.L("pipeline_runs_total", "pipeline", s.pipe, "result", outcome)).Inc()
+	if err == nil && res != nil {
+		g := res.GCUPS()
+		s.reg.Histogram(obs.L("pipeline_gcups", "pipeline", s.pipe), obs.GCUPSBuckets).Observe(g)
+		s.reg.Gauge(obs.L("pipeline_last_gcups", "pipeline", s.pipe)).Set(g)
+	}
 }
 
 // RunBitwise executes the full BPBC pipeline for a uniform batch of pairs
 // with lane width W, returning exact scores and modelled stage times. The
 // context is observed before every stage and between kernel blocks, so
 // cancellation and deadlines propagate with block-level latency.
-func RunBitwise[W word.Word](ctx context.Context, pairs []dna.Pair, cfg Config) (*Result, error) {
+func RunBitwise[W word.Word](ctx context.Context, pairs []dna.Pair, cfg Config) (res *Result, err error) {
 	cfg = cfg.withDefaults()
+	rec := newStageRecorder(ctx, cfg, "bitwise")
+	defer func() { rec.finish(res, err) }()
 	lanes := word.Lanes[W]()
 	l, err := layoutFor(pairs, lanes, cfg)
 	if err != nil {
@@ -106,18 +176,21 @@ func RunBitwise[W word.Word](ctx context.Context, pairs []dna.Pair, cfg Config) 
 		return nil, err
 	}
 
-	res := &Result{Lanes: lanes, SBits: l.S}
+	res = &Result{Lanes: lanes, SBits: l.S, Pairs: l.Pairs, M: l.M, N: l.N}
 
 	// Step 1: H2G. Wordwise chars, one byte each (what cudaMemcpy moves).
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	begin := time.Now()
 	if err := uploadWordwise(dev, bufs, pairs, l); err != nil {
 		return nil, fmt.Errorf("pipeline: H2G: %w", err)
 	}
 	res.Times.H2G = cfg.PCIe.Transfer(int64(l.Pairs) * int64(l.M+l.N))
+	res.Wall.H2G = rec.stage("h2g", begin, res.Times.H2G)
 
 	// Step 2: W2B, one launch per input array.
+	begin = time.Now()
 	kx := &kernels.W2BKernel[W]{L: l, Src: bufs.XWord, DstH: bufs.XH, DstL: bufs.XL, Length: l.M}
 	sx, err := dev.LaunchCtx(ctx, kx.GridDim(), kernels.TransposeThreads, kx)
 	if err != nil {
@@ -132,8 +205,10 @@ func RunBitwise[W word.Word](ctx context.Context, pairs []dna.Pair, cfg Config) 
 	mergeInto(&res.W2BStats, sy)
 	regsT := kernels.TransposeRegs(lanes)
 	res.Times.W2B = sx.Cost(true, regsT).Time(cfg.Device) + sy.Cost(true, regsT).Time(cfg.Device)
+	res.Wall.W2B = rec.stage("w2b", begin, res.Times.W2B)
 
 	// Step 3: the BPBC wavefront kernel, one block per lane group.
+	begin = time.Now()
 	ks := &kernels.SWAKernel[W]{L: l, B: bufs, Par: par, UseShuffle: cfg.UseShuffle}
 	ss, err := dev.LaunchCtx(ctx, l.Groups(), l.M, ks)
 	if err != nil {
@@ -141,8 +216,10 @@ func RunBitwise[W word.Word](ctx context.Context, pairs []dna.Pair, cfg Config) 
 	}
 	res.SWAStats = *ss
 	res.Times.SWA = ss.Cost(true, kernels.SWARegs(l.S, lanes)).Time(cfg.Device)
+	res.Wall.SWA = rec.stage("swa", begin, res.Times.SWA)
 
 	// Step 4: B2W.
+	begin = time.Now()
 	kb := &kernels.B2WKernel[W]{L: l, B: bufs}
 	sb, err := dev.LaunchCtx(ctx, kb.GridDim(), kernels.TransposeThreads, kb)
 	if err != nil {
@@ -150,24 +227,29 @@ func RunBitwise[W word.Word](ctx context.Context, pairs []dna.Pair, cfg Config) 
 	}
 	res.B2WStats = *sb
 	res.Times.B2W = sb.Cost(true, regsT).Time(cfg.Device)
+	res.Wall.B2W = rec.stage("b2w", begin, res.Times.B2W)
 
 	// Step 5: G2H — one word per pair.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	begin = time.Now()
 	res.Scores, err = downloadScores[W](dev, bufs, l)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: G2H: %w", err)
 	}
 	res.Times.G2H = cfg.PCIe.Transfer(int64(l.Pairs) * 4)
+	res.Wall.G2H = rec.stage("g2h", begin, res.Times.G2H)
 	return res, nil
 }
 
 // RunWordwise executes the conventional baseline: H2G, the wordwise
 // wavefront kernel (one block per pair), G2H. No transposes. Context
 // semantics match RunBitwise.
-func RunWordwise(ctx context.Context, pairs []dna.Pair, cfg Config) (*Result, error) {
+func RunWordwise(ctx context.Context, pairs []dna.Pair, cfg Config) (res *Result, err error) {
 	cfg = cfg.withDefaults()
+	rec := newStageRecorder(ctx, cfg, "wordwise")
+	defer func() { rec.finish(res, err) }()
 	l, err := layoutFor(pairs, 32, cfg)
 	if err != nil {
 		return nil, err
@@ -177,16 +259,19 @@ func RunWordwise(ctx context.Context, pairs []dna.Pair, cfg Config) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Lanes: 1, SBits: 32}
+	res = &Result{Lanes: 1, SBits: 32, Pairs: l.Pairs, M: l.M, N: l.N}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	begin := time.Now()
 	if err := uploadWordwise(dev, bufs, pairs, l); err != nil {
 		return nil, fmt.Errorf("pipeline: H2G: %w", err)
 	}
 	res.Times.H2G = cfg.PCIe.Transfer(int64(l.Pairs) * int64(l.M+l.N))
+	res.Wall.H2G = rec.stage("h2g", begin, res.Times.H2G)
 
+	begin = time.Now()
 	k := &kernels.WordwiseKernel{
 		L: l, B: bufs,
 		Match:  int32(cfg.Scoring.Match),
@@ -199,11 +284,13 @@ func RunWordwise(ctx context.Context, pairs []dna.Pair, cfg Config) (*Result, er
 	}
 	res.SWAStats = *ss
 	res.Times.SWA = ss.Cost(false, kernels.WordwiseRegs).Time(cfg.Device)
+	res.Wall.SWA = rec.stage("swa", begin, res.Times.SWA)
 
 	// G2H: one int32 per pair.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	begin = time.Now()
 	raw := make([]byte, 4*l.Pairs)
 	if err := dev.MemcpyDtoH(raw, bufs.Scores); err != nil {
 		return nil, fmt.Errorf("pipeline: G2H: %w", err)
@@ -214,6 +301,7 @@ func RunWordwise(ctx context.Context, pairs []dna.Pair, cfg Config) (*Result, er
 			uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24)
 	}
 	res.Times.G2H = cfg.PCIe.Transfer(int64(l.Pairs) * 4)
+	res.Wall.G2H = rec.stage("g2h", begin, res.Times.G2H)
 	return res, nil
 }
 

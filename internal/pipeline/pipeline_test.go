@@ -3,10 +3,12 @@ package pipeline
 import (
 	"context"
 	"math/rand/v2"
+	"strings"
 	"testing"
 
 	"repro/internal/cudasim"
 	"repro/internal/dna"
+	"repro/internal/obs"
 	"repro/internal/swa"
 )
 
@@ -286,5 +288,75 @@ func TestShuffleHandoffEquivalence64(t *testing.T) {
 		if plain.Scores[i] != shuf.Scores[i] {
 			t.Fatalf("pair %d differs", i)
 		}
+	}
+}
+
+func TestPipelineMetricsAndGCUPS(t *testing.T) {
+	reg := obs.NewRegistry()
+	rng := rand.New(rand.NewPCG(9, 9))
+	pairs := dna.RandomPairs(rng, 40, 24, 96)
+	tr := obs.NewTrace("")
+	ctx := obs.WithTrace(context.Background(), tr)
+	res, err := RunBitwise[uint32](ctx, pairs, Config{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs != 40 || res.M != 24 || res.N != 96 {
+		t.Errorf("shape = (%d, %d, %d), want (40, 24, 96)", res.Pairs, res.M, res.N)
+	}
+	if res.GCUPS() <= 0 {
+		t.Errorf("GCUPS = %v, want > 0", res.GCUPS())
+	}
+	if res.Wall.Total() <= 0 {
+		t.Errorf("wall total = %v, want > 0", res.Wall.Total())
+	}
+
+	// Every stage histogram has exactly one observation; the run counter and
+	// GCUPS gauge are set.
+	for _, stage := range []string{"h2g", "w2b", "swa", "b2w", "g2h"} {
+		for _, fam := range []string{"pipeline_stage_wall_seconds", "pipeline_stage_sim_seconds"} {
+			h := reg.Histogram(obs.L(fam, "pipeline", "bitwise", "stage", stage), nil)
+			if h.Count() != 1 {
+				t.Errorf("%s{stage=%q} count = %d, want 1", fam, stage, h.Count())
+			}
+		}
+	}
+	if c := reg.Counter(obs.L("pipeline_runs_total", "pipeline", "bitwise", "result", "ok")); c.Value() != 1 {
+		t.Errorf("runs ok = %d, want 1", c.Value())
+	}
+	if g := reg.Gauge(obs.L("pipeline_last_gcups", "pipeline", "bitwise")); g.Value() != res.GCUPS() {
+		t.Errorf("last gcups gauge = %v, want %v", g.Value(), res.GCUPS())
+	}
+
+	// The trace carries one span per stage.
+	spans := tr.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5: %+v", len(spans), spans)
+	}
+	if spans[2].Name != "pipeline.swa" {
+		t.Errorf("span 2 = %q, want pipeline.swa", spans[2].Name)
+	}
+
+	// Prometheus text exposition includes the per-stage histograms.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `pipeline_stage_sim_seconds_bucket{pipeline="bitwise",stage="swa",le="+Inf"} 1`) {
+		t.Errorf("exposition missing swa histogram:\n%s", b.String())
+	}
+}
+
+func TestPipelineErrorCountsRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	rng := rand.New(rand.NewPCG(10, 10))
+	pairs := dna.RandomPairs(rng, 8, 16, 64)
+	inj := cudasim.NewFaultInjector(cudasim.FaultConfig{Seed: 3, Launch: 1})
+	_, err := RunWordwise(context.Background(), pairs, Config{Metrics: reg, Faults: inj})
+	if err == nil {
+		t.Fatal("forced launch fault did not error")
+	}
+	if c := reg.Counter(obs.L("pipeline_runs_total", "pipeline", "wordwise", "result", "error")); c.Value() != 1 {
+		t.Errorf("runs error = %d, want 1", c.Value())
 	}
 }

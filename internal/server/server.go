@@ -7,7 +7,14 @@
 // request carries a deadline that flows through context.Context into the
 // pipeline and kernel-block plumbing, surfacing as 504 on expiry. /healthz,
 // /readyz and /statsz expose liveness, drain state and the JSON counters;
+// /metricsz exposes the obs registry in Prometheus text format;
 // Server.BeginDrain + Drain implement graceful shutdown.
+//
+// Every request is assigned a trace ID at the edge (honouring an incoming
+// X-Trace-Id header), which propagates through context into the service and
+// pipeline, is echoed in the X-Trace-Id response header, and is stamped into
+// error bodies. Completed traces land in a bounded ring served by /tracez on
+// the opt-in ops handler (OpsHandler), which also mounts net/http/pprof.
 package server
 
 import (
@@ -16,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"sync/atomic"
@@ -23,6 +31,7 @@ import (
 
 	"repro/internal/alignsvc"
 	"repro/internal/dna"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -48,6 +57,13 @@ type Config struct {
 	DefaultTimeout, MaxTimeout time.Duration
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// Metrics receives the server's request/admission metrics (default:
+	// obs.Default()). Point the service at the same registry so one
+	// /metricsz scrape covers the whole stack.
+	Metrics *obs.Registry
+	// TraceRingSize bounds how many completed request traces /tracez
+	// retains (default 64).
+	TraceRingSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +90,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default()
+	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 64
 	}
 	return c
 }
@@ -115,10 +137,12 @@ type AlignResponse struct {
 	Report alignsvc.Report `json:"report"`
 }
 
-// ErrorResponse is the body of every non-200 answer.
+// ErrorResponse is the body of every non-200 answer. TraceID lets a client
+// correlate the failure with /tracez and server logs.
 type ErrorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
+	Error   string `json:"error"`
+	Code    string `json:"code"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ServerStats counts what the admission layer did, for /statsz.
@@ -144,9 +168,11 @@ type StatszResponse struct {
 // Server is the HTTP alignment server. Create with New, expose Handler()
 // behind an http.Server, and BeginDrain + Drain on shutdown.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
-	sem chan struct{}
+	cfg    Config
+	mux    *http.ServeMux
+	sem    chan struct{}
+	obs    *obs.Registry
+	traces *obs.TraceRing
 
 	draining  chan struct{}
 	drainOnce func()
@@ -167,6 +193,8 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
+		obs:      cfg.Metrics,
+		traces:   obs.NewTraceRing(cfg.TraceRingSize),
 		draining: make(chan struct{}),
 	}
 	var once atomic.Bool
@@ -175,11 +203,54 @@ func New(cfg Config) (*Server, error) {
 			close(s.draining)
 		}
 	}
-	s.mux.HandleFunc("/align", s.handleAlign)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.obs.Help("http_requests_total", "HTTP requests by route and status code.")
+	s.obs.Help("http_request_seconds", "HTTP request wall time by route.")
+	s.obs.Help("server_admission_total", "Align admission decisions by outcome.")
+	s.obs.Help("server_inflight", "Align requests executing right now.")
+	s.obs.Help("server_queued", "Align requests waiting for an execution slot.")
+	s.mux.Handle("/align", s.instrument("align", s.handleAlign))
+	s.mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("/readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.Handle("/statsz", s.instrument("statsz", s.handleStatsz))
+	s.mux.Handle("/metricsz", s.instrument("metricsz", s.handleMetricsz))
 	return s, nil
+}
+
+// statusWriter captures the status code a handler wrote, for the per-route
+// request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route with the edge concerns: a trace (new, or adopted
+// from X-Trace-Id) installed into the request context and echoed in the
+// response header, plus per-route request/latency metrics. Traces that
+// accumulated spans are kept for /tracez.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	reqs := func(code int) *obs.Counter {
+		return s.obs.Counter(obs.L("http_requests_total",
+			"route", route, "code", strconv.Itoa(code)))
+	}
+	lat := s.obs.Histogram(obs.L("http_request_seconds", "route", route), obs.LatencyBuckets)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(r.Header.Get("X-Trace-Id"))
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		w.Header().Set("X-Trace-Id", tr.ID())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		begin := time.Now()
+		h(sw, r)
+		lat.Observe(time.Since(begin).Seconds())
+		reqs(sw.status).Inc()
+		if len(tr.Spans()) > 0 {
+			s.traces.Add(tr)
+		}
+	})
 }
 
 // Handler returns the route mux.
@@ -256,23 +327,55 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetricsz renders the obs registry as Prometheus text (exposition
+// format 0.0.4). The inflight/queued gauges are refreshed at scrape time so
+// they are exact, not sampled.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	s.obs.Gauge("server_inflight").Set(float64(s.inflight.Load()))
+	s.obs.Gauge("server_queued").Set(float64(s.queued.Load()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.WritePrometheus(w)
+}
+
+// handleTracez dumps the recent-trace ring as JSON, oldest first.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.traces.Snapshot())
+}
+
+// OpsHandler returns the operational mux — /metricsz, /tracez and the full
+// net/http/pprof suite. It is NOT mounted on Handler(): pprof can dump heap
+// contents and stall the process, so serve it on a separate, firewalled
+// listener (swaserver's -ops-addr).
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metricsz", s.handleMetricsz)
+	mux.HandleFunc("/tracez", s.handleTracez)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		s.writeError(w, http.StatusMethodNotAllowed, CodeBadRequest, "POST only")
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeBadRequest, "POST only")
 		return
 	}
 	s.requests.Add(1)
 	if s.Draining() {
 		s.drainRefusals.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		s.admissionOutcome("draining")
+		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
 		return
 	}
 
 	pairs, timeout, status, code, err := s.parseRequest(w, r)
 	if err != nil {
 		s.rejected.Add(1)
-		s.writeError(w, status, code, err.Error())
+		s.writeError(w, r, status, code, err.Error())
 		return
 	}
 
@@ -282,19 +385,23 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	switch admit {
 	case admitShed:
 		s.shed.Add(1)
+		s.admissionOutcome("shed")
 		w.Header().Set("Retry-After",
 			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		s.writeError(w, http.StatusTooManyRequests, CodeShed,
+		s.writeError(w, r, http.StatusTooManyRequests, CodeShed,
 			fmt.Sprintf("admission queue full (%d waiting)", s.cfg.MaxQueued))
 		return
 	case admitDraining:
 		s.drainRefusals.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		s.admissionOutcome("draining")
+		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
 		return
 	case admitCtxDone:
-		s.writeError(w, statusClientClosedRequest, CodeCanceled, "client went away while queued")
+		s.admissionOutcome("canceled")
+		s.writeError(w, r, statusClientClosedRequest, CodeCanceled, "client went away while queued")
 		return
 	}
+	s.admissionOutcome("ok")
 	defer release()
 
 	// Deadline propagation: the request context (client disconnects) plus
@@ -462,24 +569,33 @@ func (s *Server) admit(ctx context.Context) (release func(), res admitResult) {
 // disconnected before the response was ready.
 const statusClientClosedRequest = 499
 
+// admissionOutcome counts an admission decision into the obs registry.
+func (s *Server) admissionOutcome(outcome string) {
+	s.obs.Counter(obs.L("server_admission_total", "outcome", outcome)).Inc()
+}
+
 // writeAlignError maps service errors onto HTTP statuses + typed codes.
 func (s *Server) writeAlignError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.deadlines.Add(1)
-		s.writeError(w, http.StatusGatewayTimeout, CodeDeadline, "deadline expired: "+err.Error())
+		s.writeError(w, r, http.StatusGatewayTimeout, CodeDeadline, "deadline expired: "+err.Error())
 	case errors.Is(err, context.Canceled):
-		s.writeError(w, statusClientClosedRequest, CodeCanceled, "request canceled")
+		s.writeError(w, r, statusClientClosedRequest, CodeCanceled, "request canceled")
 	case errors.Is(err, alignsvc.ErrClosed):
 		s.drainRefusals.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "service closed")
+		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "service closed")
 	default:
-		s.writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		s.writeError(w, r, http.StatusInternalServerError, CodeInternal, err.Error())
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{
+		Error:   msg,
+		Code:    code,
+		TraceID: obs.TraceID(r.Context()),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
