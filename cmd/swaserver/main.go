@@ -6,6 +6,14 @@
 // (Prometheus text). On SIGINT/SIGTERM the server stops admitting work
 // (/readyz flips to 503), drains in-flight batches for -grace, then exits 0.
 //
+// -data-dir enables the durable async job API (POST /jobs, GET /jobs/{id},
+// GET /jobs/{id}/result, DELETE /jobs/{id}): submitted batches are persisted
+// to a write-ahead log in that directory before the 202 goes out and are
+// executed chunk by chunk, each completed chunk checkpointed. On startup the
+// WAL is replayed — incomplete jobs resume from their last checkpoint, so a
+// crash (even SIGKILL) costs at most the chunk that was in flight. On
+// SIGTERM, running jobs are checkpointed and requeued rather than awaited.
+//
 // -ops-addr starts a second listener with the operational endpoints —
 // /metricsz, /tracez (recent request traces) and net/http/pprof under
 // /debug/pprof/. It is off by default and should stay firewalled: pprof can
@@ -15,6 +23,7 @@
 //
 //	swaserver [-addr :8468] [-ops-addr :8469] [-workers N] [-inflight N]
 //	          [-queued N] [-grace 15s] [-timeout 30s] [-lanes 32]
+//	          [-data-dir /var/lib/swa -wal-sync always -chunk-size 64]
 //	          [-fault-launch 0.3 -fault-bitflip 0.2 ...]   (chaos mode)
 package main
 
@@ -31,6 +40,9 @@ import (
 	"repro/internal/alignsvc"
 	"repro/internal/cli"
 	"repro/internal/cudasim"
+	"repro/internal/jobs"
+	"repro/internal/jobstore"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -55,6 +67,16 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
+
+	dataDir := flag.String("data-dir", "", "WAL directory for durable async jobs (empty = /jobs API disabled)")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval or never")
+	walSyncEvery := flag.Duration("wal-sync-every", 100*time.Millisecond, "fsync period for -wal-sync interval")
+	walSegBytes := flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation size")
+	chunkSize := flag.Int("chunk-size", 64, "pairs per job chunk (the checkpoint granularity)")
+	jobConcurrency := flag.Int("job-concurrency", 2, "jobs executing concurrently")
+	jobQueue := flag.Int("job-queue", 64, "jobs waiting in the queue before 429")
+	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay queryable before GC")
+	jobChunkTimeout := flag.Duration("job-chunk-timeout", time.Minute, "per-chunk execution deadline")
 
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
 	faultHtoD := flag.Float64("fault-htod", 0, "HtoD transfer failure rate [0,1]")
@@ -106,6 +128,49 @@ func main() {
 			BitFlip: *faultBitFlip,
 		},
 	})
+	// The durable job stack: WAL store + chunked job manager, sharing one
+	// trace ring with the server so /tracez covers background job runs too.
+	var (
+		store *jobstore.Store
+		mgr   *jobs.Manager
+		ring  *obs.TraceRing
+	)
+	if *dataDir != "" {
+		policy, err := jobstore.ParseSyncPolicy(*walSync)
+		if err != nil {
+			cli.Exitf(2, "swaserver: -wal-sync: %v", err)
+		}
+		var rep jobstore.ReplayReport
+		store, rep, err = jobstore.Open(jobstore.Options{
+			Dir:          *dataDir,
+			SegmentBytes: *walSegBytes,
+			Sync:         policy,
+			SyncEvery:    *walSyncEvery,
+		})
+		cli.Check(err)
+		log.Printf("swaserver: job store %s: %d segment(s), %d record(s), %d live job(s)",
+			*dataDir, rep.Segments, rep.Records, rep.Jobs)
+		if rep.Truncated {
+			log.Printf("swaserver: job store repaired: dropped %d byte(s) at %s",
+				rep.TruncatedBytes, rep.Corrupt)
+		}
+		ring = obs.NewTraceRing(64)
+		mgr, err = jobs.New(jobs.Config{
+			Store:         store,
+			Service:       svc,
+			ChunkSize:     *chunkSize,
+			MaxConcurrent: *jobConcurrency,
+			MaxQueued:     *jobQueue,
+			ChunkTimeout:  *jobChunkTimeout,
+			TTL:           *jobTTL,
+			Traces:        ring,
+		})
+		cli.Check(err)
+		if recovered := mgr.Stats().Recovered; recovered > 0 {
+			log.Printf("swaserver: recovered %d incomplete job(s), resuming from checkpoints", recovered)
+		}
+	}
+
 	srv, err := server.New(server.Config{
 		Service:        svc,
 		MaxInFlight:    *inflight,
@@ -115,6 +180,8 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Jobs:           mgr,
+		TraceRing:      ring,
 	})
 	cli.Check(err)
 
@@ -147,6 +214,10 @@ func main() {
 	defer stop()
 	select {
 	case err := <-serveErr:
+		if mgr != nil {
+			mgr.Close()
+			cli.Check(store.Close())
+		}
 		svc.Close()
 		cli.Die(fmt.Errorf("swaserver: serve: %w", err))
 	case <-ctx.Done():
@@ -155,7 +226,9 @@ func main() {
 
 	// Graceful shutdown: refuse new aligns and flip /readyz (still served,
 	// so load balancers see not-ready), drain in-flight batches within the
-	// grace period, then close the listener and the service.
+	// grace period — job runners checkpoint and requeue their jobs at the
+	// next chunk boundary — then close the listener, the manager, the job
+	// store and the service.
 	log.Printf("swaserver: signal received, draining (grace %v)", *grace)
 	srv.BeginDrain()
 	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
@@ -166,6 +239,13 @@ func main() {
 	}
 	if opsSrv != nil {
 		_ = opsSrv.Close()
+	}
+	if mgr != nil {
+		if requeued := mgr.Stats().Requeued; requeued > 0 {
+			log.Printf("swaserver: checkpointed and requeued %d running job(s)", requeued)
+		}
+		mgr.Close()
+		cli.Check(store.Close())
 	}
 	svc.Close()
 	if drainErr != nil {

@@ -1,0 +1,160 @@
+package jobs
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/jobstore"
+)
+
+// This file pins the wire format of the job API types: stable snake_case
+// field names, states as their String() forms, durations as float
+// milliseconds, timestamps as Unix milliseconds — the same conventions as
+// alignsvc.Report/Stats. The /jobs endpoints and /statsz marshal through
+// here, so changes are breaking.
+
+// Snapshot is the client-visible view of one job: identity, state machine
+// position and chunk progress.
+type Snapshot struct {
+	ID         string
+	Key        string // idempotency key, "" when none was sent
+	State      jobstore.State
+	Error      string // failure message for failed jobs
+	Pairs      int    // batch size
+	ChunkSize  int
+	Chunks     int // total chunks
+	ChunksDone int // checkpointed chunks
+	Created    time.Time
+	Updated    time.Time
+	Elapsed    time.Duration // Updated - Created at snapshot time
+}
+
+// snapshot builds the wire view from a store job.
+func (m *Manager) snapshot(j *jobstore.Job) Snapshot {
+	return Snapshot{
+		ID:         j.ID,
+		Key:        j.Key,
+		State:      j.State,
+		Error:      j.Error,
+		Pairs:      len(j.Pairs),
+		ChunkSize:  j.ChunkSize,
+		Chunks:     j.NumChunks(),
+		ChunksDone: j.ChunksDone(),
+		Created:    j.Created,
+		Updated:    j.Updated,
+		Elapsed:    j.Updated.Sub(j.Created),
+	}
+}
+
+type snapshotJSON struct {
+	ID            string         `json:"id"`
+	Key           string         `json:"idempotency_key,omitempty"`
+	State         jobstore.State `json:"state"`
+	Error         string         `json:"error,omitempty"`
+	Pairs         int            `json:"pairs"`
+	ChunkSize     int            `json:"chunk_size"`
+	Chunks        int            `json:"chunks"`
+	ChunksDone    int            `json:"chunks_done"`
+	CreatedUnixMS int64          `json:"created_unix_ms"`
+	UpdatedUnixMS int64          `json:"updated_unix_ms"`
+	ElapsedMS     float64        `json:"elapsed_ms"`
+}
+
+// MarshalJSON implements the stable wire format described above.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	return json.Marshal(snapshotJSON{
+		ID:            s.ID,
+		Key:           s.Key,
+		State:         s.State,
+		Error:         s.Error,
+		Pairs:         s.Pairs,
+		ChunkSize:     s.ChunkSize,
+		Chunks:        s.Chunks,
+		ChunksDone:    s.ChunksDone,
+		CreatedUnixMS: s.Created.UnixMilli(),
+		UpdatedUnixMS: s.Updated.UnixMilli(),
+		ElapsedMS:     float64(s.Elapsed) / float64(time.Millisecond),
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON. Timestamps come back with
+// millisecond precision in UTC.
+func (s *Snapshot) UnmarshalJSON(b []byte) error {
+	var in snapshotJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	*s = Snapshot{
+		ID:         in.ID,
+		Key:        in.Key,
+		State:      in.State,
+		Error:      in.Error,
+		Pairs:      in.Pairs,
+		ChunkSize:  in.ChunkSize,
+		Chunks:     in.Chunks,
+		ChunksDone: in.ChunksDone,
+		Created:    time.UnixMilli(in.CreatedUnixMS).UTC(),
+		Updated:    time.UnixMilli(in.UpdatedUnixMS).UTC(),
+		Elapsed:    time.Duration(in.ElapsedMS * float64(time.Millisecond)),
+	}
+	return nil
+}
+
+// Stats is a snapshot of the manager counters, for /statsz and the chaos
+// harnesses.
+type Stats struct {
+	Submitted int64 // jobs accepted (excluding dedup hits)
+	DedupHits int64 // submissions answered by an existing job's key
+	Completed int64 // jobs reaching done
+	Failed    int64 // jobs reaching failed
+	Cancelled int64 // jobs reaching cancelled
+
+	Recovered       int64 // incomplete jobs requeued by startup recovery
+	RecoveredChunks int64 // chunks already checkpointed on those jobs
+	Requeued        int64 // running jobs parked back to queued by drain
+
+	ChunksExecuted     int64 // chunks actually computed
+	ChunksCheckpointed int64 // chunk records appended to the WAL
+	ChunksSkipped      int64 // checkpointed chunks skipped on resume
+
+	GCDropped int64 // terminal jobs dropped by TTL GC
+
+	Queued    int64 // jobs waiting right now
+	Running   int64 // jobs executing right now
+	JobsHeld  int64 // live jobs in the store
+	MaxQueued int64 // the queue bound
+}
+
+type statsJSON struct {
+	Submitted          int64 `json:"submitted"`
+	DedupHits          int64 `json:"dedup_hits"`
+	Completed          int64 `json:"completed"`
+	Failed             int64 `json:"failed"`
+	Cancelled          int64 `json:"cancelled"`
+	Recovered          int64 `json:"recovered"`
+	RecoveredChunks    int64 `json:"recovered_chunks"`
+	Requeued           int64 `json:"requeued"`
+	ChunksExecuted     int64 `json:"chunks_executed"`
+	ChunksCheckpointed int64 `json:"chunks_checkpointed"`
+	ChunksSkipped      int64 `json:"chunks_skipped"`
+	GCDropped          int64 `json:"gc_dropped"`
+	Queued             int64 `json:"queued"`
+	Running            int64 `json:"running"`
+	JobsHeld           int64 `json:"jobs_held"`
+	MaxQueued          int64 `json:"max_queued"`
+}
+
+// MarshalJSON implements the stable wire format described above.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(statsJSON(s))
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (s *Stats) UnmarshalJSON(b []byte) error {
+	var in statsJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	*s = Stats(in)
+	return nil
+}

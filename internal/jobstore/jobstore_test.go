@@ -1,0 +1,397 @@
+package jobstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testPairs(n int) []PairData {
+	out := make([]PairData, n)
+	for i := range out {
+		out[i] = PairData{X: "ACGT", Y: "ACGTACGT"}
+	}
+	return out
+}
+
+func mustOpen(t *testing.T, dir string) (*Store, ReplayReport) {
+	t.Helper()
+	s, rep, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, rep
+}
+
+func TestSubmitGetByKey(t *testing.T) {
+	s, rep := mustOpen(t, t.TempDir())
+	defer s.Close()
+	if rep.Records != 0 || rep.Jobs != 0 {
+		t.Fatalf("fresh dir replay: %+v", rep)
+	}
+	j, err := s.Submit("j1", "key-1", 4, testPairs(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateQueued || j.NumChunks() != 3 || j.ChunksDone() != 0 {
+		t.Fatalf("submitted job: %+v", j)
+	}
+	if lo, hi := j.ChunkBounds(2); lo != 8 || hi != 10 {
+		t.Fatalf("last chunk bounds = [%d,%d), want [8,10)", lo, hi)
+	}
+	got, ok := s.Get("j1")
+	if !ok || got.ID != "j1" || got.Key != "key-1" {
+		t.Fatalf("Get: %+v ok=%v", got, ok)
+	}
+	byKey, ok := s.ByKey("key-1")
+	if !ok || byKey.ID != "j1" {
+		t.Fatalf("ByKey: %+v ok=%v", byKey, ok)
+	}
+	if _, err := s.Submit("j1", "", 4, testPairs(1)); err == nil {
+		t.Fatal("duplicate job ID accepted")
+	}
+}
+
+func TestStateMachineTransitions(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir())
+	defer s.Close()
+	if _, err := s.Submit("j", "", 2, testPairs(4)); err != nil {
+		t.Fatal(err)
+	}
+	// queued → done is illegal.
+	if _, err := s.SetState("j", StateDone, ""); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("queued→done: %v", err)
+	}
+	if prev, err := s.SetState("j", StateRunning, ""); err != nil || prev != StateQueued {
+		t.Fatalf("queued→running: prev=%v err=%v", prev, err)
+	}
+	// running → queued (drain requeue) is legal.
+	if _, err := s.SetState("j", StateQueued, ""); err != nil {
+		t.Fatalf("running→queued: %v", err)
+	}
+	if _, err := s.SetState("j", StateRunning, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetState("j", StateCancelled, ""); err != nil {
+		t.Fatalf("running→cancelled: %v", err)
+	}
+	// Terminal states are frozen.
+	if _, err := s.SetState("j", StateRunning, ""); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("cancelled→running: %v", err)
+	}
+	if err := s.AddChunk("j", 0, []int{1, 2}); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("chunk on terminal job: %v", err)
+	}
+	if _, err := s.SetState("missing", StateRunning, ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing job: %v", err)
+	}
+}
+
+func TestChunkCheckpointsAndScores(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir())
+	defer s.Close()
+	if _, err := s.Submit("j", "", 3, testPairs(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetState("j", StateRunning, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddChunk("j", 0, []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong length, bad index, duplicate.
+	if err := s.AddChunk("j", 1, []int{4}); err == nil {
+		t.Fatal("short chunk accepted")
+	}
+	if err := s.AddChunk("j", 3, []int{1}); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+	if err := s.AddChunk("j", 0, []int{1, 2, 3}); !errors.Is(err, ErrDuplicateChunk) {
+		t.Fatalf("duplicate chunk: %v", err)
+	}
+	if err := s.AddChunk("j", 1, []int{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	j, _ := s.Get("j")
+	if _, err := j.Scores(); err == nil {
+		t.Fatal("Scores with a missing chunk succeeded")
+	}
+	if err := s.AddChunk("j", 2, []int{7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetState("j", StateDone, ""); err != nil {
+		t.Fatal(err)
+	}
+	j, _ = s.Get("j")
+	scores, err := j.Scores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4, 5, 6, 7}
+	for i := range want {
+		if scores[i] != want[i] {
+			t.Fatalf("scores = %v, want %v", scores, want)
+		}
+	}
+}
+
+func TestReplayRebuildsState(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	if _, err := s.Submit("a", "ka", 2, testPairs(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("b", "kb", 2, testPairs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetState("a", StateRunning, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddChunk("a", 0, []int{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetState("b", StateCancelled, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep := mustOpen(t, dir)
+	defer s2.Close()
+	if rep.Truncated || rep.Jobs != 2 || rep.Records != 5 {
+		t.Fatalf("replay report: %+v", rep)
+	}
+	a, ok := s2.Get("a")
+	if !ok || a.State != StateRunning || a.ChunksDone() != 1 || a.Chunks[0][0] != 5 {
+		t.Fatalf("replayed job a: %+v", a)
+	}
+	b, ok := s2.Get("b")
+	if !ok || b.State != StateCancelled {
+		t.Fatalf("replayed job b: %+v", b)
+	}
+	if _, ok := s2.ByKey("ka"); !ok {
+		t.Fatal("idempotency key lost in replay")
+	}
+	// Appends continue cleanly after replay.
+	if err := s2.AddChunk("a", 1, []int{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropGC(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	if _, err := s.Submit("j", "k", 2, testPairs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Drop("j"); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("drop of non-terminal job: %v", err)
+	}
+	if _, err := s.SetState("j", StateCancelled, ""); err != nil {
+		t.Fatal(err)
+	}
+	if prev, err := s.Drop("j"); err != nil || prev != StateCancelled {
+		t.Fatalf("drop: prev=%v err=%v", prev, err)
+	}
+	if _, ok := s.Get("j"); ok {
+		t.Fatal("dropped job still visible")
+	}
+	if _, ok := s.ByKey("k"); ok {
+		t.Fatal("dropped job's key still mapped")
+	}
+	s.Close()
+	s2, rep := mustOpen(t, dir)
+	defer s2.Close()
+	if rep.Jobs != 0 {
+		t.Fatalf("dropped job resurrected by replay: %+v", rep)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := s.Submit(fmt.Sprintf("j%d", i), "", 4, testPairs(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("no rotation happened: segments %v", segs)
+	}
+	s2, rep := mustOpen(t, dir)
+	defer s2.Close()
+	if rep.Jobs != 8 || rep.Segments != len(segs) || rep.Truncated {
+		t.Fatalf("multi-segment replay: %+v", rep)
+	}
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(fmt.Sprintf("j%d", i), "", 4, testPairs(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// Tear the final record mid-line, as a crash mid-append would.
+	seg := filepath.Join(dir, segmentName(1))
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rep := mustOpen(t, dir)
+	if !rep.Truncated || rep.Records != 2 || rep.Jobs != 2 || rep.TruncatedBytes == 0 {
+		t.Fatalf("torn-tail replay: %+v", rep)
+	}
+	if !strings.Contains(rep.Corrupt, "torn record") {
+		t.Fatalf("report reason: %q", rep.Corrupt)
+	}
+	// The torn job is gone; the survivors are intact and appendable.
+	if _, ok := s2.Get("j2"); ok {
+		t.Fatal("torn job j2 survived")
+	}
+	if _, err := s2.Submit("j3", "", 4, testPairs(4)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	// A third open sees a clean log: truncation repaired the file on disk.
+	s3, rep3 := mustOpen(t, dir)
+	defer s3.Close()
+	if rep3.Truncated || rep3.Jobs != 3 {
+		t.Fatalf("post-repair replay: %+v", rep3)
+	}
+}
+
+func TestMidLogCorruptionStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Options{Dir: dir, SegmentBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := s.Submit(fmt.Sprintf("j%d", i), "", 4, testPairs(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Skipf("expected ≥3 segments, got %d", len(segs))
+	}
+	// Flip a payload byte in the middle segment: replay must recover only
+	// the records before it and drop the later segments entirely.
+	mid := filepath.Join(dir, segs[1])
+	raw, _ := os.ReadFile(mid)
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(mid, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, rep := mustOpen(t, dir)
+	defer s2.Close()
+	if !rep.Truncated {
+		t.Fatalf("corruption not reported: %+v", rep)
+	}
+	if rep.Jobs >= 6 {
+		t.Fatalf("corrupt replay kept all jobs: %+v", rep)
+	}
+	left, _ := listSegments(dir)
+	for _, seg := range left[1:] {
+		if seg > segs[1] {
+			t.Fatalf("post-corruption segment %s survived", seg)
+		}
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncAlways, SyncInterval, SyncNever} {
+		t.Run(pol.String(), func(t *testing.T) {
+			s, _, err := Open(Options{Dir: t.TempDir(), Sync: pol, SyncEvery: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Submit("j", "", 1, testPairs(1)); err != nil {
+				t.Fatal(err)
+			}
+			if pol == SyncInterval {
+				time.Sleep(5 * time.Millisecond) // let the ticker fire once
+			}
+			if err := s.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if _, err := ParseSyncPolicy("interval"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSyncPolicy("nope"); err == nil {
+		t.Fatal("bad sync policy accepted")
+	}
+}
+
+func TestStateJSONRoundTrip(t *testing.T) {
+	for st := StateQueued; st < numStates; st++ {
+		b, err := st.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back State
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != st {
+			t.Fatalf("state %v round-tripped to %v", st, back)
+		}
+	}
+	var s State
+	if err := s.UnmarshalJSON([]byte(`"bogus"`)); err == nil {
+		t.Fatal("bogus state accepted")
+	}
+	if err := s.UnmarshalJSON([]byte(`7`)); err == nil {
+		t.Fatal("numeric state accepted")
+	}
+}
+
+func TestStateCountsAndList(t *testing.T) {
+	s, _ := mustOpen(t, t.TempDir())
+	defer s.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit(fmt.Sprintf("j%d", i), "", 1, testPairs(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.SetState("j1", StateRunning, ""); err != nil {
+		t.Fatal(err)
+	}
+	counts := s.StateCounts()
+	if counts[StateQueued] != 2 || counts[StateRunning] != 1 {
+		t.Fatalf("state counts: %v", counts)
+	}
+	list := s.List()
+	if len(list) != 3 || list[0].ID != "j0" || list[2].ID != "j2" {
+		t.Fatalf("list order: %v", list)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

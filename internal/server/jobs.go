@@ -1,0 +1,193 @@
+// Async job endpoints: the durable counterpart of POST /align. A batch
+// submitted to POST /jobs is persisted to the WAL-backed job store before
+// the 202 goes out, executed chunk by chunk in the background, and survives
+// crashes and restarts — clients poll GET /jobs/{id} and fetch scores from
+// GET /jobs/{id}/result when the job reaches "done". The endpoints are
+// mounted only when Config.Jobs is set.
+
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dna"
+	"repro/internal/jobs"
+)
+
+// Job-specific error codes (alongside the Code* constants in server.go).
+const (
+	CodeNotFound     = "not_found"      // unknown job ID
+	CodeNotReady     = "not_ready"      // result requested before the job finished
+	CodeJobFailed    = "job_failed"     // result requested for a failed job
+	CodeJobCancelled = "job_cancelled"  // result requested for a cancelled job
+	CodeConflict     = "state_conflict" // operation illegal in the job's current state
+)
+
+// JobSubmitRequest is the POST /jobs body. Either Pairs or Preset must be
+// set (same shapes and caps as /align). IdempotencyKey deduplicates
+// re-sent submissions; the Idempotency-Key header takes precedence when
+// both are present.
+type JobSubmitRequest struct {
+	Pairs          []PairJSON `json:"pairs,omitempty"`
+	Preset         string     `json:"preset,omitempty"`
+	N              int        `json:"n,omitempty"`
+	IdempotencyKey string     `json:"idempotency_key,omitempty"`
+}
+
+// JobResultResponse is the GET /jobs/{id}/result success body.
+type JobResultResponse struct {
+	Job    jobs.Snapshot `json:"job"`
+	Scores []int         `json:"scores"`
+}
+
+// handleJobs serves POST /jobs: validate, persist, enqueue, answer 202 with
+// the job snapshot (or 200 when an idempotency key matched an existing
+// job — the Location header points at it either way).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeBadRequest, "POST only")
+		return
+	}
+	if s.Draining() {
+		s.drainRefusals.Add(1)
+		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	pairs, key, status, code, err := s.parseJobRequest(w, r)
+	if err != nil {
+		s.rejected.Add(1)
+		s.writeError(w, r, status, code, err.Error())
+		return
+	}
+	snap, created, err := s.cfg.Jobs.Submit(pairs, key)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		s.shed.Add(1)
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		s.writeError(w, r, http.StatusTooManyRequests, CodeShed, err.Error())
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		s.drainRefusals.Add(1)
+		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	case err != nil:
+		s.writeError(w, r, http.StatusInternalServerError, CodeInternal, err.Error())
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+snap.ID)
+	if created {
+		writeJSON(w, http.StatusAccepted, snap)
+	} else {
+		writeJSON(w, http.StatusOK, snap) // idempotency-key dedup hit
+	}
+}
+
+// handleJob serves the per-job routes: GET /jobs/{id}, GET
+// /jobs/{id}/result and DELETE /jobs/{id} (cancel).
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" || (sub != "" && sub != "result") {
+		s.writeError(w, r, http.StatusNotFound, CodeNotFound, "no such route")
+		return
+	}
+	switch {
+	case sub == "result" && r.Method == http.MethodGet:
+		s.handleJobResult(w, r, id)
+	case sub == "" && r.Method == http.MethodGet:
+		snap, err := s.cfg.Jobs.Get(id)
+		if err != nil {
+			s.writeJobError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	case sub == "" && r.Method == http.MethodDelete:
+		snap, err := s.cfg.Jobs.Cancel(id)
+		if err != nil {
+			s.writeJobError(w, r, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeBadRequest, "GET or DELETE only")
+	}
+}
+
+// handleJobResult answers with the assembled scores of a done job, or a
+// typed error explaining why there are none (yet, or ever).
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request, id string) {
+	scores, snap, err := s.cfg.Jobs.Result(id)
+	if err != nil {
+		s.writeJobError(w, r, err)
+		return
+	}
+	if scores == nil {
+		// Terminal without a result: failed or cancelled.
+		if snap.Error != "" {
+			s.writeError(w, r, http.StatusConflict, CodeJobFailed,
+				fmt.Sprintf("job %s failed: %s", id, snap.Error))
+		} else {
+			s.writeError(w, r, http.StatusConflict, CodeJobCancelled,
+				fmt.Sprintf("job %s was cancelled", id))
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, JobResultResponse{Job: snap, Scores: scores})
+}
+
+// writeJobError maps manager errors onto HTTP statuses + typed codes.
+func (s *Server) writeJobError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		s.writeError(w, r, http.StatusNotFound, CodeNotFound, err.Error())
+	case errors.Is(err, jobs.ErrNotReady):
+		s.writeError(w, r, http.StatusConflict, CodeNotReady, err.Error())
+	default:
+		s.writeError(w, r, http.StatusInternalServerError, CodeInternal, err.Error())
+	}
+}
+
+// parseJobRequest decodes and bounds the POST /jobs body, reusing the
+// /align pair and preset validation so both entry points enforce identical
+// caps.
+func (s *Server) parseJobRequest(w http.ResponseWriter, r *http.Request) (pairs []dna.Pair, key string, status int, code string, err error) {
+	var req JobSubmitRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, "", http.StatusRequestEntityTooLarge, CodeTooLarge,
+				fmt.Errorf("body exceeds %d bytes", s.cfg.MaxBodyBytes)
+		}
+		return nil, "", http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad JSON: %w", err)
+	}
+	key = req.IdempotencyKey
+	if h := r.Header.Get("Idempotency-Key"); h != "" {
+		key = h
+	}
+	switch {
+	case len(req.Pairs) > 0 && req.Preset != "":
+		return nil, "", http.StatusBadRequest, CodeBadRequest,
+			errors.New("pairs and preset are mutually exclusive")
+	case req.Preset != "":
+		pairs, status, code, err = s.presetPairs(AlignRequest{Preset: req.Preset, N: req.N})
+	case len(req.Pairs) > 0:
+		pairs, status, code, err = s.parsePairs(req.Pairs)
+	default:
+		return nil, "", http.StatusBadRequest, CodeBadRequest,
+			errors.New("request needs pairs or preset")
+	}
+	if err != nil {
+		return nil, "", status, code, err
+	}
+	return pairs, key, 0, "", nil
+}

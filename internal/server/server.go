@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/alignsvc"
 	"repro/internal/dna"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/workload"
 )
@@ -64,6 +65,16 @@ type Config struct {
 	// TraceRingSize bounds how many completed request traces /tracez
 	// retains (default 64).
 	TraceRingSize int
+	// TraceRing, when set, replaces the ring the server would create —
+	// point the job manager's Config.Traces at the same ring so one /tracez
+	// covers requests and background job runs alike.
+	TraceRing *obs.TraceRing
+	// Jobs, when set, mounts the async job API: POST /jobs (202 + job id,
+	// Idempotency-Key honoured), GET /jobs/{id}, GET /jobs/{id}/result and
+	// DELETE /jobs/{id}. BeginDrain/Drain then also checkpoint-and-requeue
+	// in-flight jobs. The server does not own the manager: callers Close it
+	// (after Drain) themselves.
+	Jobs *jobs.Manager
 }
 
 func (c Config) withDefaults() Config {
@@ -159,10 +170,12 @@ type ServerStats struct {
 }
 
 // StatszResponse is the /statsz body: admission counters plus the service's
-// own counters (including circuit-breaker states).
+// own counters (including circuit-breaker states), plus the job manager's
+// counters when the async job API is mounted.
 type StatszResponse struct {
 	Server  ServerStats    `json:"server"`
 	Service alignsvc.Stats `json:"service"`
+	Jobs    *jobs.Stats    `json:"jobs,omitempty"`
 }
 
 // Server is the HTTP alignment server. Create with New, expose Handler()
@@ -189,12 +202,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Service == nil {
 		return nil, errors.New("server: Config.Service is required")
 	}
+	traces := cfg.TraceRing
+	if traces == nil {
+		traces = obs.NewTraceRing(cfg.TraceRingSize)
+	}
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		obs:      cfg.Metrics,
-		traces:   obs.NewTraceRing(cfg.TraceRingSize),
+		traces:   traces,
 		draining: make(chan struct{}),
 	}
 	var once atomic.Bool
@@ -209,6 +226,10 @@ func New(cfg Config) (*Server, error) {
 	s.obs.Help("server_inflight", "Align requests executing right now.")
 	s.obs.Help("server_queued", "Align requests waiting for an execution slot.")
 	s.mux.Handle("/align", s.instrument("align", s.handleAlign))
+	if cfg.Jobs != nil {
+		s.mux.Handle("/jobs", s.instrument("jobs", s.handleJobs))
+		s.mux.Handle("/jobs/", s.instrument("jobs_id", s.handleJob))
+	}
 	s.mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("/readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.Handle("/statsz", s.instrument("statsz", s.handleStatsz))
@@ -256,10 +277,17 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 // Handler returns the route mux.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// BeginDrain flips /readyz to 503 and makes new /align requests fail fast
-// with 503 "draining"; in-flight requests keep running. Safe to call more
+// BeginDrain flips /readyz to 503 and makes new /align and /jobs requests
+// fail fast with 503 "draining"; in-flight requests keep running, and job
+// runners stop at their next chunk boundary, checkpointing and requeueing
+// their jobs (the WAL resumes them on the next start). Safe to call more
 // than once.
-func (s *Server) BeginDrain() { s.drainOnce() }
+func (s *Server) BeginDrain() {
+	s.drainOnce()
+	if s.cfg.Jobs != nil {
+		s.cfg.Jobs.BeginDrain()
+	}
+}
 
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool {
@@ -271,15 +299,16 @@ func (s *Server) Draining() bool {
 	}
 }
 
-// Drain blocks until every in-flight align request has finished or ctx
-// expires (the grace period). It implies BeginDrain.
+// Drain blocks until every in-flight align request has finished and every
+// job runner has checkpointed and parked its job, or ctx expires (the
+// grace period). It implies BeginDrain.
 func (s *Server) Drain(ctx context.Context) error {
 	s.BeginDrain()
 	t := time.NewTicker(2 * time.Millisecond)
 	defer t.Stop()
 	for {
 		if s.inflight.Load() == 0 && s.queued.Load() == 0 {
-			return nil
+			break
 		}
 		select {
 		case <-ctx.Done():
@@ -288,6 +317,10 @@ func (s *Server) Drain(ctx context.Context) error {
 		case <-t.C:
 		}
 	}
+	if s.cfg.Jobs != nil {
+		return s.cfg.Jobs.Drain(ctx)
+	}
+	return nil
 }
 
 // Stats snapshots the admission counters.
@@ -321,10 +354,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatszResponse{
+	resp := StatszResponse{
 		Server:  s.Stats(),
 		Service: s.cfg.Service.Stats(),
-	})
+	}
+	if s.cfg.Jobs != nil {
+		js := s.cfg.Jobs.Stats()
+		resp.Jobs = &js
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetricsz renders the obs registry as Prometheus text (exposition
