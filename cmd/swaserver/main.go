@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/aligncache"
 	"repro/internal/alignsvc"
 	"repro/internal/cli"
 	"repro/internal/cudasim"
@@ -58,6 +59,9 @@ func main() {
 	maxBackoff := flag.Duration("max-backoff", 50*time.Millisecond, "retry backoff cap")
 	breakerFailures := flag.Int("breaker-failures", 5, "consecutive tier failures tripping the circuit breaker (<0 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "open-breaker cooldown before the half-open probe")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "score-cache size bound in bytes (0 disables the cache)")
+	cacheTTL := flag.Duration("cache-ttl", 10*time.Minute, "score-cache entry lifetime (0 = no expiry)")
+	cacheShards := flag.Int("cache-shards", 16, "score-cache shard count")
 
 	inflight := flag.Int("inflight", 0, "max align requests executing concurrently (0 = 2×GOMAXPROCS)")
 	queued := flag.Int("queued", 0, "max align requests waiting for a slot before 429 (0 = inflight)")
@@ -108,7 +112,22 @@ func main() {
 		}
 	}
 
+	// The content-addressed score cache: identical (pattern, text, scoring,
+	// lanes) pairs across requests and job chunks compute once. -cache-bytes=0
+	// turns it off, leaving the serving path byte-identical to the uncached
+	// build.
+	cache := aligncache.New(aligncache.Config{
+		MaxBytes: *cacheBytes,
+		TTL:      *cacheTTL,
+		Shards:   *cacheShards,
+	})
+	if cache.Enabled() {
+		log.Printf("swaserver: score cache enabled: %d MiB, ttl %v, %d shards",
+			*cacheBytes>>20, *cacheTTL, *cacheShards)
+	}
+
 	svc := alignsvc.New(alignsvc.Config{
+		Cache:           cache,
 		Lanes:           *lanes,
 		Workers:         *workers,
 		Queue:           *queue,

@@ -76,26 +76,30 @@ type attemptJSON struct {
 }
 
 type reportJSON struct {
-	Tier      Tier            `json:"tier"`
-	Attempts  []attemptJSON   `json:"attempts"`
-	Retries   int             `json:"retries"`
-	Fallbacks int             `json:"fallbacks"`
-	Skips     []Tier          `json:"skips,omitempty"`
-	Faults    faultCountsJSON `json:"faults"`
-	Validated int             `json:"validated"`
-	ElapsedMS float64         `json:"elapsed_ms"`
+	Tier           Tier            `json:"tier"`
+	Attempts       []attemptJSON   `json:"attempts"`
+	Retries        int             `json:"retries"`
+	Fallbacks      int             `json:"fallbacks"`
+	Skips          []Tier          `json:"skips,omitempty"`
+	Faults         faultCountsJSON `json:"faults"`
+	Validated      int             `json:"validated"`
+	ElapsedMS      float64         `json:"elapsed_ms"`
+	CacheHits      int             `json:"cache_hits,omitempty"`
+	CacheCoalesced int             `json:"cache_coalesced,omitempty"`
 }
 
 // MarshalJSON implements the stable wire format described above.
 func (r Report) MarshalJSON() ([]byte, error) {
 	out := reportJSON{
-		Tier:      r.Tier,
-		Retries:   r.Retries,
-		Fallbacks: r.Fallbacks,
-		Skips:     r.Skips,
-		Faults:    toFaultsJSON(r.Faults),
-		Validated: r.Validated,
-		ElapsedMS: float64(r.Elapsed) / float64(time.Millisecond),
+		Tier:           r.Tier,
+		Retries:        r.Retries,
+		Fallbacks:      r.Fallbacks,
+		Skips:          r.Skips,
+		Faults:         toFaultsJSON(r.Faults),
+		Validated:      r.Validated,
+		ElapsedMS:      float64(r.Elapsed) / float64(time.Millisecond),
+		CacheHits:      r.CacheHits,
+		CacheCoalesced: r.CacheCoalesced,
 	}
 	for _, a := range r.Attempts {
 		out.Attempts = append(out.Attempts, attemptJSON{
@@ -114,13 +118,15 @@ func (r *Report) UnmarshalJSON(b []byte) error {
 		return err
 	}
 	*r = Report{
-		Tier:      in.Tier,
-		Retries:   in.Retries,
-		Fallbacks: in.Fallbacks,
-		Skips:     in.Skips,
-		Faults:    in.Faults.counts(),
-		Validated: in.Validated,
-		Elapsed:   time.Duration(in.ElapsedMS * float64(time.Millisecond)),
+		Tier:           in.Tier,
+		Retries:        in.Retries,
+		Fallbacks:      in.Fallbacks,
+		Skips:          in.Skips,
+		Faults:         in.Faults.counts(),
+		Validated:      in.Validated,
+		Elapsed:        time.Duration(in.ElapsedMS * float64(time.Millisecond)),
+		CacheHits:      in.CacheHits,
+		CacheCoalesced: in.CacheCoalesced,
 	}
 	for _, a := range in.Attempts {
 		r.Attempts = append(r.Attempts, Attempt{

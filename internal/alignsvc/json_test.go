@@ -18,12 +18,14 @@ func TestReportJSONRoundTrip(t *testing.T) {
 			{Tier: TierBitwise, Err: "validation", ValidationFailed: true},
 			{Tier: TierWordwise},
 		},
-		Retries:   1,
-		Fallbacks: 1,
-		Skips:     []Tier{TierBitwise},
-		Faults:    cudasim.FaultCounts{HtoD: 1, BitFlips: 2},
-		Validated: 7,
-		Elapsed:   1500 * time.Microsecond,
+		Retries:        1,
+		Fallbacks:      1,
+		Skips:          []Tier{TierBitwise},
+		Faults:         cudasim.FaultCounts{HtoD: 1, BitFlips: 2},
+		Validated:      7,
+		Elapsed:        1500 * time.Microsecond,
+		CacheHits:      9,
+		CacheCoalesced: 3,
 	}
 	b, err := json.Marshal(in)
 	if err != nil {
@@ -32,6 +34,7 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	for _, want := range []string{
 		`"tier":"wordwise"`, `"elapsed_ms":1.5`, `"bit_flips":2`,
 		`"skips":["bitwise"]`, `"validation_failed":true`,
+		`"cache_hits":9`, `"cache_coalesced":3`,
 	} {
 		if !strings.Contains(string(b), want) {
 			t.Fatalf("marshalled report missing %s:\n%s", want, b)

@@ -57,6 +57,11 @@ type Attempt struct {
 
 // Report is the per-batch account of what the service did: every attempt,
 // the tier that finally produced the scores, and the fault/retry tallies.
+//
+// With the score cache enabled, CacheHits pairs were served from stored
+// scores and CacheCoalesced pairs piggybacked on another batch's in-flight
+// computation; neither group touched the ladder. When every pair was served
+// from the cache, Attempts is empty and Tier carries no information.
 type Report struct {
 	Tier      Tier // tier whose scores were returned
 	Attempts  []Attempt
@@ -66,6 +71,9 @@ type Report struct {
 	Faults    cudasim.FaultCounts
 	Validated int           // pairs re-scored on the CPU for validation
 	Elapsed   time.Duration // wall time from dequeue to scores
+
+	CacheHits      int // pairs served from the score cache
+	CacheCoalesced int // pairs that waited on another batch's computation
 }
 
 // String renders a one-line summary, e.g.
@@ -81,6 +89,9 @@ func (r Report) String() string {
 		}
 		runs = append(runs, fmt.Sprintf("%s×%d", r.Attempts[i].Tier, j-i))
 		i = j
+	}
+	if r.CacheHits > 0 || r.CacheCoalesced > 0 {
+		runs = append([]string{fmt.Sprintf("cache×%d", r.CacheHits+r.CacheCoalesced)}, runs...)
 	}
 	b.WriteString(strings.Join(runs, " → "))
 	fmt.Fprintf(&b, " ok=%s (%d retries, %d fallbacks, %d faults)",

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/aligncache"
 	"repro/internal/cudasim"
 	"repro/internal/dna"
 	"repro/internal/obs"
@@ -92,6 +93,13 @@ type Config struct {
 	// histograms plus retry/fallback/breaker counters (nil = obs.Default()).
 	// It is also handed to the pipelines unless Pipeline.Metrics is set.
 	Metrics *obs.Registry
+	// Cache, when non-nil, memoizes per-pair scores by content hash
+	// (pattern bytes, text bytes, scoring, lane width). Cache hits bypass
+	// the worker pool, the circuit breakers and the retry ladder entirely;
+	// a partially cached batch dispatches only its uncached remainder, and
+	// concurrent identical pairs coalesce onto one computation. nil (the
+	// default) keeps the service byte-identical to the uncached behaviour.
+	Cache *aligncache.Cache
 
 	// sleep replaces the backoff sleep in tests.
 	sleep func(context.Context, time.Duration) error
@@ -263,7 +271,21 @@ func (s *Service) worker() {
 // stage: submission, retry backoff, kernel-block boundaries, and the CPU
 // fallback loop. On success the scores are exact; the report says how many
 // attempts, fallbacks and injected faults it took to get them.
+//
+// With Config.Cache set, pairs whose scores are already cached are served
+// without touching the worker pool, breakers or retry ladder; only the
+// uncached remainder is dispatched (see alignCached). Scores are exact
+// either way — a cache hit is byte-identical to a recompute by key
+// construction.
 func (s *Service) Align(ctx context.Context, pairs []dna.Pair) (*BatchResult, error) {
+	if s.cfg.Cache.Enabled() {
+		return s.alignCached(ctx, pairs)
+	}
+	return s.dispatch(ctx, pairs)
+}
+
+// dispatch is the uncached path: enqueue the batch for a worker and wait.
+func (s *Service) dispatch(ctx context.Context, pairs []dna.Pair) (*BatchResult, error) {
 	j := &job{ctx: ctx, pairs: pairs, seq: s.batchSeq.Add(1),
 		submitted: time.Now(), res: make(chan jobResult, 1)}
 	select {

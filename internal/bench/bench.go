@@ -6,6 +6,28 @@
 // paper's headline metric. swabench -bench-out writes the file; CI's
 // bench-smoke job validates it and archives it as an artifact so regressions
 // show up as a diffable JSON change.
+//
+// # Simulated time vs wall time
+//
+// Every run carries two very different clocks, and they must not be
+// compared to each other:
+//
+//   - sim_total_ns (and the stages_sim breakdown) is what the cost model says
+//     the paper's GPU would take: kernel instruction counts and PCIe byte
+//     counts priced by perfmodel for the modelled device. It is
+//     host-independent and typically hundreds of microseconds. gcups is
+//     derived from this clock, so it is comparable to the paper's Table IV.
+//   - wall_ns is how long this host needed to execute the simulation of that
+//     run — Go code emulating every thread of every block — and is typically
+//     three orders of magnitude larger (hundreds of milliseconds). It depends
+//     on the host CPU, GOMAXPROCS and load; wall_gcups is the honest
+//     throughput of the simulator process itself, and is correspondingly
+//     small.
+//
+// A change that makes the simulator faster moves wall_ns/wall_gcups and
+// leaves sim_total_ns/gcups untouched; a change to the modelled kernels or
+// cost model moves the simulated numbers. CI's bench-smoke job validates
+// both are present and sane but never cross-compares them.
 package bench
 
 import (
@@ -16,6 +38,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -43,7 +66,8 @@ type StageNS struct {
 	G2H int64 `json:"g2h_ns"`
 }
 
-// Run is one (pairs, m, n) shape of the sweep.
+// Run is one (pairs, m, n) shape of the sweep. See the package comment for
+// the sim-clock vs wall-clock distinction its fields straddle.
 type Run struct {
 	Pairs int `json:"pairs"`
 	M     int `json:"m"`
@@ -51,10 +75,18 @@ type Run struct {
 	Lanes int `json:"lanes"`
 	SBits int `json:"s_bits"`
 
+	// Stages and SimTotalNS are modelled-GPU time (host-independent).
 	Stages     StageNS `json:"stages_sim"`
 	SimTotalNS int64   `json:"sim_total_ns"`
-	WallNS     int64   `json:"wall_ns"`
-	GCUPS      float64 `json:"gcups"`
+	// WallNS is the host's cost of executing the simulation of this run —
+	// expect it to be ~1000× SimTotalNS; that gap is the price of emulating
+	// every thread in Go, not a performance bug.
+	WallNS int64 `json:"wall_ns"`
+	// GCUPS is cell updates per second on the simulated clock (comparable
+	// to the paper); WallGCUPS is the same cell count over WallNS — the
+	// honest throughput of the simulator process on this host.
+	GCUPS     float64 `json:"gcups"`
+	WallGCUPS float64 `json:"wall_gcups"`
 }
 
 // File is the full document.
@@ -93,6 +125,7 @@ func Collect(ctx context.Context, spec workload.Spec, cfg pipeline.Config) (*Fil
 		if err != nil {
 			return nil, fmt.Errorf("bench: n = %d: %w", n, err)
 		}
+		wall := time.Since(begin)
 		f.Runs = append(f.Runs, Run{
 			Pairs: res.Pairs, M: res.M, N: res.N,
 			Lanes: res.Lanes, SBits: res.SBits,
@@ -104,8 +137,9 @@ func Collect(ctx context.Context, spec workload.Spec, cfg pipeline.Config) (*Fil
 				G2H: res.Times.G2H.Nanoseconds(),
 			},
 			SimTotalNS: res.Times.Total().Nanoseconds(),
-			WallNS:     time.Since(begin).Nanoseconds(),
+			WallNS:     wall.Nanoseconds(),
 			GCUPS:      res.GCUPS(),
+			WallGCUPS:  perfmodel.GCUPS(res.Pairs, res.M, res.N, wall),
 		})
 	}
 	return f, nil
@@ -132,6 +166,9 @@ func (f *File) Validate() error {
 		}
 		if r.SimTotalNS <= 0 {
 			return fmt.Errorf("bench: run %d (m=%d, n=%d) has zero simulated time", i, r.M, r.N)
+		}
+		if r.WallNS > 0 && r.WallGCUPS <= 0 {
+			return fmt.Errorf("bench: run %d (m=%d, n=%d) has wall time but WallGCUPS %v, want > 0", i, r.M, r.N, r.WallGCUPS)
 		}
 		sum := r.Stages.H2G + r.Stages.W2B + r.Stages.SWA + r.Stages.B2W + r.Stages.G2H
 		if sum != r.SimTotalNS {

@@ -33,6 +33,13 @@ func TestCollectValidates(t *testing.T) {
 		if r.WallNS <= 0 {
 			t.Errorf("n=%d: wall time not recorded", r.N)
 		}
+		if r.WallGCUPS <= 0 {
+			t.Errorf("n=%d: wall GCUPS not recorded", r.N)
+		}
+		if r.WallGCUPS >= r.GCUPS {
+			t.Errorf("n=%d: wall GCUPS %v ≥ simulated GCUPS %v — the simulator cannot outrun the modelled GPU",
+				r.N, r.WallGCUPS, r.GCUPS)
+		}
 		if r.Stages.SWA <= 0 {
 			t.Errorf("n=%d: SWA stage time is zero", r.N)
 		}
@@ -70,6 +77,7 @@ func TestValidateRejects(t *testing.T) {
 		{"single run", func(f *File) { f.Runs = f.Runs[:1] }},
 		{"zero gcups", func(f *File) { f.Runs[0].GCUPS = 0 }},
 		{"zero sim time", func(f *File) { f.Runs[1].SimTotalNS = 0 }},
+		{"wall time without wall gcups", func(f *File) { f.Runs[0].WallGCUPS = 0 }},
 		{"stage sum mismatch", func(f *File) { f.Runs[0].Stages.SWA++ }},
 		{"one shape", func(f *File) {
 			f.Runs[1] = f.Runs[0]

@@ -1,0 +1,89 @@
+package bpbc
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/dna"
+)
+
+// TestScoreGroupZeroSteadyStateAllocs is the issue's allocation bar: once a
+// worker owns a groupState, scoring one lane group must not allocate at all —
+// the transpose views, column scratch and DP rows are all reused in place.
+// The direct call bypasses the sync.Pool so the result is deterministic (a GC
+// clearing the pool cannot fake an allocation).
+func TestScoreGroupZeroSteadyStateAllocs(t *testing.T) {
+	pairs := makePairs(32, 16, 32)
+	par, err := Options{}.params(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newGroupState[uint32](par, 32)
+	res := &Result{Scores: make([]int, len(pairs))}
+	var tm Timing
+
+	// One warm call initialises lazy package state (the cached bitmat plan).
+	if err := scoreOneGroupTimed(g, pairs, 0, 32, res, &tm); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := scoreOneGroupTimed(g, pairs, 0, 32, res, &tm); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("scoreOneGroupTimed allocates %.1f objects per group in steady state, want 0", allocs)
+	}
+}
+
+// TestBulkScoresAllocsIndependentOfGroups checks the pool actually feeds
+// BulkScores: per-call allocations are a small fixed overhead (the Result and
+// its score slice), not proportional to the number of lane groups. GC is
+// disabled during the measurement so a sweep cannot empty the sync.Pool and
+// masquerade as a regression — with the pool intact, an 8-group call must
+// allocate no more than a 1-group call.
+func TestBulkScoresAllocsIndependentOfGroups(t *testing.T) {
+	if raceEnabled {
+		// Under -race, sync.Pool deliberately drops and misses at random to
+		// widen race coverage, so pool-hit allocation counts are not
+		// meaningful. TestScoreGroupZeroSteadyStateAllocs still runs: it
+		// bypasses the pool and is deterministic either way.
+		t.Skip("sync.Pool behaviour is randomised under the race detector")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	opt := Options{Workers: 1}
+	measure := func(groups int) float64 {
+		pairs := makePairs(groups*32, 16, 32)
+		if _, err := BulkScores[uint32](pairs, opt); err != nil {
+			t.Fatal(err) // warm the pool and the cached plan
+		}
+		return testing.AllocsPerRun(20, func() {
+			if _, err := BulkScores[uint32](pairs, opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	one := measure(1)
+	eight := measure(8)
+	if eight > one {
+		t.Fatalf("BulkScores allocations grow with group count: %.1f for 1 group, %.1f for 8; per-group state is not being reused", one, eight)
+	}
+	t.Logf("allocs/call: 1 group %.1f, 8 groups %.1f", one, eight)
+}
+
+func makePairs(count, m, n int) []dna.Pair {
+	pairs := make([]dna.Pair, count)
+	for i := range pairs {
+		x := make(dna.Seq, m)
+		y := make(dna.Seq, n)
+		for j := range x {
+			x[j] = dna.Base((i + j) % 4)
+		}
+		for j := range y {
+			y[j] = dna.Base((i*3 + j*7) % 4)
+		}
+		pairs[i] = dna.Pair{X: x, Y: y}
+	}
+	return pairs
+}

@@ -13,6 +13,7 @@ package bpbc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/bitmat"
@@ -124,25 +125,69 @@ func checkUniform(pairs []dna.Pair) (m, n int, err error) {
 }
 
 // groupState is the per-group working memory, reused across groups by one
-// worker.
+// worker and recycled across whole BulkScores calls through a sync.Pool, so
+// the steady-state hot path performs no per-group allocation at all.
 type groupState[W word.Word] struct {
 	par     bitslice.Params
+	n       int
 	prev    []W // (n+1)*s planes: row i-1
 	cur     []W // (n+1)*s planes: row i
 	best    bitslice.Num[W]
 	scratch *bitslice.Scratch[W]
 	unt     []W // lanes words for B2W
+
+	// Transpose working set, reused across groups: the lane slice headers,
+	// the W2B column scratch and the two transposed views themselves.
+	xsSeqs, ysSeqs []dna.Seq
+	col            []W
+	xs, ys         dna.Transposed[W]
 }
 
 func newGroupState[W word.Word](par bitslice.Params, n int) *groupState[W] {
+	lanes := word.Lanes[W]()
 	return &groupState[W]{
 		par:     par,
+		n:       n,
 		prev:    make([]W, (n+1)*par.S),
 		cur:     make([]W, (n+1)*par.S),
 		best:    bitslice.NewNum[W](par.S),
 		scratch: bitslice.NewScratch[W](par.S),
-		unt:     make([]W, word.Lanes[W]()),
+		unt:     make([]W, lanes),
+		xsSeqs:  make([]dna.Seq, 0, lanes),
+		ysSeqs:  make([]dna.Seq, 0, lanes),
+		col:     make([]W, lanes),
 	}
+}
+
+// statePool32/64 recycle groupStates across BulkScores calls. Two pools keyed
+// by lane width keep the stored type homogeneous per pool; a state whose
+// (params, n) shape doesn't match the current run is simply dropped for the
+// GC, so reuse is an optimisation, never a correctness dependency.
+var statePool32, statePool64 sync.Pool
+
+func statePool[W word.Word]() *sync.Pool {
+	if word.Lanes[W]() == 64 {
+		return &statePool64
+	}
+	return &statePool32
+}
+
+func getGroupState[W word.Word](par bitslice.Params, n int) *groupState[W] {
+	if v := statePool[W]().Get(); v != nil {
+		if g, ok := v.(*groupState[W]); ok && g.par == par && g.n == n {
+			return g
+		}
+	}
+	return newGroupState[W](par, n)
+}
+
+func putGroupState[W word.Word](g *groupState[W]) {
+	// Drop the sequence references so a pooled state does not pin the last
+	// batch's data between runs.
+	clear(g.xsSeqs[:cap(g.xsSeqs)])
+	clear(g.ysSeqs[:cap(g.ysSeqs)])
+	g.xsSeqs, g.ysSeqs = g.xsSeqs[:0], g.ysSeqs[:0]
+	statePool[W]().Put(g)
 }
 
 func (g *groupState[W]) reset() {
@@ -234,7 +279,8 @@ func BulkScores[W word.Word](pairs []dna.Pair, opt Options) (*Result, error) {
 	}
 
 	if workers == 1 {
-		g := newGroupState[W](par, n)
+		g := getGroupState[W](par, n)
+		defer putGroupState(g)
 		for gi := 0; gi < groups; gi++ {
 			if err := scoreOneGroup(g, pairs, gi, lanes, res); err != nil {
 				return res, err
@@ -250,7 +296,8 @@ func BulkScores[W word.Word](pairs []dna.Pair, opt Options) (*Result, error) {
 	timings := make(chan Timing, workers)
 	for w := 0; w < workers; w++ {
 		go func() {
-			g := newGroupState[W](par, n)
+			g := getGroupState[W](par, n)
+			defer putGroupState(g)
 			var local Timing
 			for gi := range work {
 				if err := scoreOneGroupTimed(g, pairs, gi, lanes, res, &local); err != nil {
@@ -295,24 +342,21 @@ func scoreOneGroupTimed[W word.Word](g *groupState[W], pairs []dna.Pair, gi, lan
 	}
 	lo := gi * lanes
 	hi := min(lo+lanes, len(pairs))
-	xsSeqs := make([]dna.Seq, hi-lo)
-	ysSeqs := make([]dna.Seq, hi-lo)
+	g.xsSeqs, g.ysSeqs = g.xsSeqs[:0], g.ysSeqs[:0]
 	for i := lo; i < hi; i++ {
-		xsSeqs[i-lo] = pairs[i].X
-		ysSeqs[i-lo] = pairs[i].Y
+		g.xsSeqs = append(g.xsSeqs, pairs[i].X)
+		g.ysSeqs = append(g.ysSeqs, pairs[i].Y)
 	}
 
 	t0 := time.Now()
-	xs, err := dna.TransposeGroup[W](xsSeqs)
-	if err != nil {
+	if err := dna.TransposeGroupInto(&g.xs, g.col, g.xsSeqs); err != nil {
 		return err
 	}
-	ys, err := dna.TransposeGroup[W](ysSeqs)
-	if err != nil {
+	if err := dna.TransposeGroupInto(&g.ys, g.col, g.ysSeqs); err != nil {
 		return err
 	}
 	t1 := time.Now()
-	runGroup(g, xs, ys)
+	runGroup(g, &g.xs, &g.ys)
 	t2 := time.Now()
 	extractScores(g, hi-lo, res.Scores[lo:hi])
 	t3 := time.Now()

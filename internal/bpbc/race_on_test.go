@@ -1,0 +1,6 @@
+//go:build race
+
+package bpbc
+
+// raceEnabled reports whether this test binary was built with -race.
+const raceEnabled = true

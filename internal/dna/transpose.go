@@ -36,19 +36,37 @@ func (t *Transposed[W]) Lane(k int) Seq {
 // w×w bit-matrix transpose per character column (127 operations for 32
 // lanes, per Table I). Missing lanes are padded with all-A (zero) sequences.
 func TransposeGroup[W word.Word](seqs []Seq) (*Transposed[W], error) {
+	t := &Transposed[W]{}
+	if err := TransposeGroupInto(t, make([]W, word.Lanes[W]()), seqs); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// TransposeGroupInto is TransposeGroup writing into caller-owned storage, for
+// hot paths that transpose one group after another: t's planes are resliced
+// in place when their capacity suffices (no allocation in the steady state),
+// and col is the lanes-word column scratch, reused across calls. col must
+// hold at least W words.
+func TransposeGroupInto[W word.Word](t *Transposed[W], col []W, seqs []Seq) error {
 	lanes := word.Lanes[W]()
 	if len(seqs) == 0 || len(seqs) > lanes {
-		return nil, fmt.Errorf("dna: TransposeGroup needs 1..%d sequences, got %d", lanes, len(seqs))
+		return fmt.Errorf("dna: TransposeGroup needs 1..%d sequences, got %d", lanes, len(seqs))
 	}
+	if len(col) < lanes {
+		return fmt.Errorf("dna: TransposeGroupInto needs %d scratch words, got %d", lanes, len(col))
+	}
+	col = col[:lanes]
 	n := len(seqs[0])
 	for i, s := range seqs {
 		if len(s) != n {
-			return nil, fmt.Errorf("dna: TransposeGroup: sequence %d has length %d, want %d", i, len(s), n)
+			return fmt.Errorf("dna: TransposeGroup: sequence %d has length %d, want %d", i, len(s), n)
 		}
 	}
-	t := &Transposed[W]{H: make([]W, n), L: make([]W, n), Count: len(seqs)}
+	t.H = growWords(t.H, n)
+	t.L = growWords(t.L, n)
+	t.Count = len(seqs)
 	plan := bitmat.CachedPlan(lanes, 2, bitmat.ValuesToPlanes)
-	col := make([]W, lanes)
 	for i := 0; i < n; i++ {
 		for k := range col {
 			col[k] = 0
@@ -60,7 +78,16 @@ func TransposeGroup[W word.Word](seqs []Seq) (*Transposed[W], error) {
 		t.L[i] = col[0] // plane 0 = low bits
 		t.H[i] = col[1] // plane 1 = high bits
 	}
-	return t, nil
+	return nil
+}
+
+// growWords reslices s to length n, allocating only when the capacity is too
+// small. Contents are unspecified: every element is overwritten by the caller.
+func growWords[W word.Word](s []W, n int) []W {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]W, n)
 }
 
 // TransposeGroupNaive is the reference bit-by-bit conversion used to

@@ -116,6 +116,7 @@ type Stats struct {
 	ChunksExecuted     int64 // chunks actually computed
 	ChunksCheckpointed int64 // chunk records appended to the WAL
 	ChunksSkipped      int64 // checkpointed chunks skipped on resume
+	CacheWarmed        int64 // checkpointed pair scores republished into the score cache at startup
 
 	GCDropped int64 // terminal jobs dropped by TTL GC
 
@@ -137,6 +138,7 @@ type statsJSON struct {
 	ChunksExecuted     int64 `json:"chunks_executed"`
 	ChunksCheckpointed int64 `json:"chunks_checkpointed"`
 	ChunksSkipped      int64 `json:"chunks_skipped"`
+	CacheWarmed        int64 `json:"cache_warmed"`
 	GCDropped          int64 `json:"gc_dropped"`
 	Queued             int64 `json:"queued"`
 	Running            int64 `json:"running"`

@@ -1,0 +1,91 @@
+package kernels
+
+// Per-block scratch pooling. Blocks of one launch run concurrently across
+// the device's worker goroutines, so scratch cannot hang off the kernel
+// struct; instead each RunBlock borrows its working set from a package-level
+// sync.Pool and returns it when the block finishes. A borrowed state whose
+// shape doesn't match the current launch (different m, s or lane width) is
+// dropped for the GC — reuse is an optimisation, never a correctness
+// dependency. Within a block, cudasim runs threads sequentially, so one
+// scratch set per block is race-free.
+
+import (
+	"sync"
+
+	"repro/internal/bitslice"
+	"repro/internal/word"
+)
+
+// swaBlockState is the SWA kernel's per-block working set: one thread state
+// (registers + scratch) per pattern row.
+type swaBlockState[W word.Word] struct {
+	st []swaThreadState[W]
+}
+
+var swaPool32, swaPool64 sync.Pool
+
+func swaPool[W word.Word]() *sync.Pool {
+	if word.Lanes[W]() == 64 {
+		return &swaPool64
+	}
+	return &swaPool32
+}
+
+// getSWAState returns a zeroed m-thread state with s-plane registers,
+// recycled when a matching one is pooled.
+func getSWAState[W word.Word](m, s int) *swaBlockState[W] {
+	if v := swaPool[W]().Get(); v != nil {
+		bs := v.(*swaBlockState[W])
+		if len(bs.st) == m && len(bs.st[0].left) == s {
+			for i := range bs.st {
+				bs.st[i].left.Zero()
+				bs.st[i].diag.Zero()
+				bs.st[i].up.Zero()
+				bs.st[i].cur.Zero()
+				bs.st[i].r.Zero()
+			}
+			return bs
+		}
+	}
+	bs := &swaBlockState[W]{st: make([]swaThreadState[W], m)}
+	for i := range bs.st {
+		bs.st[i].left = bitslice.NewNum[W](s)
+		bs.st[i].diag = bitslice.NewNum[W](s)
+		bs.st[i].up = bitslice.NewNum[W](s)
+		bs.st[i].cur = bitslice.NewNum[W](s)
+		bs.st[i].r = bitslice.NewNum[W](s)
+		bs.st[i].tmp = bitslice.NewNum[W](s)
+		bs.st[i].scratch = bitslice.NewScratch[W](s)
+	}
+	return bs
+}
+
+func putSWAState[W word.Word](bs *swaBlockState[W]) { swaPool[W]().Put(bs) }
+
+// wordBuf is a pooled lanes-word scratch column for the transpose kernels.
+type wordBuf[W word.Word] struct {
+	w []W
+}
+
+var wordPool32, wordPool64 sync.Pool
+
+func wordPool[W word.Word]() *sync.Pool {
+	if word.Lanes[W]() == 64 {
+		return &wordPool64
+	}
+	return &wordPool32
+}
+
+// getWordBuf returns an n-word scratch buffer with unspecified contents;
+// callers overwrite every element they read.
+func getWordBuf[W word.Word](n int) *wordBuf[W] {
+	if v := wordPool[W]().Get(); v != nil {
+		b := v.(*wordBuf[W])
+		if len(b.w) == n {
+			return b
+		}
+	}
+	return &wordBuf[W]{w: make([]W, n)}
+}
+
+func putWordBuf[W word.Word](b *wordBuf[W]) { wordPool[W]().Put(b) }

@@ -34,6 +34,7 @@ type swaThreadState[W word.Word] struct {
 	up      bitslice.Num[W] // d[i-1][j]
 	cur     bitslice.Num[W] // d[i][j]
 	r       bitslice.Num[W] // running max of row i (merged down the chain)
+	tmp     bitslice.Num[W] // staging for the row-max merge from above
 	scratch *bitslice.Scratch[W]
 }
 
@@ -55,19 +56,16 @@ func (k *SWAKernel[W]) RunBlock(b *cudasim.Block) {
 	dBuf := b.SharedAlloc(m * s * wordsPer)
 	rBuf := b.SharedAlloc(m * s * wordsPer)
 
-	st := make([]swaThreadState[W], m)
+	bs := getSWAState[W](m, s)
+	defer putSWAState(bs)
+	st := bs.st
 
 	// Step 1 of §V: each thread reads its fixed pattern character once.
+	// (The register Nums come pre-zeroed from the block-state pool.)
 	b.ForEachThread(func(t *cudasim.Thread) {
 		i := t.Tid
 		st[i].xH = loadW[W](t, k.B.XH, int64(g)*int64(m)+int64(i))
 		st[i].xL = loadW[W](t, k.B.XL, int64(g)*int64(m)+int64(i))
-		st[i].left = bitslice.NewNum[W](s)
-		st[i].diag = bitslice.NewNum[W](s)
-		st[i].up = bitslice.NewNum[W](s)
-		st[i].cur = bitslice.NewNum[W](s)
-		st[i].r = bitslice.NewNum[W](s)
-		st[i].scratch = bitslice.NewScratch[W](s)
 	})
 	b.Sync()
 
@@ -106,11 +104,10 @@ func (k *SWAKernel[W]) RunBlock(b *cudasim.Block) {
 			// arriving from above and pass it on (or write the result).
 			if j == n-1 {
 				if i > 0 {
-					tmp := bitslice.NewNum[W](s)
 					for h := 0; h < s; h++ {
-						tmp[h] = sharedLoadW[W](t, rBuf, (i-1)*s+h)
+						ts.tmp[h] = sharedLoadW[W](t, rBuf, (i-1)*s+h)
 					}
-					bitslice.Max(ts.r, ts.r, tmp)
+					bitslice.Max(ts.r, ts.r, ts.tmp)
 					t.Ops(mergeOps)
 				}
 				if i < m-1 {

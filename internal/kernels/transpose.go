@@ -36,7 +36,9 @@ func (k *W2BKernel[W]) RunBlock(b *cudasim.Block) {
 	plan := bitmat.CachedPlan(lanes, 2, bitmat.ValuesToPlanes)
 	ops := plan.Counts().BitOps() * (lanes / 32) // 64-bit ops issue as two instructions
 	cols := k.Columns()
-	col := make([]W, lanes)
+	buf := getWordBuf[W](lanes)
+	defer putWordBuf(buf)
+	col := buf.w
 	b.ForEachThread(func(t *cudasim.Thread) {
 		c := b.Idx*TransposeThreads + t.Tid
 		if c >= cols {
@@ -78,7 +80,9 @@ func (k *B2WKernel[W]) RunBlock(b *cudasim.Block) {
 	plan := bitmat.CachedPlan(lanes, s, bitmat.PlanesToValues)
 	ops := (plan.Counts().BitOps() + lanes) * (lanes / 32) // plan + masking, 2x for 64-bit words
 	groups := k.L.Groups()
-	a := make([]W, lanes)
+	buf := getWordBuf[W](lanes)
+	defer putWordBuf(buf)
+	a := buf.w
 	b.ForEachThread(func(t *cudasim.Thread) {
 		g := b.Idx*TransposeThreads + t.Tid
 		if g >= groups {

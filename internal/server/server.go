@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/aligncache"
 	"repro/internal/alignsvc"
 	"repro/internal/dna"
 	"repro/internal/jobs"
@@ -170,12 +171,14 @@ type ServerStats struct {
 }
 
 // StatszResponse is the /statsz body: admission counters plus the service's
-// own counters (including circuit-breaker states), plus the job manager's
-// counters when the async job API is mounted.
+// own counters (including circuit-breaker states), the score-cache counters
+// when a cache is configured, and the job manager's counters when the async
+// job API is mounted.
 type StatszResponse struct {
-	Server  ServerStats    `json:"server"`
-	Service alignsvc.Stats `json:"service"`
-	Jobs    *jobs.Stats    `json:"jobs,omitempty"`
+	Server  ServerStats       `json:"server"`
+	Service alignsvc.Stats    `json:"service"`
+	Cache   *aligncache.Stats `json:"cache,omitempty"`
+	Jobs    *jobs.Stats       `json:"jobs,omitempty"`
 }
 
 // Server is the HTTP alignment server. Create with New, expose Handler()
@@ -357,6 +360,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	resp := StatszResponse{
 		Server:  s.Stats(),
 		Service: s.cfg.Service.Stats(),
+		Cache:   s.cfg.Service.CacheStats(),
 	}
 	if s.cfg.Jobs != nil {
 		js := s.cfg.Jobs.Stats()
