@@ -25,10 +25,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/cli"
 	"repro/internal/obs"
+	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
 	"repro/internal/tables"
 	"repro/internal/workload"
@@ -40,7 +42,10 @@ func main() {
 	figure := flag.Int("figure", 0, "print only figure N (1-2); 0 = all selected by -table")
 	ablations := flag.Bool("ablations", false, "also run the DESIGN.md §5 ablations")
 	benchOut := flag.String("bench-out", "", "write a bench-pipeline JSON document to FILE and exit (skips the tables)")
+	devices := flag.Int("devices", 0, "with -bench-out: also sweep a fleet of N simulated devices and record per-device utilisation")
+	deviceSpecs := flag.String("device-specs", "titanx", "with -devices: comma-separated perf specs cycled over the fleet members")
 	checkBench := flag.String("check-bench", "", "validate a bench-pipeline JSON document and exit")
+	requireFleet := flag.Bool("require-fleet", false, "with -check-bench: fail unless the document carries a fleet section")
 	metricsOut := flag.String("metrics-out", "", "with -bench-out: also dump the run's Prometheus metrics to FILE (- = stderr)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
@@ -50,10 +55,17 @@ func main() {
 		if err == nil {
 			err = f.Validate()
 		}
+		if err == nil && *requireFleet && f.Fleet == nil {
+			err = fmt.Errorf("%s has no fleet section (regenerate with -devices N)", *checkBench)
+		}
 		if err != nil {
 			cli.Exitf(1, "swabench: %v", err)
 		}
-		fmt.Printf("swabench: %s ok (%s workload, %d runs)\n", *checkBench, f.Workload, len(f.Runs))
+		fleetNote := ""
+		if f.Fleet != nil {
+			fleetNote = fmt.Sprintf(", fleet of %d", len(f.Fleet.Devices))
+		}
+		fmt.Printf("swabench: %s ok (%s workload, %d runs%s)\n", *checkBench, f.Workload, len(f.Runs), fleetNote)
 		return
 	}
 
@@ -77,6 +89,23 @@ func main() {
 		if err != nil {
 			cli.Die(fmt.Errorf("swabench: bench: %w", err))
 		}
+		if *devices > 0 {
+			var specs []perfmodel.DeviceSpec
+			for _, name := range strings.Split(*deviceSpecs, ",") {
+				s, ok := perfmodel.SpecByName(strings.TrimSpace(name))
+				if !ok {
+					cli.Exitf(2, "swabench: -device-specs: unknown spec %q (have %s)",
+						name, strings.Join(perfmodel.SpecNames(), ", "))
+				}
+				specs = append(specs, s)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "... bench: fleet sweep across %d device(s) + cpu\n", *devices)
+			}
+			if err := f.CollectFleet(ctx, spec, pipeline.Config{Metrics: reg}, *devices, specs); err != nil {
+				cli.Die(fmt.Errorf("swabench: bench: %w", err))
+			}
+		}
 		if err := f.WriteFile(*benchOut); err != nil {
 			cli.Die(fmt.Errorf("swabench: bench: %w", err))
 		}
@@ -87,6 +116,14 @@ func main() {
 		}
 		for _, r := range f.Runs {
 			fmt.Printf("bench m=%d n=%d pairs=%d lanes=%d gcups=%.2f\n", r.M, r.N, r.Pairs, r.Lanes, r.GCUPS)
+		}
+		if f.Fleet != nil {
+			for _, d := range f.Fleet.Devices {
+				fmt.Printf("fleet %s shards=%d pairs=%d util=%.2f steals=%d\n",
+					d.Name, d.Shards, d.Pairs, d.Utilization, d.Steals)
+			}
+			fmt.Printf("fleet aggregate wall_gcups=%.4f over %d shards\n",
+				f.Fleet.AggregateGCUPS, f.Fleet.Shards)
 		}
 		fmt.Printf("swabench: wrote %s\n", *benchOut)
 		return

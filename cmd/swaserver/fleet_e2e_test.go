@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/dna"
+	"repro/internal/server"
+	"repro/internal/swa"
+)
+
+// TestFleetFlagsEndToEnd boots the real binary with -devices and checks the
+// fleet is live end to end: exact scores over HTTP, a service.fleet section
+// in /statsz naming every member, per-device gauges in /metricsz, and a
+// clean SIGTERM exit. Skipped with -short (it builds and runs the binary).
+func TestFleetFlagsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary e2e in -short mode")
+	}
+
+	bin := filepath.Join(t.TempDir(), "swaserver")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-ops-addr", "127.0.0.1:0",
+		"-devices", "3",
+		"-device-specs", "titanx,titanx-half",
+		"-quarantine-after", "3",
+		"-probe-interval", "100ms",
+		"-grace", "10s",
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no listening line on stdout; stderr:\n%s", stderr.String())
+	}
+	line := sc.Text()
+	base := "http://" + line[strings.LastIndex(line, " ")+1:]
+	if !sc.Scan() {
+		t.Fatalf("no ops listening line on stdout; stderr:\n%s", stderr.String())
+	}
+	line = sc.Text()
+	opsBase := "http://" + line[strings.LastIndex(line, " ")+1:]
+	go io.Copy(io.Discard, stdout)
+
+	rng := rand.New(rand.NewPCG(31, 0))
+	pairs := dna.RandomPairs(rng, 64, 8, 16)
+	req := server.AlignRequest{Pairs: make([]server.PairJSON, len(pairs))}
+	want := make([]int, len(pairs))
+	for i, p := range pairs {
+		want[i] = swa.Score(p.X, p.Y, swa.PaperScoring)
+		req.Pairs[i] = server.PairJSON{X: p.X.String(), Y: p.Y.String()}
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/align", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("align = %d: %s", resp.StatusCode, raw)
+	}
+	var res server.AlignResponse
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Scores[i] != want[i] {
+			t.Fatalf("score[%d] = %d, want %d", i, res.Scores[i], want[i])
+		}
+	}
+
+	var st server.StatszResponse
+	if err := getJSON(base+"/statsz", &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Service.Fleet == nil {
+		t.Fatalf("/statsz has no fleet section: %+v", st.Service)
+	}
+	if n := len(st.Service.Fleet.Devices); n != 4 {
+		t.Fatalf("fleet has %d members, want 3 GPUs + cpu", n)
+	}
+	if st.Service.Fleet.Shards == 0 {
+		t.Fatal("fleet served the batch without sharding")
+	}
+
+	mresp, err := http.Get(opsBase + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, m := range []string{
+		`fleet_device_state{device="gpu0"}`,
+		`fleet_device_state{device="gpu2"}`,
+		`fleet_device_state{device="cpu"}`,
+		"fleet_shards_total",
+	} {
+		if !strings.Contains(string(metrics), m) {
+			t.Fatalf("/metricsz missing %q:\n%s", m, metrics)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exit := make(chan error, 1)
+	go func() { exit <- cmd.Wait() }()
+	select {
+	case err := <-exit:
+		if err != nil {
+			t.Fatalf("swaserver exited non-zero: %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("swaserver did not exit cleanly; stderr:\n%s", stderr.String())
+	}
+}

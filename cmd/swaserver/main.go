@@ -23,8 +23,17 @@
 //
 //	swaserver [-addr :8468] [-ops-addr :8469] [-workers N] [-inflight N]
 //	          [-queued N] [-grace 15s] [-timeout 30s] [-lanes 32]
+//	          [-devices 4 -device-specs titanx,titanx-half]
+//	          [-quarantine-after 3 -probe-interval 1s -hedge-after 0]
 //	          [-data-dir /var/lib/swa -wal-sync always -chunk-size 64]
 //	          [-fault-launch 0.3 -fault-bitflip 0.2 ...]   (chaos mode)
+//
+// -devices N (N > 0) runs the GPU tiers on a fleet of N simulated devices
+// plus a CPU last-resort member: batches shard across the fleet with
+// work-stealing, per-device health tracking (suspect → quarantine → probe →
+// readmit) and shard-level re-dispatch when a device fails or is killed
+// mid-batch. -device-specs cycles performance models over the members;
+// /statsz gains a service.fleet section and /metricsz per-device gauges.
 package main
 
 import (
@@ -35,15 +44,18 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/aligncache"
 	"repro/internal/alignsvc"
 	"repro/internal/cli"
 	"repro/internal/cudasim"
+	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/jobstore"
 	"repro/internal/obs"
+	"repro/internal/perfmodel"
 	"repro/internal/server"
 )
 
@@ -62,6 +74,12 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "score-cache size bound in bytes (0 disables the cache)")
 	cacheTTL := flag.Duration("cache-ttl", 10*time.Minute, "score-cache entry lifetime (0 = no expiry)")
 	cacheShards := flag.Int("cache-shards", 16, "score-cache shard count")
+
+	devices := flag.Int("devices", 0, "simulated GPU fleet size (0 = single-device pipelines, no fleet)")
+	deviceSpecs := flag.String("device-specs", "titanx", "comma-separated perf specs cycled over the fleet members")
+	quarantineAfter := flag.Int("quarantine-after", 3, "consecutive shard failures that quarantine a fleet device")
+	probeInterval := flag.Duration("probe-interval", time.Second, "quarantine cooldown before a readmission probe")
+	hedgeAfter := flag.Duration("hedge-after", 0, "re-dispatch a shard still running after this long (0 disables hedging)")
 
 	inflight := flag.Int("inflight", 0, "max align requests executing concurrently (0 = 2×GOMAXPROCS)")
 	queued := flag.Int("queued", 0, "max align requests waiting for a slot before 429 (0 = inflight)")
@@ -126,8 +144,48 @@ func main() {
 			*cacheBytes>>20, *cacheTTL, *cacheShards)
 	}
 
+	// The device fleet: -devices N shards every GPU-tier batch across N
+	// simulated cards (specs cycled from -device-specs) plus a CPU
+	// last-resort member, with health tracking and kill survival. The
+	// 12 GiB per-member capacity is backed lazily, so idle members cost
+	// nothing until their shards actually allocate.
+	var fl *fleet.Scheduler
+	if *devices > 0 {
+		var specs []perfmodel.DeviceSpec
+		for _, name := range strings.Split(*deviceSpecs, ",") {
+			spec, ok := perfmodel.SpecByName(strings.TrimSpace(name))
+			if !ok {
+				cli.Exitf(2, "swaserver: -device-specs: unknown spec %q (have %s)",
+					name, strings.Join(perfmodel.SpecNames(), ", "))
+			}
+			specs = append(specs, spec)
+		}
+		members := make([]fleet.DeviceConfig, 0, *devices+1)
+		for i := 0; i < *devices; i++ {
+			members = append(members, fleet.DeviceConfig{
+				Name:        fmt.Sprintf("gpu%d", i),
+				Spec:        specs[i%len(specs)],
+				GlobalBytes: 12 << 30,
+			})
+		}
+		members = append(members, fleet.DeviceConfig{Name: "cpu", CPU: true})
+		var err error
+		fl, err = fleet.New(fleet.Config{
+			Devices:         members,
+			QuarantineAfter: *quarantineAfter,
+			ProbeInterval:   *probeInterval,
+			HedgeAfter:      *hedgeAfter,
+			Metrics:         obs.Default(),
+			Seed:            *faultSeed,
+		})
+		cli.Check(err)
+		log.Printf("swaserver: fleet enabled: %d device(s) + cpu, quarantine after %d, probe every %v",
+			*devices, *quarantineAfter, *probeInterval)
+	}
+
 	svc := alignsvc.New(alignsvc.Config{
 		Cache:           cache,
+		Fleet:           fl,
 		Lanes:           *lanes,
 		Workers:         *workers,
 		Queue:           *queue,
@@ -238,6 +296,9 @@ func main() {
 			cli.Check(store.Close())
 		}
 		svc.Close()
+		if fl != nil {
+			fl.Close()
+		}
 		cli.Die(fmt.Errorf("swaserver: serve: %w", err))
 	case <-ctx.Done():
 	}
@@ -267,6 +328,9 @@ func main() {
 		cli.Check(store.Close())
 	}
 	svc.Close()
+	if fl != nil {
+		fl.Close()
+	}
 	if drainErr != nil {
 		cli.Die(fmt.Errorf("swaserver: %w", drainErr))
 	}

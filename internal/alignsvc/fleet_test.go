@@ -1,0 +1,279 @@
+package alignsvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/aligncache"
+	"repro/internal/cudasim"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/perfmodel"
+)
+
+func testFleet(t *testing.T, cfg fleet.Config) *fleet.Scheduler {
+	t.Helper()
+	s, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// A fleet-backed service must return the same exact scores as the
+// single-device path, shard batches across the devices, and expose the
+// fleet snapshot through Stats (including its JSON wire form).
+func TestFleetBackedAlignExactScores(t *testing.T) {
+	fl := testFleet(t, fleet.Config{
+		Devices: []fleet.DeviceConfig{
+			{Name: "d0", Spec: perfmodel.TitanX, GlobalBytes: 12 << 30},
+			{Name: "d1", Spec: perfmodel.TitanXHalf, GlobalBytes: 6 << 30},
+			{Name: "cpu", CPU: true},
+		},
+	})
+	s := New(Config{Seed: 7, Fleet: fl})
+	defer s.Close()
+
+	pairs := plantedPairs(64, 16, 32, 11)
+	res, err := s.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScores(t, res.Scores, refScores(pairs))
+	if res.Report.Tier != TierBitwise {
+		t.Fatalf("clean fleet batch served by %v, want bitwise", res.Report.Tier)
+	}
+
+	st := s.Stats()
+	if st.Fleet == nil {
+		t.Fatal("Stats().Fleet is nil with a fleet configured")
+	}
+	if st.Fleet.Batches == 0 || st.Fleet.Shards < 2 {
+		t.Fatalf("batch was not sharded across the fleet: %+v", st.Fleet)
+	}
+	var gpuPairs int64
+	for _, d := range st.Fleet.Devices {
+		if !d.CPU {
+			gpuPairs += d.PairsDone
+		} else if d.PairsDone != 0 {
+			t.Fatalf("CPU member served %d pairs of a healthy-fleet batch", d.PairsDone)
+		}
+	}
+	if gpuPairs != int64(len(pairs)) {
+		t.Fatalf("GPU members scored %d pairs, want %d", gpuPairs, len(pairs))
+	}
+
+	// The fleet section must survive the stable JSON wire format.
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fleet == nil || len(back.Fleet.Devices) != 3 || back.Fleet.Shards != st.Fleet.Shards {
+		t.Fatalf("fleet stats did not round-trip: %s", b)
+	}
+}
+
+// Satellite regression: Stats must return a consistent view while fleet
+// membership churns (devices killed, quarantined, readmitted mid-snapshot).
+// The fleet aggregates must always equal the per-device sums and the device
+// set must never change size. Run under -race.
+func TestFleetStatsConsistentUnderChurn(t *testing.T) {
+	fl := testFleet(t, fleet.Config{
+		Devices: []fleet.DeviceConfig{
+			{Name: "d0", Spec: perfmodel.TitanX, GlobalBytes: 12 << 30},
+			{Name: "d1", Spec: perfmodel.TitanX, GlobalBytes: 12 << 30},
+			{Name: "d2", Spec: perfmodel.TitanXHalf, GlobalBytes: 6 << 30},
+			{Name: "cpu", CPU: true},
+		},
+		QuarantineAfter: 2,
+		ProbeInterval:   10 * time.Millisecond,
+	})
+	s := New(Config{Seed: 9, Fleet: fl, MaxAttempts: 2})
+	defer s.Close()
+
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				pairs := plantedPairs(16, 12, 24, uint64(1000*c+i+1))
+				s.Align(context.Background(), pairs)
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(3, 3))
+		names := []string{"d0", "d1", "d2"}
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			n := names[rng.IntN(len(names))]
+			if rng.IntN(2) == 0 {
+				fl.KillDevice(n)
+			} else {
+				fl.ReviveDevice(n)
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		st := s.Stats()
+		if st.Fleet == nil {
+			t.Fatal("Fleet snapshot vanished mid-churn")
+		}
+		if len(st.Fleet.Devices) != 4 {
+			t.Fatalf("device set changed size: %d", len(st.Fleet.Devices))
+		}
+		var steals, quar, read int64
+		for _, d := range st.Fleet.Devices {
+			steals += d.Steals
+			quar += d.Quarantines
+			read += d.Readmissions
+		}
+		if st.Fleet.Steals != steals || st.Fleet.Quarantines != quar || st.Fleet.Readmissions != read {
+			t.Fatalf("fleet aggregates inconsistent with per-device sums: %+v", st.Fleet)
+		}
+	}
+	close(stopCh)
+	wg.Wait()
+	// Revive everything so Close drains cleanly.
+	for _, n := range []string{"d0", "d1", "d2"} {
+		fl.ReviveDevice(n)
+	}
+}
+
+// With the CPU rung removed and the only device killed, Align must fail with
+// a typed error carrying the device loss — never a hang, never an untyped
+// string — and the same service must recover once the device is revived.
+func TestFleetNoCPUFallbackKilledTyped(t *testing.T) {
+	fl := testFleet(t, fleet.Config{
+		Devices: []fleet.DeviceConfig{
+			{Name: "d0", Spec: perfmodel.TitanX, GlobalBytes: 12 << 30},
+		},
+		QuarantineAfter: 1000, // keep it taking (and failing) work
+		MaxRedispatch:   3,
+	})
+	s := New(Config{
+		Seed:            5,
+		Fleet:           fl,
+		NoCPUFallback:   true,
+		MaxAttempts:     1,
+		BreakerFailures: -1,
+	})
+	defer s.Close()
+
+	fl.KillDevice("d0")
+	pairs := plantedPairs(24, 12, 24, 21)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := s.Align(ctx, pairs)
+	if err == nil {
+		t.Fatal("Align succeeded with the only device killed and no CPU rung")
+	}
+	if !errors.Is(err, cudasim.ErrDeviceKilled) {
+		t.Fatalf("device loss not typed in the chain: %v", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Align hung until the deadline instead of failing fast: %v", err)
+	}
+
+	fl.ReviveDevice("d0")
+	res, err := s.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatalf("Align did not recover after revive: %v", err)
+	}
+	assertScores(t, res.Scores, refScores(pairs))
+}
+
+// Singleflight integration: identical batches race while the only device is
+// killed and the CPU rung is removed. The leader's flight fails typed, every
+// racer fails typed (nobody hangs), the failure is not cached, and after a
+// revive the recomputed scores are cached and served as hits.
+func TestFleetCacheLeaderKilledNotCached(t *testing.T) {
+	fl := testFleet(t, fleet.Config{
+		Devices: []fleet.DeviceConfig{
+			{Name: "d0", Spec: perfmodel.TitanX, GlobalBytes: 12 << 30},
+		},
+		QuarantineAfter: 1000,
+		MaxRedispatch:   2,
+	})
+	cache := aligncache.New(aligncache.Config{MaxBytes: 1 << 20, Metrics: obs.NewRegistry()})
+	s := New(Config{
+		Seed:            13,
+		Fleet:           fl,
+		NoCPUFallback:   true,
+		MaxAttempts:     1,
+		BreakerFailures: -1,
+		Cache:           cache,
+	})
+	defer s.Close()
+
+	fl.KillDevice("d0")
+	pairs := plantedPairs(8, 12, 24, 31)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_, err := s.Align(ctx, pairs)
+			errCh <- err
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err == nil {
+			t.Fatal("Align succeeded with the only device killed")
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("racer hung until its deadline: %v", err)
+		}
+		if !errors.Is(err, cudasim.ErrDeviceKilled) {
+			t.Fatalf("racer error not typed: %v", err)
+		}
+	}
+	if st := cache.Stats(); st.Entries != 0 {
+		t.Fatalf("failed flights left %d cached entries", st.Entries)
+	}
+
+	fl.ReviveDevice("d0")
+	res, err := s.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatalf("Align did not recover after revive: %v", err)
+	}
+	assertScores(t, res.Scores, refScores(pairs))
+	res, err = s.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScores(t, res.Scores, refScores(pairs))
+	if res.Report.CacheHits != len(pairs) {
+		t.Fatalf("recomputed scores not served from cache: %d hits of %d", res.Report.CacheHits, len(pairs))
+	}
+}

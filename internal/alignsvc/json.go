@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cudasim"
+	"repro/internal/fleet"
 )
 
 // This file pins the wire format of Report and Stats: stable snake_case
@@ -158,6 +159,7 @@ type statsJSON struct {
 	BreakerShortCircuits int64                 `json:"breaker_short_circuits"`
 	BreakerProbes        int64                 `json:"breaker_probes"`
 	Breakers             []breakerSnapshotJSON `json:"breakers,omitempty"`
+	Fleet                *fleet.Stats          `json:"fleet,omitempty"`
 }
 
 // MarshalJSON implements the stable wire format described above.
@@ -175,6 +177,7 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		BreakerTrips:         s.BreakerTrips,
 		BreakerShortCircuits: s.BreakerShortCircuits,
 		BreakerProbes:        s.BreakerProbes,
+		Fleet:                s.Fleet,
 	}
 	for _, br := range s.Breakers {
 		out.Breakers = append(out.Breakers, breakerSnapshotJSON(br))
@@ -201,6 +204,7 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 		BreakerTrips:         in.BreakerTrips,
 		BreakerShortCircuits: in.BreakerShortCircuits,
 		BreakerProbes:        in.BreakerProbes,
+		Fleet:                in.Fleet,
 	}
 	for _, br := range in.Breakers {
 		s.Breakers = append(s.Breakers, BreakerSnapshot(br))

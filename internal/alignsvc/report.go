@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cudasim"
+	"repro/internal/fleet"
 )
 
 // Tier identifies one rung of the degradation ladder, fastest first.
@@ -129,4 +130,11 @@ type Stats struct {
 	BreakerShortCircuits int64 // tier attempts skipped by an open breaker
 	BreakerProbes        int64 // half-open probe batches admitted
 	Breakers             []BreakerSnapshot
+
+	// Fleet is the device-fleet snapshot when the service runs GPU tiers
+	// through a fleet scheduler (nil otherwise). It is taken under the
+	// fleet's lock in the same Stats call, so the per-device rows and their
+	// aggregates are mutually consistent even while devices are being
+	// killed, quarantined or readmitted.
+	Fleet *fleet.Stats
 }

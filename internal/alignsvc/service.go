@@ -26,6 +26,7 @@ import (
 	"repro/internal/aligncache"
 	"repro/internal/cudasim"
 	"repro/internal/dna"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/swa"
@@ -93,6 +94,19 @@ type Config struct {
 	// histograms plus retry/fallback/breaker counters (nil = obs.Default()).
 	// It is also handed to the pipelines unless Pipeline.Metrics is set.
 	Metrics *obs.Registry
+	// Fleet, when non-nil, spreads each GPU-tier batch across a fleet of
+	// simulated devices (shards, work-stealing, hedging, per-device health;
+	// see internal/fleet). The degradation ladder is unchanged — a tier
+	// fails only when the whole fleet could not serve the batch — and the
+	// fleet's CPU member handles shard-level re-dispatch while TierCPU
+	// remains the batch-level last rung. Breaker openings on GPU tiers are
+	// forwarded to the fleet as health signals.
+	Fleet *fleet.Scheduler
+	// NoCPUFallback removes TierCPU from the ladder, so a batch that
+	// exhausts the GPU tiers fails typed instead of being served by the
+	// host reference. Integration tests use it to observe device-loss
+	// errors end to end; production configs leave it false.
+	NoCPUFallback bool
 	// Cache, when non-nil, memoizes per-pair scores by content hash
 	// (pattern bytes, text bytes, scoring, lane width). Cache hits bypass
 	// the worker pool, the circuit breakers and the retry ladder entirely;
@@ -189,6 +203,10 @@ type Service struct {
 	batches, batchesFailed, retries, fallbacks atomic.Int64
 	cpuFallbacks, deadlineHits, cancellations  atomic.Int64
 	panicsRecovered, faultsInjected            atomic.Int64
+
+	// fleetSeq derives a unique injector seed per fleet shard execution, so
+	// a re-dispatched shard never replays the fault stream that killed it.
+	fleetSeq atomic.Uint64
 }
 
 // New starts the worker pool and returns the service.
@@ -223,6 +241,13 @@ func New(cfg Config) *Service {
 				reg.Counter(obs.L("alignsvc_breaker_transitions_total",
 					"tier", tier, "to", to.String())).Inc()
 				state.Set(float64(to))
+				// A GPU tier's breaker opening is a fleet-health signal:
+				// mark the GPU members suspect so failing devices
+				// quarantine on a short streak. (Lock order is breaker →
+				// fleet; the fleet never calls back into a breaker.)
+				if to == BreakerOpen && cfg.Fleet != nil {
+					cfg.Fleet.NoteBreakerOpen(tier)
+				}
 			}
 			s.breakers[t] = b
 		}
@@ -326,6 +351,10 @@ func (s *Service) Stats() Stats {
 		st.BreakerShortCircuits += shorts
 		st.BreakerProbes += probes
 	}
+	if s.cfg.Fleet != nil {
+		fs := s.cfg.Fleet.Stats()
+		st.Fleet = &fs
+	}
 	return st
 }
 
@@ -352,7 +381,11 @@ func (s *Service) process(ctx context.Context, pairs []dna.Pair, seq uint64) (*B
 	start := s.cfg.now()
 	rng := rand.New(rand.NewPCG(s.cfg.Seed^seq, 0xa1195c7e))
 	var lastErr error
-	for tier := s.cfg.StartTier; tier < numTiers; tier++ {
+	limit := numTiers
+	if s.cfg.NoCPUFallback {
+		limit = TierCPU
+	}
+	for tier := s.cfg.StartTier; tier < limit; tier++ {
 		allowed, probe := s.breakers[tier].allow()
 		if !allowed {
 			rep.Skips = append(rep.Skips, tier)
@@ -384,6 +417,11 @@ func (s *Service) process(ctx context.Context, pairs []dna.Pair, seq uint64) (*B
 	}
 	s.batchesFailed.Add(1)
 	s.obs.Counter("alignsvc_batches_failed_total").Inc()
+	if lastErr == nil {
+		// Every rung was skipped (open breakers with NoCPUFallback): there
+		// is no attempt error to propagate, only the configuration.
+		return nil, fmt.Errorf("alignsvc: no tier available (%s)", rep.String())
+	}
 	return nil, fmt.Errorf("alignsvc: all tiers exhausted (%s): %w", rep.String(), lastErr)
 }
 
@@ -462,6 +500,9 @@ func (s *Service) runTier(ctx context.Context, tier Tier, pairs []dna.Pair, seq,
 		scores, err = s.runCPU(ctx, pairs)
 		return scores, cudasim.FaultCounts{}, err
 	}
+	if s.cfg.Fleet != nil {
+		return s.runTierFleet(ctx, tier, pairs)
+	}
 	cfg := s.cfg.Pipeline
 	if cfg.Metrics == nil {
 		// Hand the pipelines the service registry so one scrape sees the
@@ -474,24 +515,85 @@ func (s *Service) runTier(ctx context.Context, tier Tier, pairs []dna.Pair, seq,
 	fcfg.Seed ^= (seq*0x9e3779b97f4a7c15 + attempt) | 1
 	inj := cudasim.NewFaultInjector(fcfg)
 	cfg.Faults = inj
-	var r *pipeline.Result
-	switch tier {
-	case TierBitwise:
-		if s.cfg.Lanes == 64 {
-			r, err = pipeline.RunBitwise[uint64](ctx, pairs, cfg)
-		} else {
-			r, err = pipeline.RunBitwise[uint32](ctx, pairs, cfg)
-		}
-	case TierWordwise:
-		r, err = pipeline.RunWordwise(ctx, pairs, cfg)
-	default:
-		return nil, inj.Counts(), fmt.Errorf("alignsvc: unknown tier %v", tier)
-	}
+	r, err := s.runPipelineTier(ctx, tier, pairs, cfg)
 	counts = inj.Counts()
 	if err != nil {
 		return nil, counts, err
 	}
 	return r.Scores, counts, nil
+}
+
+// runPipelineTier invokes the tier's pipeline with a fully prepared config.
+func (s *Service) runPipelineTier(ctx context.Context, tier Tier, pairs []dna.Pair, cfg pipeline.Config) (*pipeline.Result, error) {
+	switch tier {
+	case TierBitwise:
+		if s.cfg.Lanes == 64 {
+			return pipeline.RunBitwise[uint64](ctx, pairs, cfg)
+		}
+		return pipeline.RunBitwise[uint32](ctx, pairs, cfg)
+	case TierWordwise:
+		return pipeline.RunWordwise(ctx, pairs, cfg)
+	}
+	return nil, fmt.Errorf("alignsvc: unknown tier %v", tier)
+}
+
+// runTierFleet runs one GPU-tier attempt through the fleet scheduler: the
+// batch is sharded across the fleet's devices, each shard executing the
+// tier's pipeline on its device's spec and memory with a per-execution
+// fault stream (the device's flaky profile and kill switch layered on the
+// service's chaos config). The fleet's CPU member serves re-dispatched
+// shards with the host reference. Injected-fault counts are summed across
+// every shard execution, including the ones whose shard was later re-run
+// elsewhere.
+func (s *Service) runTierFleet(ctx context.Context, tier Tier, pairs []dna.Pair) ([]int, cudasim.FaultCounts, error) {
+	var mu sync.Mutex
+	var total cudasim.FaultCounts
+	exec := func(ctx context.Context, d *fleet.Device, shard []dna.Pair) (scores []int, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				s.panicsRecovered.Add(1)
+				s.obs.Counter(obs.L("alignsvc_panics_recovered_total", "tier", tier.String())).Inc()
+				err = fmt.Errorf("alignsvc: recovered %s-tier panic on %s: %v", tier, d.Name(), r)
+			}
+		}()
+		if d.CPU() {
+			if d.Killed() {
+				return nil, &cudasim.KilledError{Op: cudasim.FaultLaunch}
+			}
+			return s.runCPU(ctx, shard)
+		}
+		cfg := s.cfg.Pipeline
+		if cfg.Metrics == nil {
+			cfg.Metrics = s.obs
+		}
+		cfg.Device = d.Spec()
+		if d.GlobalBytes() > 0 && cfg.GlobalBytes == 0 {
+			cfg.GlobalBytes = d.GlobalBytes()
+		}
+		inj := d.NewInjector(*s.faults.Load(), s.fleetSeq.Add(1)*0x9e3779b97f4a7c15|1)
+		cfg.Faults = inj
+		r, err := s.runPipelineTier(ctx, tier, shard, cfg)
+		c := inj.Counts()
+		mu.Lock()
+		total.HtoD += c.HtoD
+		total.DtoH += c.DtoH
+		total.Alloc += c.Alloc
+		total.Launch += c.Launch
+		total.BitFlips += c.BitFlips
+		mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return r.Scores, nil
+	}
+	scores, err := s.cfg.Fleet.Run(ctx, pairs, exec)
+	mu.Lock()
+	counts := total
+	mu.Unlock()
+	if err != nil {
+		return nil, counts, err
+	}
+	return scores, counts, nil
 }
 
 func (s *Service) scoring() swa.Scoring {

@@ -32,17 +32,64 @@ import (
 	"repro/internal/perfmodel"
 )
 
+// DefaultHostCap bounds how much host memory one simulated device may pin
+// for its global-memory backing. Realistic specs declare many GiB of device
+// memory, but a simulated workload only ever touches a fraction of it; the
+// cap keeps a fleet of 12 GiB devices from exhausting the host while still
+// failing loudly (with a *HostOOMError) if a workload genuinely needs more.
+const DefaultHostCap = int64(1) << 30
+
 // Device is a simulated GPU: a spec for the cost model plus a global memory.
+// The backing array is allocated lazily — constructing a device with a
+// multi-GiB capacity costs nothing until buffers are actually allocated.
 type Device struct {
-	Spec   perfmodel.DeviceSpec
-	global []byte
-	used   int64
-	faults *FaultInjector
+	Spec     perfmodel.DeviceSpec
+	global   []byte // grown on demand by Alloc, never beyond capacity/hostCap
+	capacity int64  // declared device global-memory size
+	hostCap  int64  // hard cap on host bytes actually backed
+	used     int64
+	faults   *FaultInjector
 }
 
-// NewDevice creates a device with the given global-memory capacity.
+// NewDevice creates a device with the given global-memory capacity. No host
+// memory is allocated up front: the backing array grows on demand as Alloc
+// reserves buffers, up to min(globalBytes, DefaultHostCap) — use
+// SetMaxHostBytes to raise or lower the host-side cap.
 func NewDevice(spec perfmodel.DeviceSpec, globalBytes int64) *Device {
-	return &Device{Spec: spec, global: make([]byte, globalBytes)}
+	if globalBytes < 0 {
+		// Same contract as the old eager make([]byte, globalBytes).
+		panic(fmt.Sprintf("cudasim: negative device capacity %d", globalBytes))
+	}
+	return &Device{Spec: spec, capacity: globalBytes, hostCap: DefaultHostCap}
+}
+
+// SetMaxHostBytes overrides the cap on host memory the device may pin for
+// its backing array. Call before issuing work; it does not shrink an
+// already-grown backing.
+func (d *Device) SetMaxHostBytes(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	d.hostCap = n
+}
+
+// Capacity returns the declared device global-memory size in bytes.
+func (d *Device) Capacity() int64 { return d.capacity }
+
+// HostBytes returns how much host memory currently backs the device's
+// global memory — the lazily grown portion, not the declared capacity.
+func (d *Device) HostBytes() int64 { return int64(len(d.global)) }
+
+// HostOOMError reports that growing the device backing would exceed the
+// host-side cap: the simulated workload genuinely needs more resident bytes
+// than the host is allowed to pin for this device.
+type HostOOMError struct {
+	Need  int64 // host bytes the backing would have to reach
+	Limit int64 // configured host cap
+}
+
+func (e *HostOOMError) Error() string {
+	return fmt.Sprintf("cudasim: device backing needs %d host bytes, cap is %d", e.Need, e.Limit)
 }
 
 // InjectFaults attaches a deterministic fault injector to the device. A nil
@@ -67,19 +114,45 @@ func (d *Device) Alloc(bytes int64) (Buf, error) {
 	// bytes near MaxInt64 and sail past the out-of-memory check below.
 	if bytes > math.MaxInt64-255 {
 		return Buf{}, fmt.Errorf("cudasim: out of global memory (%d requested, %d free)",
-			bytes, int64(len(d.global))-d.used)
+			bytes, d.capacity-d.used)
 	}
 	if err := d.faults.trip(FaultAlloc); err != nil {
 		return Buf{}, err
 	}
 	aligned := (bytes + 255) &^ 255
-	if d.used+aligned > int64(len(d.global)) {
+	if d.used+aligned > d.capacity {
 		return Buf{}, fmt.Errorf("cudasim: out of global memory (%d requested, %d free)",
-			aligned, int64(len(d.global))-d.used)
+			aligned, d.capacity-d.used)
+	}
+	if err := d.grow(d.used + aligned); err != nil {
+		return Buf{}, err
 	}
 	b := Buf{off: d.used, size: bytes}
 	d.used += aligned
 	return b, nil
+}
+
+// grow ensures the backing array covers [0, need) bytes, doubling to
+// amortise growth and clamping to the declared capacity and the host cap.
+// It runs only from Alloc — the same single-goroutine control path as the
+// bump allocator itself — so kernels already in flight (which only touch
+// previously allocated, hence already-backed, regions) never race it.
+func (d *Device) grow(need int64) error {
+	if need <= int64(len(d.global)) {
+		return nil
+	}
+	if need > d.hostCap {
+		return &HostOOMError{Need: need, Limit: d.hostCap}
+	}
+	newLen := max(int64(len(d.global))*2, int64(64<<10))
+	for newLen < need {
+		newLen *= 2
+	}
+	newLen = min(newLen, d.capacity, d.hostCap)
+	grown := make([]byte, newLen)
+	copy(grown, d.global)
+	d.global = grown
+	return nil
 }
 
 // MemcpyHtoD copies host bytes into a device buffer (Step 1 of the paper's
@@ -219,6 +292,12 @@ func (d *Device) LaunchCtx(ctx context.Context, blocks, threadsPerBlock int, k K
 			}()
 			local := &locals[w]
 			for ctx.Err() == nil && !abort.Load() {
+				if d.faults.killedNow() {
+					// Device died mid-launch: stop claiming blocks so the
+					// kill is observed within one block's runtime.
+					abort.Store(true)
+					break
+				}
 				bi := int(next.Add(1)) - 1
 				if bi >= blocks {
 					break
@@ -242,6 +321,12 @@ func (d *Device) LaunchCtx(ctx context.Context, blocks, threadsPerBlock int, k K
 	}
 	if firstPanic != nil {
 		return total, fmt.Errorf("cudasim: kernel panicked in block %d: %v", firstPanic.block, firstPanic.val)
+	}
+	if d.faults.killedNow() {
+		// The device was killed while the grid ran. Partial stats are still
+		// returned (accurate for the blocks that completed), but the launch
+		// as a whole failed with the typed device-loss error.
+		return total, &KilledError{Op: FaultLaunch}
 	}
 	if err := ctx.Err(); err != nil {
 		return total, err

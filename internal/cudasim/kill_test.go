@@ -1,0 +1,218 @@
+package cudasim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+// Lazy backing: constructing a device with a realistic multi-GiB capacity
+// must not pin host memory, and the backing must grow only as Alloc
+// reserves buffers.
+func TestLazyBackingGrowsOnDemand(t *testing.T) {
+	d := NewDevice(perfmodel.TitanX, 12<<30) // the paper's TITAN X: 12 GiB
+	if got := d.HostBytes(); got != 0 {
+		t.Fatalf("fresh device pinned %d host bytes, want 0", got)
+	}
+	if got := d.Capacity(); got != 12<<30 {
+		t.Fatalf("Capacity = %d, want %d", got, int64(12<<30))
+	}
+	buf, err := d.Alloc(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := d.HostBytes()
+	if host < 1<<20 {
+		t.Fatalf("backing %d bytes after a 1 MiB Alloc", host)
+	}
+	if host > 4<<20 {
+		t.Fatalf("backing %d bytes after a 1 MiB Alloc; doubling overshot", host)
+	}
+	// Transfers through the grown region must round-trip.
+	src := make([]byte, 1<<20)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	if err := d.MemcpyHtoD(buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1<<20)
+	if err := d.MemcpyDtoH(got, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != src[i] {
+			t.Fatalf("round-trip mismatch at byte %d", i)
+		}
+	}
+	// Doubling leaves headroom after a non-power-of-two growth: an Alloc
+	// that fits the grown region must not grow the backing again.
+	if _, err := d.Alloc(100 << 10); err != nil {
+		t.Fatal(err)
+	}
+	host = d.HostBytes() // 2 MiB after doubling past 1 MiB + 100 KiB
+	if _, err := d.Alloc(256); err != nil {
+		t.Fatal(err)
+	}
+	if d.HostBytes() != host {
+		t.Fatalf("backing grew from %d to %d for an in-bounds Alloc", host, d.HostBytes())
+	}
+}
+
+// Growth preserves bytes already written: an Alloc that doubles the backing
+// must copy the old contents across.
+func TestLazyBackingGrowthPreservesContents(t *testing.T) {
+	d := NewDevice(perfmodel.TitanX, 1<<30)
+	first, err := d.Alloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, 64<<10)
+	for i := range src {
+		src[i] = byte(i ^ (i >> 8))
+	}
+	if err := d.MemcpyHtoD(first, src); err != nil {
+		t.Fatal(err)
+	}
+	before := d.HostBytes()
+	if _, err := d.Alloc(8 << 20); err != nil { // forces growth
+		t.Fatal(err)
+	}
+	if d.HostBytes() <= before {
+		t.Fatalf("backing did not grow (%d -> %d)", before, d.HostBytes())
+	}
+	got := make([]byte, 64<<10)
+	if err := d.MemcpyDtoH(got, first); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != src[i] {
+			t.Fatalf("contents lost during growth at byte %d", i)
+		}
+	}
+}
+
+// The host cap turns a runaway resident set into a typed error instead of
+// an actual host OOM.
+func TestHostCapTypedError(t *testing.T) {
+	d := NewDevice(perfmodel.TitanX, 12<<30)
+	d.SetMaxHostBytes(1 << 20)
+	if _, err := d.Alloc(512 << 10); err != nil {
+		t.Fatalf("in-cap Alloc: %v", err)
+	}
+	_, err := d.Alloc(2 << 20)
+	var oom *HostOOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("want *HostOOMError, got %v", err)
+	}
+	if oom.Limit != 1<<20 || oom.Need <= oom.Limit {
+		t.Fatalf("HostOOMError fields Need=%d Limit=%d inconsistent", oom.Need, oom.Limit)
+	}
+	// Device-capacity exhaustion still reports the classic OOM, not a host
+	// cap error: the request fits the host cap but not the declared size.
+	small := NewDevice(perfmodel.TitanX, 1024)
+	if _, err := small.Alloc(4096); err == nil || errors.As(err, &oom) {
+		t.Fatalf("device OOM misreported: %v", err)
+	}
+}
+
+// A flipped kill switch fails every operation class with the typed
+// *KilledError wrapping ErrDeviceKilled, and Revive restores service.
+func TestKillSwitchFailsOperations(t *testing.T) {
+	ks := &KillSwitch{}
+	d := NewDevice(perfmodel.TitanX, 1<<20)
+	d.InjectFaults(NewFaultInjectorKilled(FaultConfig{}, ks))
+	buf, err := d.Alloc(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks.Kill()
+	if _, err := d.Alloc(64); !errors.Is(err, ErrDeviceKilled) {
+		t.Fatalf("Alloc on killed device: %v", err)
+	}
+	if err := d.MemcpyHtoD(buf, make([]byte, 64)); !errors.Is(err, ErrDeviceKilled) {
+		t.Fatalf("HtoD on killed device: %v", err)
+	}
+	if err := d.MemcpyDtoH(make([]byte, 64), buf); !errors.Is(err, ErrDeviceKilled) {
+		t.Fatalf("DtoH on killed device: %v", err)
+	}
+	var ke *KilledError
+	_, err = d.Launch(2, 32, KernelFunc(func(b *Block) {}))
+	if !errors.As(err, &ke) || ke.Op != FaultLaunch {
+		t.Fatalf("Launch on killed device: want *KilledError{Launch}, got %v", err)
+	}
+	ks.Revive()
+	if err := d.MemcpyHtoD(buf, make([]byte, 64)); err != nil {
+		t.Fatalf("HtoD after revive: %v", err)
+	}
+	if _, err := d.Launch(2, 32, KernelFunc(func(b *Block) {})); err != nil {
+		t.Fatalf("Launch after revive: %v", err)
+	}
+}
+
+// Killing the device while a grid is running aborts the launch at a block
+// boundary: the error is the typed device-loss error, partial stats are
+// still tallied, and the grid does not run to completion.
+func TestKillMidLaunchAborts(t *testing.T) {
+	ks := &KillSwitch{}
+	d := NewDevice(perfmodel.TitanX, 1<<20)
+	d.InjectFaults(NewFaultInjectorKilled(FaultConfig{}, ks))
+	ran := 0
+	k := KernelFunc(func(b *Block) {
+		ran++
+		if ran == 3 {
+			ks.Kill()
+		}
+		b.ForEachThread(func(th *Thread) { th.Ops(1) })
+	})
+	// One thread per block keeps the scheduler single-worker-friendly; the
+	// kill must stop the loop long before the million blocks finish.
+	stats, err := d.LaunchCtx(t.Context(), 1_000_000, 1, k)
+	if !errors.Is(err, ErrDeviceKilled) {
+		t.Fatalf("want ErrDeviceKilled, got %v", err)
+	}
+	if ran >= 1_000_000 {
+		t.Fatal("kill did not stop the block loop early")
+	}
+	if stats == nil || stats.ALUOps == 0 {
+		t.Fatalf("partial stats lost: %+v", stats)
+	}
+	// Revive: the same device must complete a full grid again.
+	ks.Revive()
+	if _, err := d.Launch(8, 32, KernelFunc(func(b *Block) {})); err != nil {
+		t.Fatalf("launch after revive: %v", err)
+	}
+}
+
+// A kill-only injector (zero fault rates, just a switch) must behave like
+// no injector at all while the switch is off — in particular the rng-free
+// paths must not panic and must inject nothing.
+func TestKillOnlyInjectorInertUntilKilled(t *testing.T) {
+	ks := &KillSwitch{}
+	inj := NewFaultInjectorKilled(FaultConfig{}, ks)
+	if inj == nil {
+		t.Fatal("injector with a switch must not be nil")
+	}
+	d := NewDevice(perfmodel.TitanX, 1<<20)
+	d.InjectFaults(inj)
+	buf, err := d.Alloc(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := d.MemcpyHtoD(buf, make([]byte, 1<<10)); err != nil {
+			t.Fatalf("iter %d HtoD: %v", i, err)
+		}
+		if err := d.MemcpyDtoH(make([]byte, 1<<10), buf); err != nil {
+			t.Fatalf("iter %d DtoH: %v", i, err)
+		}
+	}
+	if c := inj.Counts(); c.Total() != 0 {
+		t.Fatalf("kill-only injector injected faults: %+v", c)
+	}
+	var nilKS *KillSwitch
+	if nilKS.Killed() {
+		t.Fatal("nil KillSwitch reports killed")
+	}
+}

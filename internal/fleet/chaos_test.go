@@ -1,0 +1,255 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cudasim"
+	"repro/internal/perfmodel"
+)
+
+// TestFleetChaosKillRevive is the fleet-level no-hang/no-wrong-score
+// guarantee: every device carries a ≥10% flaky profile on every fault
+// class, a chaos goroutine kills and revives random GPU members throughout,
+// and concurrent clients demand that every Run either returns exact scores
+// or a typed error within the deadline. Runs in CI under -race.
+func TestFleetChaosKillRevive(t *testing.T) {
+	flaky := func(seed uint64) cudasim.FaultConfig {
+		return cudasim.FaultConfig{Seed: seed, HtoD: 0.12, DtoH: 0.12, Alloc: 0.10, Launch: 0.12, BitFlip: 0.10}
+	}
+	s, err := New(Config{
+		Devices: []DeviceConfig{
+			{Name: "d0", Spec: perfmodel.TitanX, GlobalBytes: 12 << 30, Flaky: flaky(1)},
+			{Name: "d1", Spec: perfmodel.TitanX, GlobalBytes: 12 << 30, Flaky: flaky(2)},
+			{Name: "d2", Spec: perfmodel.TitanXHalf, GlobalBytes: 6 << 30, Flaky: flaky(3)},
+			{Name: "d3", Spec: perfmodel.TitanXQuarter, GlobalBytes: 3 << 30, Flaky: flaky(4)},
+			{Name: "cpu", CPU: true},
+		},
+		QuarantineAfter: 4,
+		ProbeInterval:   25 * time.Millisecond,
+		HedgeAfter:      20 * time.Millisecond,
+		QueueDepth:      32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	dur := 1500 * time.Millisecond
+	if testing.Short() {
+		dur = 400 * time.Millisecond
+	}
+	stop := time.After(dur)
+	stopCh := make(chan struct{})
+	go func() {
+		<-stop
+		close(stopCh)
+	}()
+
+	// Chaos: kill a random GPU, hold it dead a while, revive, repeat.
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		rng := rand.New(rand.NewPCG(77, 0xdead))
+		names := []string{"d0", "d1", "d2", "d3"}
+		for {
+			select {
+			case <-stopCh:
+				// Leave everything alive at the end.
+				for _, n := range names {
+					s.ReviveDevice(n)
+				}
+				return
+			case <-time.After(time.Duration(10+rng.IntN(30)) * time.Millisecond):
+			}
+			victim := names[rng.IntN(len(names))]
+			s.KillDevice(victim)
+			select {
+			case <-stopCh:
+				for _, n := range names {
+					s.ReviveDevice(n)
+				}
+				return
+			case <-time.After(time.Duration(20+rng.IntN(40)) * time.Millisecond):
+			}
+			s.ReviveDevice(victim)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	var mu sync.Mutex
+	okRuns, failedRuns := 0, 0
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				pairs, want := testPairs(uint64(10_000*c+i+1), 24)
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				got, err := s.Run(ctx, pairs, scoreExec(t))
+				cancel()
+				if err != nil {
+					// Failure is allowed under chaos — but only typed
+					// failure: the shard exhausted the fleet, with the
+					// real cause in the chain.
+					if !errors.Is(err, ErrNoDevices) && !errors.Is(err, cudasim.ErrDeviceKilled) &&
+						!errors.Is(err, cudasim.ErrInjected) {
+						errCh <- fmt.Errorf("client %d iter %d: untyped failure: %w", c, i, err)
+						return
+					}
+					mu.Lock()
+					failedRuns++
+					mu.Unlock()
+					continue
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						errCh <- fmt.Errorf("client %d iter %d: WRONG SCORE [%d] = %d, want %d",
+							c, i, k, got[k], want[k])
+						return
+					}
+				}
+				mu.Lock()
+				okRuns++
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	chaosWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+	if okRuns == 0 {
+		t.Fatal("chaos soak produced zero successful runs")
+	}
+	st := s.Stats()
+	if st.Kills == 0 || st.Requeues == 0 {
+		t.Fatalf("chaos did not exercise kill/requeue paths: %+v", st)
+	}
+	t.Logf("chaos: ok=%d failed=%d stats=%+v", okRuns, failedRuns, st)
+
+	// Aftermath: with chaos over and everything revived, the fleet must
+	// recover to full service.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		pairs, want := testPairs(424242, 24)
+		got, err := s.Run(context.Background(), pairs, scoreExec(t))
+		if err == nil {
+			ok := true
+			for k := range want {
+				if got[k] != want[k] {
+					ok = false
+				}
+			}
+			if ok {
+				break
+			}
+			t.Fatal("post-chaos wrong scores")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never recovered post-chaos: %v; stats %+v", err, s.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Stats must stay internally consistent while membership churns: the
+// aggregates always equal the per-device sums, the device set never
+// changes, and every state is valid. Run under -race with concurrent
+// traffic, kills, revives and snapshot readers.
+func TestStatsConsistentUnderChurn(t *testing.T) {
+	s, err := New(Config{
+		Devices:         fourGPUsPlusCPU(),
+		QuarantineAfter: 2,
+		ProbeInterval:   10 * time.Millisecond,
+		HedgeAfter:      15 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	stopCh := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopCh:
+					return
+				default:
+				}
+				pairs, _ := testPairs(uint64(c*1000+i+1), 16)
+				s.Run(context.Background(), pairs, scoreExec(t))
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewPCG(5, 5))
+		names := []string{"d0", "d1", "d2", "d3"}
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			n := names[rng.IntN(len(names))]
+			if rng.IntN(2) == 0 {
+				s.KillDevice(n)
+			} else {
+				s.ReviveDevice(n)
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	snaps := 0
+	for time.Now().Before(deadline) {
+		st := s.Stats()
+		snaps++
+		if len(st.Devices) != 5 {
+			t.Fatalf("device set changed size: %d", len(st.Devices))
+		}
+		var steals, quar, read int64
+		for _, d := range st.Devices {
+			if d.State < Healthy || d.State > Probing {
+				t.Fatalf("invalid state %v on %s", d.State, d.Name)
+			}
+			if d.Readmissions > d.Quarantines {
+				t.Fatalf("%s readmitted (%d) more than quarantined (%d)", d.Name, d.Readmissions, d.Quarantines)
+			}
+			steals += d.Steals
+			quar += d.Quarantines
+			read += d.Readmissions
+		}
+		if st.Steals != steals || st.Quarantines != quar || st.Readmissions != read {
+			t.Fatalf("aggregates drifted from per-device sums: %+v", st)
+		}
+	}
+	close(stopCh)
+	wg.Wait()
+	if snaps == 0 {
+		t.Fatal("no snapshots taken")
+	}
+}

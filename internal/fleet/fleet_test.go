@@ -1,0 +1,453 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cudasim"
+	"repro/internal/dna"
+	"repro/internal/perfmodel"
+	"repro/internal/swa"
+)
+
+// testPairs returns a deterministic batch and its reference scores.
+func testPairs(seed uint64, n int) ([]dna.Pair, []int) {
+	rng := rand.New(rand.NewPCG(seed, 0xf1ee7))
+	pairs := dna.RandomPairs(rng, n, 12, 24)
+	want := make([]int, len(pairs))
+	for i, p := range pairs {
+		want[i] = swa.Score(p.X, p.Y, swa.PaperScoring)
+	}
+	return pairs, want
+}
+
+// scoreExec is the simplest honest exec: it respects the device's kill
+// switch and flaky profile via a real (tiny) cudasim round-trip, then
+// scores on the host. The round-trip is what makes KillDevice and flaky
+// profiles observable at the fleet level without dragging in the full
+// pipeline.
+func scoreExec(t *testing.T) ExecFunc {
+	return func(ctx context.Context, d *Device, pairs []dna.Pair) ([]int, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !d.CPU() {
+			dev := cudasim.NewDevice(d.Spec(), 1<<20)
+			seed := execSeed.Add(1)
+			dev.InjectFaults(d.NewInjector(cudasim.FaultConfig{}, seed))
+			buf, err := dev.Alloc(64)
+			if err != nil {
+				return nil, err
+			}
+			if err := dev.MemcpyHtoD(buf, make([]byte, 64)); err != nil {
+				return nil, err
+			}
+			if _, err := dev.Launch(1, 32, cudasim.KernelFunc(func(b *cudasim.Block) {})); err != nil {
+				return nil, err
+			}
+		} else if d.Killed() {
+			return nil, &cudasim.KilledError{Op: cudasim.FaultLaunch}
+		}
+		out := make([]int, len(pairs))
+		for i, p := range pairs {
+			out[i] = swa.Score(p.X, p.Y, swa.PaperScoring)
+		}
+		return out, nil
+	}
+}
+
+var execSeed atomic.Uint64
+
+func fourGPUsPlusCPU() []DeviceConfig {
+	return []DeviceConfig{
+		{Name: "d0", Spec: perfmodel.TitanX, GlobalBytes: 12 << 30},
+		{Name: "d1", Spec: perfmodel.TitanX, GlobalBytes: 12 << 30},
+		{Name: "d2", Spec: perfmodel.TitanXHalf, GlobalBytes: 6 << 30},
+		{Name: "d3", Spec: perfmodel.TitanXQuarter, GlobalBytes: 3 << 30},
+		{Name: "cpu", CPU: true},
+	}
+}
+
+func TestRunExactScores(t *testing.T) {
+	s, err := New(Config{Devices: fourGPUsPlusCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for iter := 0; iter < 8; iter++ {
+		pairs, want := testPairs(uint64(iter+1), 32)
+		got, err := s.Run(context.Background(), pairs, scoreExec(t))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d score[%d] = %d, want %d", iter, i, got[i], want[i])
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Batches != 8 || st.Shards < 8 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// GPU members should have shared the load; CPU should have taken none
+	// (no failures occurred).
+	var gpuPairs, cpuPairs int64
+	for _, d := range st.Devices {
+		if d.CPU {
+			cpuPairs += d.PairsDone
+		} else {
+			gpuPairs += d.PairsDone
+		}
+	}
+	if gpuPairs != 8*32 || cpuPairs != 0 {
+		t.Fatalf("pairs split gpu=%d cpu=%d, want 256/0", gpuPairs, cpuPairs)
+	}
+}
+
+func TestEmptyAndCancelled(t *testing.T) {
+	s, err := New(Config{Devices: fourGPUsPlusCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := s.Run(context.Background(), nil, scoreExec(t))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty run: %v %v", got, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pairs, _ := testPairs(1, 8)
+	if _, err := s.Run(ctx, pairs, scoreExec(t)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: %v", err)
+	}
+}
+
+// Killing one device mid-traffic: every batch still completes with exact
+// scores (lost shards re-queued), the device quarantines, and after revival
+// the prober readmits it.
+func TestKillQuarantineReadmit(t *testing.T) {
+	s, err := New(Config{
+		Devices:         fourGPUsPlusCPU(),
+		QuarantineAfter: 2,
+		ProbeInterval:   30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	stopTraffic := make(chan struct{})
+	errCh := make(chan error, 64)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopTraffic:
+					return
+				default:
+				}
+				pairs, want := testPairs(uint64(1000*c+i+1), 24)
+				got, err := s.Run(context.Background(), pairs, scoreExec(t))
+				if err != nil {
+					errCh <- fmt.Errorf("client %d iter %d: %w", c, i, err)
+					return
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						errCh <- fmt.Errorf("client %d iter %d: wrong score[%d]", c, i, k)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	if err := s.KillDevice("d1"); err != nil {
+		t.Fatal(err)
+	}
+	// The kill surfaces as traffic failures; wait for quarantine.
+	waitFor(t, 5*time.Second, func() bool {
+		for _, d := range s.Stats().Devices {
+			if d.Name == "d1" {
+				return d.State == Quarantined
+			}
+		}
+		return false
+	}, "d1 quarantined")
+
+	if err := s.ReviveDevice("d1"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		for _, d := range s.Stats().Devices {
+			if d.Name == "d1" {
+				return d.State == Healthy && d.Readmissions >= 1
+			}
+		}
+		return false
+	}, "d1 readmitted")
+
+	close(stopTraffic)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	st := s.Stats()
+	if st.Kills != 1 || st.Revives != 1 || st.Quarantines < 1 || st.Readmissions < 1 {
+		t.Fatalf("lifecycle counters: %+v", st)
+	}
+	if st.Requeues == 0 {
+		t.Fatalf("kill produced no re-queues: %+v", st)
+	}
+}
+
+// With every device killed, Run must fail with the typed chain — never
+// hang: ErrNoDevices and the underlying ErrDeviceKilled both matchable.
+func TestAllKilledFailsTyped(t *testing.T) {
+	s, err := New(Config{
+		Devices: []DeviceConfig{
+			{Name: "d0", Spec: perfmodel.TitanX, GlobalBytes: 1 << 30},
+			{Name: "cpu", CPU: true},
+		},
+		QuarantineAfter: 100, // keep devices in rotation so attempts exhaust
+		MaxRedispatch:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.KillDevice("d0")
+	s.KillDevice("cpu")
+	pairs, _ := testPairs(7, 16)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err = s.Run(ctx, pairs, scoreExec(t))
+	if err == nil {
+		t.Fatal("run on fully-killed fleet succeeded")
+	}
+	if !errors.Is(err, ErrNoDevices) {
+		t.Fatalf("want ErrNoDevices in chain, got %v", err)
+	}
+	if !errors.Is(err, cudasim.ErrDeviceKilled) {
+		t.Fatalf("want ErrDeviceKilled in chain, got %v", err)
+	}
+}
+
+// A stalled device's shard is hedged onto a second device; the batch
+// completes promptly with exact scores and nothing is double-merged.
+func TestHedgingRescuesStraggler(t *testing.T) {
+	stall := make(chan struct{})
+	var stalled atomic.Bool
+	exec := func(ctx context.Context, d *Device, pairs []dna.Pair) ([]int, error) {
+		// The first execution (whichever device claims it) stalls until
+		// released; its hedge twin runs through immediately.
+		if stalled.CompareAndSwap(false, true) {
+			select {
+			case <-stall:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		out := make([]int, len(pairs))
+		for i, p := range pairs {
+			out[i] = swa.Score(p.X, p.Y, swa.PaperScoring)
+		}
+		return out, nil
+	}
+	s, err := New(Config{
+		Devices: []DeviceConfig{
+			{Name: "d0", Spec: perfmodel.TitanX, GlobalBytes: 1 << 30},
+			{Name: "d1", Spec: perfmodel.TitanX, GlobalBytes: 1 << 30},
+			{Name: "cpu", CPU: true},
+		},
+		HedgeAfter: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { close(stall); s.Close() }()
+
+	pairs, want := testPairs(3, 16)
+	done := make(chan struct{})
+	var got []int
+	var runErr error
+	go func() {
+		defer close(done)
+		got, runErr = s.Run(context.Background(), pairs, exec)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hedged batch did not complete while d0 stalled")
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("score[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if st := s.Stats(); st.Hedges == 0 {
+		t.Fatalf("straggler was not hedged: %+v", st)
+	}
+}
+
+// A device with a heavy flaky profile ends up quarantined by ordinary
+// traffic while the batch results stay exact.
+func TestFlakyDeviceQuarantined(t *testing.T) {
+	devs := []DeviceConfig{
+		{Name: "good", Spec: perfmodel.TitanX, GlobalBytes: 1 << 30},
+		{Name: "bad", Spec: perfmodel.TitanX, GlobalBytes: 1 << 30,
+			Flaky: cudasim.FaultConfig{Seed: 5, HtoD: 0.95, Launch: 0.95}},
+		{Name: "cpu", CPU: true},
+	}
+	s, err := New(Config{Devices: devs, QuarantineAfter: 3, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// A per-shard delay keeps one fast worker from draining every queue
+	// before the flaky device ever wakes up to take a shard.
+	inner := scoreExec(t)
+	exec := func(ctx context.Context, d *Device, pairs []dna.Pair) ([]int, error) {
+		time.Sleep(300 * time.Microsecond)
+		return inner(ctx, d, pairs)
+	}
+	for i := 0; i < 30; i++ {
+		pairs, want := testPairs(uint64(i+1), 16)
+		got, err := s.Run(context.Background(), pairs, exec)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("iter %d wrong score[%d]", i, k)
+			}
+		}
+	}
+	for _, d := range s.Stats().Devices {
+		if d.Name == "bad" && d.State != Quarantined {
+			t.Fatalf("flaky device not quarantined: %+v", d)
+		}
+	}
+}
+
+// Work-stealing: with one device slow and one fast, the fast device steals
+// from the slow one's queue.
+func TestWorkStealing(t *testing.T) {
+	exec := func(ctx context.Context, d *Device, pairs []dna.Pair) ([]int, error) {
+		if d.Name() == "slow" {
+			select {
+			case <-time.After(5 * time.Millisecond):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		out := make([]int, len(pairs))
+		for i, p := range pairs {
+			out[i] = swa.Score(p.X, p.Y, swa.PaperScoring)
+		}
+		return out, nil
+	}
+	s, err := New(Config{
+		Devices: []DeviceConfig{
+			{Name: "slow", Spec: perfmodel.TitanX, GlobalBytes: 1 << 30},
+			{Name: "fast", Spec: perfmodel.TitanX, GlobalBytes: 1 << 30},
+		},
+		MinShard:   2,
+		QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				pairs, want := testPairs(uint64(100*c+i+1), 8)
+				got, err := s.Run(context.Background(), pairs, exec)
+				if err != nil {
+					t.Errorf("run: %v", err)
+					return
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						t.Errorf("wrong score")
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Steals == 0 {
+		t.Logf("no steals observed (timing-dependent, not fatal): %+v", st)
+	}
+}
+
+// Close during in-flight work: Run returns ErrClosed promptly, workers
+// exit, nothing hangs.
+func TestCloseFailsInflight(t *testing.T) {
+	block := make(chan struct{})
+	exec := func(ctx context.Context, d *Device, pairs []dna.Pair) ([]int, error) {
+		select {
+		case <-block:
+			return nil, errors.New("released")
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	s, err := New(Config{Devices: []DeviceConfig{
+		{Name: "d0", Spec: perfmodel.TitanX, GlobalBytes: 1 << 30},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, _ := testPairs(1, 8)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Run(context.Background(), pairs, exec)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	go func() { time.Sleep(10 * time.Millisecond); close(block) }()
+	s.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung across Close")
+	}
+	if _, err := s.Run(context.Background(), pairs, exec); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, limit time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(limit)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
