@@ -44,8 +44,10 @@ func main() {
 	benchOut := flag.String("bench-out", "", "write a bench-pipeline JSON document to FILE and exit (skips the tables)")
 	devices := flag.Int("devices", 0, "with -bench-out: also sweep a fleet of N simulated devices and record per-device utilisation")
 	deviceSpecs := flag.String("device-specs", "titanx", "with -devices: comma-separated perf specs cycled over the fleet members")
+	peers := flag.Int("peers", 0, "with -bench-out: also sweep a cluster of N peer nodes and record routing, peer cache hit ratio and re-homes")
 	checkBench := flag.String("check-bench", "", "validate a bench-pipeline JSON document and exit")
 	requireFleet := flag.Bool("require-fleet", false, "with -check-bench: fail unless the document carries a fleet section")
+	requireCluster := flag.Bool("require-cluster", false, "with -check-bench: fail unless the document carries a cluster section")
 	metricsOut := flag.String("metrics-out", "", "with -bench-out: also dump the run's Prometheus metrics to FILE (- = stderr)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
@@ -58,12 +60,18 @@ func main() {
 		if err == nil && *requireFleet && f.Fleet == nil {
 			err = fmt.Errorf("%s has no fleet section (regenerate with -devices N)", *checkBench)
 		}
+		if err == nil && *requireCluster && f.Cluster == nil {
+			err = fmt.Errorf("%s has no cluster section (regenerate with -peers N)", *checkBench)
+		}
 		if err != nil {
 			cli.Exitf(1, "swabench: %v", err)
 		}
 		fleetNote := ""
 		if f.Fleet != nil {
 			fleetNote = fmt.Sprintf(", fleet of %d", len(f.Fleet.Devices))
+		}
+		if f.Cluster != nil {
+			fleetNote += fmt.Sprintf(", cluster of %d", f.Cluster.Nodes)
 		}
 		fmt.Printf("swabench: %s ok (%s workload, %d runs%s)\n", *checkBench, f.Workload, len(f.Runs), fleetNote)
 		return
@@ -106,6 +114,14 @@ func main() {
 				cli.Die(fmt.Errorf("swabench: bench: %w", err))
 			}
 		}
+		if *peers > 0 {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "... bench: cluster sweep across %d peer node(s)\n", *peers)
+			}
+			if err := f.CollectCluster(ctx, spec, *peers); err != nil {
+				cli.Die(fmt.Errorf("swabench: bench: %w", err))
+			}
+		}
 		if err := f.WriteFile(*benchOut); err != nil {
 			cli.Die(fmt.Errorf("swabench: bench: %w", err))
 		}
@@ -124,6 +140,10 @@ func main() {
 			}
 			fmt.Printf("fleet aggregate wall_gcups=%.4f over %d shards\n",
 				f.Fleet.AggregateGCUPS, f.Fleet.Shards)
+		}
+		if c := f.Cluster; c != nil {
+			fmt.Printf("cluster nodes=%d forwarded=%d warm_hit_ratio=%.2f fallbacks=%d rehomes=%d (killed %s)\n",
+				c.Nodes, c.ForwardedPairs, c.WarmHitRatio, c.FallbackPairs, c.Rehomes, c.KilledNode)
 		}
 		fmt.Printf("swabench: wrote %s\n", *benchOut)
 		return

@@ -25,8 +25,19 @@
 //	          [-queued N] [-grace 15s] [-timeout 30s] [-lanes 32]
 //	          [-devices 4 -device-specs titanx,titanx-half]
 //	          [-quarantine-after 3 -probe-interval 1s -hedge-after 0]
+//	          [-node-id n1 -peers n2=http://h2:8468,n3=http://h3:8468]
+//	          [-peer-timeout 5s -peer-hedge-after 0 -peer-probe-interval 1s]
 //	          [-data-dir /var/lib/swa -wal-sync always -chunk-size 64]
+//	          [-read-header-timeout 10s -read-timeout 2m -idle-timeout 2m]
 //	          [-fault-launch 0.3 -fault-bitflip 0.2 ...]   (chaos mode)
+//
+// -peers turns N swaserver processes into one coordinator-free logical
+// service: a consistent-hash ring over the score-cache content address
+// routes each pair to its owner node for cache locality, with circuit
+// breakers, health probing (dead peers leave the ring, readmitted ones
+// rejoin) and unconditional fallback to local execution. On drain the node
+// hands its hot key arcs to the surviving owners. /statsz gains a cluster
+// section and /metricsz cluster_* gauges.
 //
 // -devices N (N > 0) runs the GPU tiers on a fleet of N simulated devices
 // plus a CPU last-resort member: batches shard across the fleet with
@@ -50,6 +61,7 @@ import (
 	"repro/internal/aligncache"
 	"repro/internal/alignsvc"
 	"repro/internal/cli"
+	"repro/internal/cluster"
 	"repro/internal/cudasim"
 	"repro/internal/fleet"
 	"repro/internal/jobs"
@@ -81,6 +93,12 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", time.Second, "quarantine cooldown before a readmission probe")
 	hedgeAfter := flag.Duration("hedge-after", 0, "re-dispatch a shard still running after this long (0 disables hedging)")
 
+	nodeID := flag.String("node-id", "", "this node's stable cluster identity (required with -peers)")
+	peers := flag.String("peers", "", "static cluster peers as id=url,id=url (empty = single node, no cluster)")
+	peerTimeout := flag.Duration("peer-timeout", 5*time.Second, "per-attempt deadline for forwards and health probes")
+	peerHedgeAfter := flag.Duration("peer-hedge-after", 0, "race local execution against a forward still running after this long (0 disables)")
+	peerProbeInterval := flag.Duration("peer-probe-interval", time.Second, "peer health-probe cadence and quarantine cooldown")
+
 	inflight := flag.Int("inflight", 0, "max align requests executing concurrently (0 = 2×GOMAXPROCS)")
 	queued := flag.Int("queued", 0, "max align requests waiting for a slot before 429 (0 = inflight)")
 	maxPairs := flag.Int("max-pairs", 4096, "max pairs per batch")
@@ -89,6 +107,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested deadlines")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for draining in-flight requests")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "how long a client may take to send request headers (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "how long a client may take to send a whole request (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is kept open")
 
 	dataDir := flag.String("data-dir", "", "WAL directory for durable async jobs (empty = /jobs API disabled)")
 	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always, interval or never")
@@ -248,6 +269,36 @@ func main() {
 		}
 	}
 
+	// The coordinator-free cluster layer: -peers names the other swaserver
+	// processes; a consistent-hash ring over the score-cache content address
+	// routes each pair to its owner node (falling back to local execution on
+	// any peer failure), peer health probes feed ring membership, and drain
+	// hands the hot key set to the surviving owners.
+	var cl *cluster.Cluster
+	if *peers != "" {
+		if *nodeID == "" {
+			cli.Exitf(2, "swaserver: -peers requires -node-id")
+		}
+		peerList, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			cli.Exitf(2, "swaserver: -peers: %v", err)
+		}
+		cl, err = cluster.New(cluster.Config{
+			NodeID:        *nodeID,
+			Peers:         peerList,
+			Local:         svc,
+			Scoring:       svc.Scoring(),
+			Lanes:         svc.Lanes(),
+			PeerTimeout:   *peerTimeout,
+			HedgeAfter:    *peerHedgeAfter,
+			ProbeInterval: *peerProbeInterval,
+			Metrics:       obs.Default(),
+		})
+		cli.Check(err)
+		log.Printf("swaserver: cluster enabled: node %s with %d peer(s), probe every %v",
+			*nodeID, len(peerList), *peerProbeInterval)
+	}
+
 	srv, err := server.New(server.Config{
 		Service:        svc,
 		MaxInFlight:    *inflight,
@@ -259,6 +310,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Jobs:           mgr,
 		TraceRing:      ring,
+		Cluster:        cl,
 	})
 	cli.Check(err)
 
@@ -268,7 +320,15 @@ func main() {
 	// discover a :0-assigned port.
 	fmt.Printf("swaserver listening on %s\n", ln.Addr())
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Connection hygiene on both listeners: a client that stalls mid-header
+	// (slowloris) or parks a dead keep-alive connection must not pin server
+	// resources forever. ReadTimeout additionally bounds slow request bodies.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -279,7 +339,12 @@ func main() {
 		opsLn, err := net.Listen("tcp", *opsAddr)
 		cli.Check(err)
 		fmt.Printf("swaserver ops listening on %s\n", opsLn.Addr())
-		opsSrv = &http.Server{Handler: srv.OpsHandler()}
+		opsSrv = &http.Server{
+			Handler:           srv.OpsHandler(),
+			ReadHeaderTimeout: *readHeaderTimeout,
+			ReadTimeout:       *readTimeout,
+			IdleTimeout:       *idleTimeout,
+		}
 		go func() {
 			if err := opsSrv.Serve(opsLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("swaserver: ops serve: %v", err)
@@ -295,6 +360,7 @@ func main() {
 			mgr.Close()
 			cli.Check(store.Close())
 		}
+		cl.Close()
 		svc.Close()
 		if fl != nil {
 			fl.Close()
@@ -327,6 +393,7 @@ func main() {
 		mgr.Close()
 		cli.Check(store.Close())
 	}
+	cl.Close()
 	svc.Close()
 	if fl != nil {
 		fl.Close()

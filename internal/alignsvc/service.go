@@ -603,6 +603,15 @@ func (s *Service) scoring() swa.Scoring {
 	return s.cfg.Pipeline.Scoring
 }
 
+// Scoring reports the effective scoring scheme the service aligns with.
+// The cluster layer uses it to derive the same cache keys this service
+// derives, so consistent-hash routing lands forwards on warm caches.
+func (s *Service) Scoring() swa.Scoring { return s.scoring() }
+
+// Lanes reports the effective bitwise lane width (32 or 64), the other
+// input of the content-address cache key.
+func (s *Service) Lanes() int { return s.cfg.Lanes }
+
 // runCPU is the final rung: the exact reference, pair by pair, checking the
 // context as it goes.
 func (s *Service) runCPU(ctx context.Context, pairs []dna.Pair) ([]int, error) {

@@ -131,6 +131,9 @@ type File struct {
 	// Fleet is present when the sweep was additionally run across a device
 	// fleet (swabench -devices N).
 	Fleet *Fleet `json:"fleet,omitempty"`
+	// Cluster is present when the sweep was additionally run through a
+	// multi-node peer cluster (swabench -peers N).
+	Cluster *ClusterSection `json:"cluster,omitempty"`
 }
 
 // Collect runs the bitwise pipeline once per n in the spec's sweep and
@@ -350,6 +353,11 @@ func (f *File) Validate() error {
 		if shards < fl.Shards || steals != fl.Steals {
 			return fmt.Errorf("bench: fleet aggregates (shards %d, steals %d) inconsistent with per-device sums (%d, %d)",
 				fl.Shards, fl.Steals, shards, steals)
+		}
+	}
+	if f.Cluster != nil {
+		if err := f.Cluster.validate(); err != nil {
+			return err
 		}
 	}
 	return nil

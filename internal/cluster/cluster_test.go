@@ -1,0 +1,711 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/aligncache"
+	"repro/internal/alignsvc"
+	"repro/internal/dna"
+	"repro/internal/swa"
+)
+
+// fakeLocal is a deterministic Local: scores with the exact CPU reference,
+// records every call, and can be told to fail.
+type fakeLocal struct {
+	mu      sync.Mutex
+	calls   int
+	pairs   int
+	warmed  int
+	failErr error
+	delay   time.Duration
+}
+
+func (f *fakeLocal) Align(ctx context.Context, pairs []dna.Pair) (*alignsvc.BatchResult, error) {
+	f.mu.Lock()
+	f.calls++
+	f.pairs += len(pairs)
+	err := f.failErr
+	delay := f.delay
+	f.mu.Unlock()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]int, len(pairs))
+	for i, p := range pairs {
+		scores[i] = swa.Score(p.X, p.Y, swa.PaperScoring)
+	}
+	return &alignsvc.BatchResult{Scores: scores, Report: alignsvc.Report{Tier: alignsvc.TierCPU}}, nil
+}
+
+func (f *fakeLocal) WarmCache(pairs []dna.Pair, scores []int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.warmed += len(pairs)
+	return len(pairs)
+}
+
+func (f *fakeLocal) stats() (calls, pairs, warmed int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls, f.pairs, f.warmed
+}
+
+func testPairs(t *testing.T, n int) []dna.Pair {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(42, 0))
+	return dna.RandomPairs(rng, n, 16, 64)
+}
+
+func wantScores(pairs []dna.Pair) []int {
+	out := make([]int, len(pairs))
+	for i, p := range pairs {
+		out[i] = swa.Score(p.X, p.Y, swa.PaperScoring)
+	}
+	return out
+}
+
+// peerServer is a minimal in-test peer speaking the /align, /readyz and
+// /cluster/warm wire protocol.
+type peerServer struct {
+	t        *testing.T
+	ts       *httptest.Server
+	aligns   atomic.Int64
+	warms    atomic.Int64
+	warmed   atomic.Int64
+	ready    atomic.Bool
+	fail     atomic.Bool  // 500 every /align
+	shed     atomic.Int32 // next N /align answers are 429
+	shedWait string       // Retry-After value sent with 429s
+	lastHops atomic.Value // string: last X-SWA-Forwarded seen
+	sleep    time.Duration
+}
+
+func newPeerServer(t *testing.T) *peerServer {
+	p := &peerServer{t: t}
+	p.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/align", func(w http.ResponseWriter, r *http.Request) {
+		p.aligns.Add(1)
+		p.lastHops.Store(r.Header.Get(ForwardHeader))
+		if p.sleep > 0 {
+			time.Sleep(p.sleep)
+		}
+		if p.fail.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		if n := p.shed.Load(); n > 0 && p.shed.CompareAndSwap(n, n-1) {
+			if p.shedWait != "" {
+				w.Header().Set("Retry-After", p.shedWait)
+			}
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		var req wireAlignReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		scores := make([]int, len(req.Pairs))
+		for i, wp := range req.Pairs {
+			x, _ := dna.Parse(wp.X)
+			y, _ := dna.Parse(wp.Y)
+			scores[i] = swa.Score(x, y, swa.PaperScoring)
+		}
+		resp := map[string]any{
+			"scores": scores,
+			"report": map[string]any{"cache_hits": len(scores)},
+		}
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !p.ready.Load() {
+			http.Error(w, `{"ready":false}`, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, `{"ready":true}`)
+	})
+	mux.HandleFunc("/cluster/warm", func(w http.ResponseWriter, r *http.Request) {
+		p.warms.Add(1)
+		var req WarmRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(req.Pairs) != len(req.Scores) {
+			http.Error(w, "mismatch", http.StatusBadRequest)
+			return
+		}
+		p.warmed.Add(int64(len(req.Pairs)))
+		fmt.Fprintf(w, `{"accepted":%d}`, len(req.Pairs))
+	})
+	p.ts = httptest.NewServer(mux)
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// --- ring ---
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	members := []string{"n1", "n2", "n3"}
+	a := buildRing(members, 64)
+	b := buildRing([]string{"n3", "n1", "n2"}, 64) // order-independent
+	if !reflect.DeepEqual(a.hashes, b.hashes) || !reflect.DeepEqual(a.owners, b.owners) {
+		t.Fatal("ring must be deterministic and member-order independent")
+	}
+	if got := a.members(); !reflect.DeepEqual(got, []string{"n1", "n2", "n3"}) {
+		t.Fatalf("members: %v", got)
+	}
+	owned := map[string]int{}
+	rng := rand.New(rand.NewPCG(7, 0))
+	for i := 0; i < 5000; i++ {
+		x, y := dna.RandSeq(rng, 8), dna.RandSeq(rng, 32)
+		k := aligncache.KeyOf(x, y, swa.PaperScoring, 32)
+		owner := a.owner(pointOf(k))
+		if owner == "" {
+			t.Fatal("ring returned no owner")
+		}
+		owned[owner]++
+	}
+	for _, m := range members {
+		if owned[m] == 0 {
+			t.Fatalf("member %s owns nothing: %v", m, owned)
+		}
+		// With 64 vnodes the split should be vaguely even; accept wide slack.
+		if owned[m] < 500 {
+			t.Fatalf("member %s owns only %d/5000 keys: %v", m, owned[m], owned)
+		}
+	}
+}
+
+func TestRingRehomesMinimally(t *testing.T) {
+	full := buildRing([]string{"n1", "n2", "n3"}, 64)
+	reduced := buildRing([]string{"n1", "n3"}, 64)
+	rng := rand.New(rand.NewPCG(11, 0))
+	moved, kept := 0, 0
+	for i := 0; i < 5000; i++ {
+		x, y := dna.RandSeq(rng, 8), dna.RandSeq(rng, 32)
+		h := pointOf(aligncache.KeyOf(x, y, swa.PaperScoring, 32))
+		before, after := full.owner(h), reduced.owner(h)
+		if before == "n2" {
+			continue // n2's arc must re-home somewhere, by definition
+		}
+		if before == after {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	// Consistent hashing: keys not owned by the removed node stay put.
+	if moved != 0 {
+		t.Fatalf("%d keys owned by surviving nodes moved (kept %d)", moved, kept)
+	}
+	if full.owner(pointOf(aligncache.Key{})) == "" {
+		t.Fatal("zero key must have an owner")
+	}
+	var nilRing *ring
+	if nilRing.owner(42) != "" || nilRing.members() != nil {
+		t.Fatal("nil ring must own nothing")
+	}
+}
+
+// --- parsing / construction ---
+
+func TestParsePeers(t *testing.T) {
+	got, err := ParsePeers("n2=http://h2:1234, n3=http://h3:1234/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Peer{{ID: "n2", URL: "http://h2:1234"}, {ID: "n3", URL: "http://h3:1234"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v", got)
+	}
+	for _, bad := range []string{"n2", "=url", "n2=", "n2=u,n2=v"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("ParsePeers(%q) should fail", bad)
+		}
+	}
+	if got, err := ParsePeers(""); err != nil || got != nil {
+		t.Fatalf("empty peers: %v %v", got, err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	local := &fakeLocal{}
+	if _, err := New(Config{Local: local}); err == nil {
+		t.Fatal("missing NodeID should fail")
+	}
+	if _, err := New(Config{NodeID: "n1"}); err == nil {
+		t.Fatal("missing Local should fail")
+	}
+	if _, err := New(Config{NodeID: "n1", Local: local, Peers: []Peer{{ID: "n1", URL: "http://x"}}}); err == nil {
+		t.Fatal("self-referencing peer should fail")
+	}
+	if _, err := New(Config{NodeID: "n1", Local: local,
+		Peers: []Peer{{ID: "n2", URL: "http://x"}, {ID: "n2", URL: "http://y"}}}); err == nil {
+		t.Fatal("duplicate peer should fail")
+	}
+}
+
+// --- single-node identity ---
+
+func TestSingleNodeIdentity(t *testing.T) {
+	local := &fakeLocal{}
+	c := newTestCluster(t, Config{NodeID: "solo", Local: local,
+		Scoring: swa.PaperScoring, Lanes: 32})
+	pairs := testPairs(t, 32)
+	res, err := c.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := local.Align(context.Background(), pairs)
+	if !reflect.DeepEqual(res.Scores, direct.Scores) {
+		t.Fatal("single-node cluster must be byte-identical to no cluster")
+	}
+	if res.Report.Tier != direct.Report.Tier {
+		t.Fatalf("report tier differs: %v vs %v", res.Report.Tier, direct.Report.Tier)
+	}
+	st := c.Stats()
+	if st.ForwardedPairs != 0 || st.FallbackPairs != 0 {
+		t.Fatalf("single node must not forward: %+v", st)
+	}
+	if st.LocalPairs != int64(len(pairs)) {
+		t.Fatalf("local pairs = %d, want %d", st.LocalPairs, len(pairs))
+	}
+}
+
+// --- forwarding ---
+
+func TestForwardAndMerge(t *testing.T) {
+	peer := newPeerServer(t)
+	local := &fakeLocal{}
+	c := newTestCluster(t, Config{
+		NodeID: "n1", Local: local, Scoring: swa.PaperScoring, Lanes: 32,
+		Peers:         []Peer{{ID: "n2", URL: peer.ts.URL}},
+		ProbeInterval: time.Hour, // keep the prober quiet
+	})
+	pairs := testPairs(t, 64)
+	res, err := c.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Scores, wantScores(pairs)) {
+		t.Fatal("merged scores differ from the reference")
+	}
+	st := c.Stats()
+	if st.ForwardedPairs == 0 {
+		t.Fatal("a 2-node ring should forward some pairs")
+	}
+	if st.LocalPairs == 0 {
+		t.Fatal("a 2-node ring should keep some pairs local")
+	}
+	if st.ForwardedPairs+st.LocalPairs != int64(len(pairs)) {
+		t.Fatalf("forwarded %d + local %d != %d", st.ForwardedPairs, st.LocalPairs, len(pairs))
+	}
+	if st.PeerCacheHits == 0 {
+		t.Fatal("peer-reported cache hits should be tallied")
+	}
+	if hops, _ := peer.lastHops.Load().(string); hops != "n1" {
+		t.Fatalf("forward must carry one hop %q, got %q", "n1", hops)
+	}
+	// The forwarded pairs must NOT be recorded as our hotset (we don't own them).
+	if got := c.hot.len(); int64(got) != st.LocalPairs {
+		t.Fatalf("hotset has %d entries, want exactly the %d locally-owned", got, st.LocalPairs)
+	}
+}
+
+func TestDeadPeerFallsBackToLocal(t *testing.T) {
+	peer := newPeerServer(t)
+	url := peer.ts.URL
+	peer.ts.Close() // dead from the start
+	local := &fakeLocal{}
+	c := newTestCluster(t, Config{
+		NodeID: "n1", Local: local, Scoring: swa.PaperScoring, Lanes: 32,
+		Peers:         []Peer{{ID: "n2", URL: url}},
+		ProbeInterval: time.Hour,
+		MaxRetries:    -1, // no retries: fail straight to local
+		PeerTimeout:   200 * time.Millisecond,
+	})
+	pairs := testPairs(t, 48)
+	res, err := c.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatalf("a dead peer must never fail the request: %v", err)
+	}
+	if !reflect.DeepEqual(res.Scores, wantScores(pairs)) {
+		t.Fatal("fallback scores differ from the reference")
+	}
+	st := c.Stats()
+	if st.FallbackPairs == 0 {
+		t.Fatal("expected local fallbacks for the dead peer's pairs")
+	}
+	if st.ForwardedPairs != 0 {
+		t.Fatal("nothing should have been served by the dead peer")
+	}
+}
+
+func TestBreakerShortCircuitsDeadPeer(t *testing.T) {
+	peer := newPeerServer(t)
+	url := peer.ts.URL
+	peer.ts.Close()
+	local := &fakeLocal{}
+	c := newTestCluster(t, Config{
+		NodeID: "n1", Local: local, Scoring: swa.PaperScoring, Lanes: 32,
+		Peers:           []Peer{{ID: "n2", URL: url}},
+		ProbeInterval:   time.Hour,
+		MaxRetries:      -1,
+		BreakerFailures: 2,
+		BreakerCooldown: time.Hour,
+		PeerTimeout:     200 * time.Millisecond,
+	})
+	pairs := testPairs(t, 8)
+	for i := 0; i < 6; i++ {
+		if _, err := c.Align(context.Background(), pairs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.ShortCircuits == 0 {
+		t.Fatalf("breaker never short-circuited: %+v", st)
+	}
+	if len(st.Peers) != 1 || st.Peers[0].Breaker != BreakerOpen {
+		t.Fatalf("peer breaker should be open: %+v", st.Peers)
+	}
+}
+
+func TestRetryAfterHonoredOn429(t *testing.T) {
+	peer := newPeerServer(t)
+	peer.shedWait = "1"
+	peer.shed.Store(1) // first /align sheds, second succeeds
+	local := &fakeLocal{}
+	c := newTestCluster(t, Config{
+		NodeID: "n1", Local: local, Scoring: swa.PaperScoring, Lanes: 32,
+		Peers:         []Peer{{ID: "n2", URL: peer.ts.URL}},
+		ProbeInterval: time.Hour,
+		PeerTimeout:   5 * time.Second,
+	})
+	// Find pairs owned by the peer so a forward definitely happens.
+	pairs := ownedBy(t, c, "n2", 4)
+	begin := time.Now()
+	res, err := c.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Scores, wantScores(pairs)) {
+		t.Fatal("scores differ")
+	}
+	st := c.Stats()
+	if st.Retry429Waits == 0 {
+		t.Fatal("the 429 wait was not recorded")
+	}
+	if waited := time.Since(begin); waited < 900*time.Millisecond {
+		t.Fatalf("Retry-After: 1 was not honoured (returned after %v)", waited)
+	}
+	if st.ForwardedPairs != int64(len(pairs)) {
+		t.Fatalf("the retried forward should have succeeded: %+v", st)
+	}
+	// A shedding peer is healthy: 429 must not advance the health machine.
+	if st.Peers[0].State != Healthy {
+		t.Fatalf("429 marked the peer %v", st.Peers[0].State)
+	}
+	if st.Peers[0].Breaker != BreakerClosed {
+		t.Fatalf("429 moved the breaker to %v", st.Peers[0].Breaker)
+	}
+}
+
+// ownedBy generates pairs the given node owns under c's current ring.
+func ownedBy(t *testing.T, c *Cluster, owner string, n int) []dna.Pair {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(99, 0))
+	r := c.currentRing()
+	var out []dna.Pair
+	for tries := 0; len(out) < n && tries < 100000; tries++ {
+		p := dna.Pair{X: dna.RandSeq(rng, 16), Y: dna.RandSeq(rng, 64)}
+		k := aligncache.KeyOf(p.X, p.Y, c.cfg.Scoring, c.cfg.Lanes)
+		if r.owner(pointOf(k)) == owner {
+			out = append(out, p)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("could not generate %d pairs owned by %s", n, owner)
+	}
+	return out
+}
+
+func TestOwnerNeverForwardsToItself(t *testing.T) {
+	peer := newPeerServer(t)
+	local := &fakeLocal{}
+	c := newTestCluster(t, Config{
+		NodeID: "n1", Local: local, Scoring: swa.PaperScoring, Lanes: 32,
+		Peers:         []Peer{{ID: "n2", URL: peer.ts.URL}},
+		ProbeInterval: time.Hour,
+	})
+	pairs := ownedBy(t, c, "n1", 16)
+	if _, err := c.Align(context.Background(), pairs); err != nil {
+		t.Fatal(err)
+	}
+	if got := peer.aligns.Load(); got != 0 {
+		t.Fatalf("self-owned pairs hit the peer %d time(s)", got)
+	}
+	st := c.Stats()
+	if st.LocalPairs != int64(len(pairs)) || st.ForwardedPairs != 0 {
+		t.Fatalf("self-owned batch must be fully local: %+v", st)
+	}
+}
+
+// --- health machine / re-homing ---
+
+func TestQuarantineAndReadmission(t *testing.T) {
+	peer := newPeerServer(t)
+	local := &fakeLocal{}
+	c := newTestCluster(t, Config{
+		NodeID: "n1", Local: local, Scoring: swa.PaperScoring, Lanes: 32,
+		Peers:           []Peer{{ID: "n2", URL: peer.ts.URL}},
+		ProbeInterval:   50 * time.Millisecond,
+		QuarantineAfter: 2,
+		PeerTimeout:     time.Second,
+	})
+	waitState := func(want State) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if c.Stats().Peers[0].State == want {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("peer never became %v (now %v)", want, c.Stats().Peers[0].State)
+	}
+
+	waitState(Healthy)
+	membersBefore := len(c.Stats().RingMembers)
+	if membersBefore != 2 {
+		t.Fatalf("ring should have 2 members, has %d", membersBefore)
+	}
+
+	peer.ready.Store(false) // the peer "dies" (readyz 503)
+	waitState(Quarantined)
+	st := c.Stats()
+	if len(st.RingMembers) != 1 || st.RingMembers[0] != "n1" {
+		t.Fatalf("quarantined peer still in ring: %v", st.RingMembers)
+	}
+	if st.Peers[0].Quarantines == 0 {
+		t.Fatal("quarantine not counted")
+	}
+	rehomesAfterDeath := st.Rehomes
+
+	// All pairs — including n2's arc — now run locally without forwards.
+	pairs := testPairs(t, 32)
+	res, err := c.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Scores, wantScores(pairs)) {
+		t.Fatal("scores wrong while peer dead")
+	}
+
+	peer.ready.Store(true) // the peer comes back
+	waitState(Healthy)
+	st = c.Stats()
+	if len(st.RingMembers) != 2 {
+		t.Fatalf("readmitted peer missing from ring: %v", st.RingMembers)
+	}
+	if st.Peers[0].Readmissions == 0 {
+		t.Fatal("readmission not counted")
+	}
+	if st.Rehomes <= rehomesAfterDeath {
+		t.Fatal("readmission must re-home keys back")
+	}
+}
+
+// --- hedging ---
+
+func TestHedgeLocalWinsAgainstSlowPeer(t *testing.T) {
+	peer := newPeerServer(t)
+	peer.sleep = 2 * time.Second // peer is alive but glacial
+	local := &fakeLocal{}
+	c := newTestCluster(t, Config{
+		NodeID: "n1", Local: local, Scoring: swa.PaperScoring, Lanes: 32,
+		Peers:         []Peer{{ID: "n2", URL: peer.ts.URL}},
+		ProbeInterval: time.Hour,
+		HedgeAfter:    30 * time.Millisecond,
+		PeerTimeout:   10 * time.Second,
+	})
+	pairs := ownedBy(t, c, "n2", 8)
+	begin := time.Now()
+	res, err := c.Align(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(begin); elapsed > time.Second {
+		t.Fatalf("hedge did not rescue the slow forward (took %v)", elapsed)
+	}
+	if !reflect.DeepEqual(res.Scores, wantScores(pairs)) {
+		t.Fatal("hedged scores differ")
+	}
+	st := c.Stats()
+	if st.Hedges == 0 || st.HedgeLocalWins == 0 {
+		t.Fatalf("hedge not recorded: %+v", st)
+	}
+}
+
+// --- drain handoff ---
+
+func TestDrainHandsHotKeysToNewOwners(t *testing.T) {
+	peer := newPeerServer(t)
+	local := &fakeLocal{}
+	c := newTestCluster(t, Config{
+		NodeID: "n1", Local: local, Scoring: swa.PaperScoring, Lanes: 32,
+		Peers:         []Peer{{ID: "n2", URL: peer.ts.URL}},
+		ProbeInterval: time.Hour,
+		WarmBatch:     8,
+	})
+	// Serve a batch so the locally-owned pairs populate the hotset.
+	pairs := testPairs(t, 64)
+	if _, err := c.Align(context.Background(), pairs); err != nil {
+		t.Fatal(err)
+	}
+	hot := c.hot.len()
+	if hot == 0 {
+		t.Fatal("no hot entries to hand off")
+	}
+
+	c.BeginDrain(context.Background())
+	if !c.Draining() {
+		t.Fatal("not draining after BeginDrain")
+	}
+	st := c.Stats()
+	if st.HandoffEntries != int64(hot) {
+		t.Fatalf("handed off %d of %d hot entries", st.HandoffEntries, hot)
+	}
+	if got := peer.warmed.Load(); got != int64(hot) {
+		t.Fatalf("peer accepted %d of %d entries", got, hot)
+	}
+	if peer.warms.Load() < int64(hot/8) {
+		t.Fatalf("handoff should chunk by WarmBatch: %d POSTs for %d entries", peer.warms.Load(), hot)
+	}
+	// The self-less ring: everything now routes to n2 or runs locally as
+	// fallback; our own ID is gone.
+	for _, m := range st.RingMembers {
+		if m == "n1" {
+			t.Fatal("draining node still in its own ring")
+		}
+	}
+	// Second BeginDrain is a no-op.
+	c.BeginDrain(context.Background())
+	if got := c.Stats().HandoffEntries; got != st.HandoffEntries {
+		t.Fatal("double drain handed off twice")
+	}
+}
+
+// --- hotset ---
+
+func TestHotsetBoundsAndEvicts(t *testing.T) {
+	h := newHotset(4)
+	mk := func(i int) (aligncache.Key, dna.Pair) {
+		p := dna.Pair{X: dna.MustParse("ACGT"), Y: dna.MustParse("ACGTACGT")}
+		var k aligncache.Key
+		k[0] = byte(i)
+		return k, p
+	}
+	for i := 0; i < 10; i++ {
+		k, p := mk(i)
+		h.add(k, p, i)
+	}
+	if h.len() != 4 {
+		t.Fatalf("hotset grew to %d, cap 4", h.len())
+	}
+	// Re-adding an existing key updates, not duplicates.
+	k, p := mk(9)
+	h.add(k, p, 99)
+	if h.len() != 4 {
+		t.Fatalf("duplicate add changed size to %d", h.len())
+	}
+	found := false
+	for _, e := range h.snapshot() {
+		if e.key == k && e.score == 99 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("update lost")
+	}
+}
+
+// --- concurrency smoke (for -race) ---
+
+func TestConcurrentAlignWithChurn(t *testing.T) {
+	peer := newPeerServer(t)
+	local := &fakeLocal{}
+	c := newTestCluster(t, Config{
+		NodeID: "n1", Local: local, Scoring: swa.PaperScoring, Lanes: 32,
+		Peers:           []Peer{{ID: "n2", URL: peer.ts.URL}},
+		ProbeInterval:   20 * time.Millisecond,
+		QuarantineAfter: 2,
+		PeerTimeout:     500 * time.Millisecond,
+	})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // membership churn: peer flaps
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(40 * time.Millisecond):
+				peer.ready.Store(!peer.ready.Load())
+				peer.fail.Store(!peer.fail.Load())
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 0))
+			for i := 0; i < 20; i++ {
+				pairs := dna.RandomPairs(rng, 8, 8, 32)
+				res, err := c.Align(context.Background(), pairs)
+				if err != nil {
+					t.Errorf("align: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(res.Scores, wantScores(pairs)) {
+					t.Error("wrong scores under churn")
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	_ = c.Stats() // must not race with anything above
+}

@@ -395,3 +395,82 @@ func TestStateCountsAndList(t *testing.T) {
 		t.Fatalf("Len = %d", s.Len())
 	}
 }
+
+// TestDirSyncedOnSegmentLifecycle asserts the WAL fsyncs its parent
+// directory at every point a directory entry is born: initial segment
+// creation, and each rotation (seal + next segment's create). Without the
+// directory sync, a crash right after rotation could lose the new segment's
+// directory entry even though its contents were fsynced.
+func TestDirSyncedOnSegmentLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var calls int
+	var dirs []string
+	s.w.syncDir = func(d string) error {
+		calls++
+		dirs = append(dirs, d)
+		return nil
+	}
+
+	before := calls
+	start := s.w.segNum
+	for i := 0; calls == before && i < 64; i++ {
+		if _, err := s.Submit(fmt.Sprintf("sync%d", i), "", 4, testPairs(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.w.segNum == start {
+		t.Fatalf("no rotation happened within the append budget")
+	}
+	// One rotation = two dir syncs: after the seal and after the new
+	// segment's creation.
+	if calls < 2 {
+		t.Fatalf("rotation synced the directory %d time(s), want >= 2", calls)
+	}
+	for _, d := range dirs {
+		if d != dir {
+			t.Fatalf("synced the wrong directory %q, want %q", d, dir)
+		}
+	}
+
+	// A rotate whose directory sync fails must surface the error, not
+	// silently continue on a possibly-lost segment.
+	s.w.syncDir = func(string) error { return fmt.Errorf("boom") }
+	var rotateErr error
+	for i := 0; i < 64; i++ {
+		if _, err := s.Submit(fmt.Sprintf("fail%d", i), "", 4, testPairs(4)); err != nil {
+			rotateErr = err
+			break
+		}
+	}
+	if rotateErr == nil || !strings.Contains(rotateErr.Error(), "fsync dir") {
+		t.Fatalf("rotate with failing dir sync: err = %v, want fsync dir error", rotateErr)
+	}
+}
+
+// TestOpenSyncsDirOnFirstSegment pins the initial create: a brand-new WAL
+// directory must be synced as soon as the first segment exists, which the
+// default (real) fsyncDir implementation performs against the real dir.
+func TestOpenSyncsDirOnFirstSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(dir, 1<<20, SyncAlways, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if w.syncDir == nil {
+		t.Fatal("wal has no syncDir hook")
+	}
+	// The seam must default to a working implementation.
+	if err := w.syncDir(dir); err != nil {
+		t.Fatalf("default syncDir(%s): %v", dir, err)
+	}
+	if err := fsyncDir(filepath.Join(dir, "nonexistent")); err == nil {
+		t.Fatal("fsyncDir on a missing directory should fail")
+	}
+}

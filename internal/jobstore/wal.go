@@ -398,13 +398,33 @@ type wal struct {
 	segNum int
 	size   int64
 	seq    uint64 // last sequence number written or replayed
+
+	// syncDir fsyncs the WAL directory; a test seam (defaults to
+	// fsyncDir). File fsync alone does not persist the *directory entry*
+	// of a freshly created segment: a crash right after rotation could
+	// lose the new segment's name even though its bytes were synced.
+	syncDir func(string) error
+}
+
+// fsyncDir opens a directory and fsyncs it, making recent entry
+// creations (new segment files) durable.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // openWAL positions the writer after replay: appends go to the last
 // surviving segment (already truncated past any corruption), or a fresh
 // first segment for an empty directory.
 func openWAL(dir string, segBytes int64, policy SyncPolicy, lastSeq uint64) (*wal, error) {
-	w := &wal{dir: dir, segBytes: segBytes, policy: policy, seq: lastSeq, segNum: 1}
+	w := &wal{dir: dir, segBytes: segBytes, policy: policy, seq: lastSeq, segNum: 1, syncDir: fsyncDir}
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, err
@@ -427,6 +447,13 @@ func (w *wal) openSegment(n int, size int64) error {
 		return err
 	}
 	w.f, w.segNum, w.size = f, n, size
+	if size == 0 {
+		// The segment was (possibly) just created: fsync the directory so
+		// the entry itself survives a crash, not just the file contents.
+		if err := w.syncDir(w.dir); err != nil {
+			return fmt.Errorf("jobstore: fsync dir after segment create: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -454,13 +481,19 @@ func (w *wal) append(rec Record) error {
 }
 
 // rotate seals the current segment (fsynced regardless of policy, so a
-// sealed segment is always durable) and starts the next one.
+// sealed segment is always durable) and starts the next one. The directory
+// is fsynced after the seal and again after the new segment's creation
+// (inside openSegment), so neither the sealed segment nor its successor can
+// vanish from the directory on a crash.
 func (w *wal) rotate() error {
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("jobstore: fsync on rotate: %w", err)
 	}
 	if err := w.f.Close(); err != nil {
 		return fmt.Errorf("jobstore: close on rotate: %w", err)
+	}
+	if err := w.syncDir(w.dir); err != nil {
+		return fmt.Errorf("jobstore: fsync dir after seal: %w", err)
 	}
 	return w.openSegment(w.segNum+1, 0)
 }

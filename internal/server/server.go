@@ -26,11 +26,13 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/aligncache"
 	"repro/internal/alignsvc"
+	"repro/internal/cluster"
 	"repro/internal/dna"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -76,6 +78,13 @@ type Config struct {
 	// in-flight jobs. The server does not own the manager: callers Close it
 	// (after Drain) themselves.
 	Jobs *jobs.Manager
+	// Cluster, when set, routes non-forwarded align batches through the
+	// coordinator-free peer layer (consistent-hash ownership with local
+	// fallback), mounts POST /cluster/warm for drain handoffs, enforces the
+	// X-SWA-Forwarded hop guard, and adds a cluster section to /statsz.
+	// BeginDrain then also hands the hot key set to the new owners. The
+	// server does not own the cluster: callers Close it themselves.
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +131,12 @@ const (
 	CodeDeadline   = "deadline"    // per-request deadline expired
 	CodeCanceled   = "canceled"    // client went away mid-request
 	CodeInternal   = "internal"    // every tier exhausted (should not happen)
+
+	// CodeForwardLoop rejects a forwarded request whose X-SWA-Forwarded
+	// chain is longer than one hop or already contains this node: forwards
+	// are one-hop by construction, so a longer chain means a stale ring
+	// tried to bounce the batch around the cluster.
+	CodeForwardLoop = "forward_loop"
 )
 
 // AlignRequest is the /align request body. Either Pairs or Preset must be
@@ -179,6 +194,7 @@ type StatszResponse struct {
 	Service alignsvc.Stats    `json:"service"`
 	Cache   *aligncache.Stats `json:"cache,omitempty"`
 	Jobs    *jobs.Stats       `json:"jobs,omitempty"`
+	Cluster *cluster.Stats    `json:"cluster,omitempty"`
 }
 
 // Server is the HTTP alignment server. Create with New, expose Handler()
@@ -229,6 +245,9 @@ func New(cfg Config) (*Server, error) {
 	s.obs.Help("server_inflight", "Align requests executing right now.")
 	s.obs.Help("server_queued", "Align requests waiting for an execution slot.")
 	s.mux.Handle("/align", s.instrument("align", s.handleAlign))
+	if cfg.Cluster != nil {
+		s.mux.Handle("/cluster/warm", s.instrument("cluster_warm", s.handleClusterWarm))
+	}
 	if cfg.Jobs != nil {
 		s.mux.Handle("/jobs", s.instrument("jobs", s.handleJobs))
 		s.mux.Handle("/jobs/", s.instrument("jobs_id", s.handleJob))
@@ -287,6 +306,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // than once.
 func (s *Server) BeginDrain() {
 	s.drainOnce()
+	if s.cfg.Cluster != nil {
+		// Coordinator-free handoff: leave our own ring and push the hot key
+		// set to the new owners, so peers take over warm. /readyz is already
+		// false at this point, so peer probes quarantine us independently.
+		s.cfg.Cluster.BeginDrain(context.Background())
+	}
 	if s.cfg.Jobs != nil {
 		s.cfg.Jobs.BeginDrain()
 	}
@@ -366,6 +391,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		js := s.cfg.Jobs.Stats()
 		resp.Jobs = &js
 	}
+	if s.cfg.Cluster != nil {
+		cs := s.cfg.Cluster.Stats()
+		resp.Cluster = &cs
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -407,6 +436,27 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
+
+	// Hop guard: a forwarded batch is served locally, never re-forwarded.
+	// Forwards are one-hop by construction, so a chain longer than one
+	// entry — or a chain that already names this node — can only come from
+	// a stale or buggy ring and is rejected with a typed error instead of
+	// bouncing around the cluster.
+	forwarded := false
+	if cl := s.cfg.Cluster; cl != nil {
+		if hops := forwardChain(r); len(hops) > 0 {
+			if len(hops) > 1 || hopsContain(hops, cl.NodeID()) {
+				s.rejected.Add(1)
+				cl.NoteLoopReject()
+				s.writeError(w, r, http.StatusBadRequest, CodeForwardLoop,
+					fmt.Sprintf("forward chain %v is more than one hop from %s", hops, cl.NodeID()))
+				return
+			}
+			forwarded = true
+			cl.NoteForwardedServed()
+		}
+	}
+
 	if s.Draining() {
 		s.drainRefusals.Add(1)
 		s.admissionOutcome("draining")
@@ -451,13 +501,91 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	// kernel-block scheduler.
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	res, err := s.cfg.Service.Align(ctx, pairs)
+	align := s.cfg.Service.Align
+	if s.cfg.Cluster != nil && !forwarded {
+		// First-hop requests route through the ring; forwarded ones run on
+		// the local service directly, which is what terminates every chain.
+		align = s.cfg.Cluster.Align
+	}
+	res, err := align(ctx, pairs)
 	if err != nil {
 		s.writeAlignError(w, r, err)
 		return
 	}
 	s.completed.Add(1)
 	writeJSON(w, http.StatusOK, AlignResponse{Scores: res.Scores, Report: res.Report})
+}
+
+// forwardChain parses the X-SWA-Forwarded header into its hop list.
+func forwardChain(r *http.Request) []string {
+	var hops []string
+	for _, v := range r.Header.Values(cluster.ForwardHeader) {
+		for _, h := range strings.Split(v, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				hops = append(hops, h)
+			}
+		}
+	}
+	return hops
+}
+
+func hopsContain(hops []string, id string) bool {
+	for _, h := range hops {
+		if h == id {
+			return true
+		}
+	}
+	return false
+}
+
+// handleClusterWarm accepts a drain handoff: parallel pairs and scores from
+// a peer that owned them until it left the ring. The entries land in the
+// score cache (best-effort, bounded by the cache's own limits), so the new
+// owner starts warm. Accepted while draining too — a late handoff is
+// harmless and the entries may still serve forwarded traffic.
+func (s *Server) handleClusterWarm(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, r, http.StatusMethodNotAllowed, CodeBadRequest, "POST only")
+		return
+	}
+	var req cluster.WarmRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad JSON: %v", err))
+		return
+	}
+	if len(req.Pairs) != len(req.Scores) {
+		s.writeError(w, r, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("%d pairs but %d scores", len(req.Pairs), len(req.Scores)))
+		return
+	}
+	// Unlike /align, a warm batch need not be shape-uniform and is not
+	// held to MaxPairs: it is a cache payload, not a pipeline batch, and
+	// MaxBodyBytes already bounds it. (Senders chunk by their own WarmBatch
+	// size, which they cannot assume matches this node's align cap.)
+	pairs := make([]dna.Pair, len(req.Pairs))
+	for i, p := range req.Pairs {
+		if len(p.X) == 0 || len(p.Y) > s.cfg.MaxSeqLen || len(p.X) > len(p.Y) {
+			s.writeError(w, r, http.StatusBadRequest, CodeBadRequest,
+				fmt.Sprintf("entry %d has shape (%d,%d)", i, len(p.X), len(p.Y)))
+			return
+		}
+		x, err := dna.Parse(p.X)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("entry %d pattern: %v", i, err))
+			return
+		}
+		y, err := dna.Parse(p.Y)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("entry %d text: %v", i, err))
+			return
+		}
+		pairs[i] = dna.Pair{X: x, Y: y}
+	}
+	n := s.cfg.Service.WarmCache(pairs, req.Scores)
+	s.cfg.Cluster.NoteWarmAccepted(n)
+	writeJSON(w, http.StatusOK, map[string]int{"accepted": n})
 }
 
 // parseRequest decodes, bounds and validates the request body, returning
