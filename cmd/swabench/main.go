@@ -17,8 +17,13 @@
 // -bench-out runs only the bitwise pipeline over the preset's n-sweep and
 // writes a machine-readable JSON document (schema repro/bench-pipeline/v1:
 // workload shape, per-stage simulated ns, wall ns, GCUPS, host info) instead
-// of the human-readable tables. -check-bench validates such a file and exits
-// nonzero if it is malformed — CI's bench-smoke job uses the two together.
+// of the human-readable tables. -backends additionally serves the same sweep
+// through the named execution backends (striped, bitwise-sim, wordwise-sim,
+// cpu-ref) on the wall clock, with every score re-checked against the scalar
+// reference, and records the striped-vs-bitwise-sim speedup. -check-bench
+// validates such a file and exits nonzero if it is malformed — CI's
+// bench-smoke job uses the two together, with -require-backends and
+// -min-striped-speedup gating the wall-clock win.
 package main
 
 import (
@@ -45,9 +50,12 @@ func main() {
 	devices := flag.Int("devices", 0, "with -bench-out: also sweep a fleet of N simulated devices and record per-device utilisation")
 	deviceSpecs := flag.String("device-specs", "titanx", "with -devices: comma-separated perf specs cycled over the fleet members")
 	peers := flag.Int("peers", 0, "with -bench-out: also sweep a cluster of N peer nodes and record routing, peer cache hit ratio and re-homes")
+	backends := flag.String("backends", "", "with -bench-out: comma-separated execution backends to sweep on the wall clock (e.g. striped,bitwise-sim,cpu-ref)")
 	checkBench := flag.String("check-bench", "", "validate a bench-pipeline JSON document and exit")
 	requireFleet := flag.Bool("require-fleet", false, "with -check-bench: fail unless the document carries a fleet section")
 	requireCluster := flag.Bool("require-cluster", false, "with -check-bench: fail unless the document carries a cluster section")
+	requireBackends := flag.String("require-backends", "", "with -check-bench: fail unless the document carries a section for each comma-separated backend")
+	minStripedSpeedup := flag.Float64("min-striped-speedup", 0, "with -check-bench: fail unless striped beats bitwise-sim on the wall clock by at least this factor")
 	metricsOut := flag.String("metrics-out", "", "with -bench-out: also dump the run's Prometheus metrics to FILE (- = stderr)")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
@@ -63,6 +71,22 @@ func main() {
 		if err == nil && *requireCluster && f.Cluster == nil {
 			err = fmt.Errorf("%s has no cluster section (regenerate with -peers N)", *checkBench)
 		}
+		if err == nil && *requireBackends != "" {
+			have := make(map[string]bool)
+			for _, sec := range f.Backends {
+				have[sec.Name] = true
+			}
+			for _, name := range strings.Split(*requireBackends, ",") {
+				if name = strings.TrimSpace(name); name != "" && !have[name] {
+					err = fmt.Errorf("%s has no %q backend section (regenerate with -backends)", *checkBench, name)
+					break
+				}
+			}
+		}
+		if err == nil && *minStripedSpeedup > 0 && f.SpeedupStripedVsBitwiseSim < *minStripedSpeedup {
+			err = fmt.Errorf("%s: striped is %.1fx bitwise-sim on the wall clock, gate requires >= %.1fx",
+				*checkBench, f.SpeedupStripedVsBitwiseSim, *minStripedSpeedup)
+		}
 		if err != nil {
 			cli.Exitf(1, "swabench: %v", err)
 		}
@@ -72,6 +96,9 @@ func main() {
 		}
 		if f.Cluster != nil {
 			fleetNote += fmt.Sprintf(", cluster of %d", f.Cluster.Nodes)
+		}
+		if len(f.Backends) > 0 {
+			fleetNote += fmt.Sprintf(", %d backend(s)", len(f.Backends))
 		}
 		fmt.Printf("swabench: %s ok (%s workload, %d runs%s)\n", *checkBench, f.Workload, len(f.Runs), fleetNote)
 		return
@@ -122,6 +149,20 @@ func main() {
 				cli.Die(fmt.Errorf("swabench: bench: %w", err))
 			}
 		}
+		if *backends != "" {
+			var names []string
+			for _, name := range strings.Split(*backends, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					names = append(names, name)
+				}
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "... bench: wall-clock sweep across backends %s\n", strings.Join(names, ", "))
+			}
+			if err := f.CollectBackends(ctx, spec, pipeline.Config{Metrics: reg}, 0, names); err != nil {
+				cli.Die(fmt.Errorf("swabench: bench: %w", err))
+			}
+		}
 		if err := f.WriteFile(*benchOut); err != nil {
 			cli.Die(fmt.Errorf("swabench: bench: %w", err))
 		}
@@ -144,6 +185,12 @@ func main() {
 		if c := f.Cluster; c != nil {
 			fmt.Printf("cluster nodes=%d forwarded=%d warm_hit_ratio=%.2f fallbacks=%d rehomes=%d (killed %s)\n",
 				c.Nodes, c.ForwardedPairs, c.WarmHitRatio, c.FallbackPairs, c.Rehomes, c.KilledNode)
+		}
+		for _, sec := range f.Backends {
+			fmt.Printf("backend %s wall_gcups=%.4f runs=%d\n", sec.Name, sec.AggregateWallGCUPS, len(sec.Runs))
+		}
+		if f.SpeedupStripedVsBitwiseSim > 0 {
+			fmt.Printf("backend speedup striped/bitwise-sim=%.1fx\n", f.SpeedupStripedVsBitwiseSim)
 		}
 		fmt.Printf("swabench: wrote %s\n", *benchOut)
 		return

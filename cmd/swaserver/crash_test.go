@@ -78,6 +78,7 @@ func TestSIGKILLCrashRecovery(t *testing.T) {
 	// SIGKILL mid-job with checkpoints on disk.
 	cmd, base, stderr := startSwaserver(t, bin,
 		"-addr", "127.0.0.1:0",
+		"-backend", "bitwise-sim", // fault-launch retry pacing needs the sim ladder
 		"-data-dir", dataDir,
 		"-wal-sync", "always",
 		"-chunk-size", "4",

@@ -36,6 +36,7 @@ func TestFleetFlagsEndToEnd(t *testing.T) {
 
 	cmd := exec.Command(bin,
 		"-addr", "127.0.0.1:0",
+		"-backend", "bitwise-sim", // the fleet shards the simulated GPU tiers
 		"-ops-addr", "127.0.0.1:0",
 		"-devices", "3",
 		"-device-specs", "titanx,titanx-half",

@@ -1,6 +1,14 @@
 // Command swaserver runs the HTTP alignment server: alignsvc.Service (the
-// retry/degradation ladder over the simulated GPU pipelines) behind
+// retry/degradation ladder over pluggable execution backends) behind
 // internal/server's admission control.
+//
+// -backend selects the default serving engine: striped (the native
+// Farrar-style SIMD CPU engine, the wall-clock default), bitwise-sim /
+// wordwise-sim (the paper's simulated GPU pipelines, with the classic
+// retry/degradation ladder and fault injection), or cpu-ref (the scalar
+// reference). A single request can override it with the X-SWA-Backend
+// header; all backends return byte-identical scores, so the score cache and
+// cluster routing are shared across them.
 //
 // Endpoints: POST /align, GET /healthz, /readyz, /statsz, /metricsz
 // (Prometheus text). On SIGINT/SIGTERM the server stops admitting work
@@ -21,7 +29,8 @@
 //
 // Usage:
 //
-//	swaserver [-addr :8468] [-ops-addr :8469] [-workers N] [-inflight N]
+//	swaserver [-backend striped|bitwise-sim|wordwise-sim|cpu-ref]
+//	          [-addr :8468] [-ops-addr :8469] [-workers N] [-inflight N]
 //	          [-queued N] [-grace 15s] [-timeout 30s] [-lanes 32]
 //	          [-devices 4 -device-specs titanx,titanx-half]
 //	          [-quarantine-after 3 -probe-interval 1s -hedge-after 0]
@@ -55,6 +64,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"slices"
 	"strings"
 	"time"
 
@@ -73,6 +83,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8468", "listen address (host:port; port 0 picks a free one)")
+	backend := flag.String("backend", alignsvc.BackendStriped,
+		"default execution backend: "+strings.Join(alignsvc.BackendNames(), ", "))
 	opsAddr := flag.String("ops-addr", "", "ops listen address for /metricsz, /tracez and pprof (empty = disabled)")
 	workers := flag.Int("workers", 0, "service worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "service queue depth (0 = workers)")
@@ -135,6 +147,10 @@ func main() {
 	}
 	if *lanes != 32 && *lanes != 64 {
 		cli.Exitf(2, "swaserver: -lanes must be 32 or 64, got %d", *lanes)
+	}
+	if !slices.Contains(alignsvc.BackendNames(), *backend) {
+		cli.Exitf(2, "swaserver: -backend: unknown backend %q (have %s)",
+			*backend, strings.Join(alignsvc.BackendNames(), ", "))
 	}
 	if *grace <= 0 {
 		cli.Exitf(2, "swaserver: -grace must be positive, got %v", *grace)
@@ -205,6 +221,7 @@ func main() {
 	}
 
 	svc := alignsvc.New(alignsvc.Config{
+		Backend:         *backend,
 		Cache:           cache,
 		Fleet:           fl,
 		Lanes:           *lanes,

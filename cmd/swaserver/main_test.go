@@ -38,8 +38,11 @@ func TestSIGTERMDrainsInFlight(t *testing.T) {
 	// Launch failures + long backoffs (breaker disabled) make every align
 	// spend ~300-600ms sleeping in the retry ladder before the CPU rung
 	// serves it — a deterministic "slow" request for the drain window.
+	// -backend=bitwise-sim: the retry-ladder timing below only exists on
+	// the simulated backend; the striped default would serve instantly.
 	cmd := exec.Command(bin,
 		"-addr", "127.0.0.1:0",
+		"-backend", "bitwise-sim",
 		"-fault-launch", "1",
 		"-breaker-failures", "-1",
 		"-max-attempts", "4",

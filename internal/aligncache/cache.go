@@ -64,6 +64,18 @@ var keyBufPool = sync.Pool{
 // pattern and text bytes — the pattern length delimits where x ends and y
 // begins, and shapes are uniform per batch, so no two distinct inputs share
 // an encoding.
+//
+// The serving backend is deliberately NOT part of the key. Every backend
+// (bitwise-sim, wordwise-sim, striped, cpu-ref) is required to produce
+// byte-identical scores for the same (pattern, text, scoring, lanes) —
+// the sim pipelines are validated against the CPU reference and the
+// striped engine is exact by construction — so an entry filled by one
+// backend may be served to a request targeting any other. If a future
+// backend can legitimately return different scores for the same inputs
+// (approximate or banded alignment, say), its identity must be folded
+// into this key (and keyVersion bumped), or its results must bypass the
+// cache entirely. alignsvc's cross-backend cache test enforces the
+// invariant for the current backends.
 func KeyOf(x, y dna.Seq, sc swa.Scoring, lanes int) Key {
 	bp := keyBufPool.Get().(*[]byte)
 	b := (*bp)[:0]

@@ -27,10 +27,10 @@ type pending struct {
 // path) or flight follower (another in-flight batch is computing it; wait).
 // Within the batch, duplicate pairs collapse onto one leader or follower,
 // so a 32K-pair panel with 100 distinct pairs dispatches at most 100.
-func (s *Service) alignCached(ctx context.Context, pairs []dna.Pair) (*BatchResult, error) {
+func (s *Service) alignCached(ctx context.Context, pairs []dna.Pair, backend string) (*BatchResult, error) {
 	if len(pairs) == 0 {
 		// Preserve the uncached path's validation error for empty batches.
-		return s.dispatch(ctx, pairs)
+		return s.dispatch(ctx, pairs, backend)
 	}
 	start := time.Now()
 	cache := s.cfg.Cache
@@ -75,7 +75,7 @@ func (s *Service) alignCached(ctx context.Context, pairs []dna.Pair) (*BatchResu
 	// queue/breaker/retry machinery, then publish each score so every
 	// follower (here and in concurrent batches) unblocks.
 	if len(missPairs) > 0 {
-		res, err := s.dispatch(ctx, missPairs)
+		res, err := s.dispatch(ctx, missPairs, backend)
 		if err != nil {
 			// Fulfilling with the error releases followers; the key stays
 			// retryable (failed flights are never cached).
@@ -120,7 +120,7 @@ func (s *Service) alignCached(ctx context.Context, pairs []dna.Pair) (*BatchResu
 		}
 	}
 	if len(retryPairs) > 0 {
-		res, err := s.dispatch(ctx, retryPairs)
+		res, err := s.dispatch(ctx, retryPairs, backend)
 		if err != nil {
 			return nil, err
 		}

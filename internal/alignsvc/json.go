@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cudasim"
 	"repro/internal/fleet"
+	"repro/internal/striped"
 )
 
 // This file pins the wire format of Report and Stats: stable snake_case
@@ -31,7 +32,8 @@ func (f faultCountsJSON) counts() cudasim.FaultCounts {
 		Launch: f.Launch, BitFlips: f.BitFlips}
 }
 
-// MarshalJSON renders the tier name ("bitwise", "wordwise", "cpu").
+// MarshalJSON renders the tier name ("bitwise", "wordwise", "cpu",
+// "striped").
 func (t Tier) MarshalJSON() ([]byte, error) {
 	return json.Marshal(t.String())
 }
@@ -146,6 +148,7 @@ type breakerSnapshotJSON struct {
 }
 
 type statsJSON struct {
+	Backend              string                `json:"backend,omitempty"`
 	Batches              int64                 `json:"batches"`
 	BatchesFailed        int64                 `json:"batches_failed"`
 	Retries              int64                 `json:"retries"`
@@ -160,11 +163,13 @@ type statsJSON struct {
 	BreakerProbes        int64                 `json:"breaker_probes"`
 	Breakers             []breakerSnapshotJSON `json:"breakers,omitempty"`
 	Fleet                *fleet.Stats          `json:"fleet,omitempty"`
+	Striped              *striped.Stats        `json:"striped,omitempty"`
 }
 
 // MarshalJSON implements the stable wire format described above.
 func (s Stats) MarshalJSON() ([]byte, error) {
 	out := statsJSON{
+		Backend:              s.Backend,
 		Batches:              s.Batches,
 		BatchesFailed:        s.BatchesFailed,
 		Retries:              s.Retries,
@@ -178,6 +183,7 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		BreakerShortCircuits: s.BreakerShortCircuits,
 		BreakerProbes:        s.BreakerProbes,
 		Fleet:                s.Fleet,
+		Striped:              s.Striped,
 	}
 	for _, br := range s.Breakers {
 		out.Breakers = append(out.Breakers, breakerSnapshotJSON(br))
@@ -192,6 +198,7 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 		return err
 	}
 	*s = Stats{
+		Backend:              in.Backend,
 		Batches:              in.Batches,
 		BatchesFailed:        in.BatchesFailed,
 		Retries:              in.Retries,
@@ -205,6 +212,7 @@ func (s *Stats) UnmarshalJSON(b []byte) error {
 		BreakerShortCircuits: in.BreakerShortCircuits,
 		BreakerProbes:        in.BreakerProbes,
 		Fleet:                in.Fleet,
+		Striped:              in.Striped,
 	}
 	for _, br := range in.Breakers {
 		s.Breakers = append(s.Breakers, BreakerSnapshot(br))

@@ -7,9 +7,12 @@ import (
 
 	"repro/internal/cudasim"
 	"repro/internal/fleet"
+	"repro/internal/striped"
 )
 
-// Tier identifies one rung of the degradation ladder, fastest first.
+// Tier identifies one rung of a degradation ladder. The ladder a batch
+// walks is chosen by its backend (see Backend); the numeric order here is
+// storage layout, not ladder order — wire formats carry tiers by name.
 type Tier int
 
 const (
@@ -20,6 +23,11 @@ const (
 	// TierCPU is the swa.Score reference on the host; it cannot produce a
 	// wrong score and only fails on cancellation.
 	TierCPU
+	// TierStriped is the native striped CPU engine (internal/striped):
+	// exact like TierCPU, at wall-clock GCUPS. It heads the "striped"
+	// backend's ladder. (Declared after TierCPU so the older tiers keep
+	// their values; order here is not ladder order.)
+	TierStriped
 	numTiers
 )
 
@@ -31,6 +39,8 @@ func (t Tier) String() string {
 		return "wordwise"
 	case TierCPU:
 		return "cpu"
+	case TierStriped:
+		return "striped"
 	}
 	return fmt.Sprintf("tier(%d)", int(t))
 }
@@ -44,6 +54,8 @@ func ParseTier(s string) (Tier, error) {
 		return TierWordwise, nil
 	case "cpu":
 		return TierCPU, nil
+	case "striped":
+		return TierStriped, nil
 	}
 	return 0, fmt.Errorf("alignsvc: unknown tier %q", s)
 }
@@ -116,6 +128,10 @@ type BatchResult struct {
 // Stats is a snapshot of the service-level counters, for the stats and
 // observability layers to export.
 type Stats struct {
+	// Backend is the service's default backend name (per-request overrides
+	// don't change it).
+	Backend string
+
 	Batches         int64 // batches completed successfully
 	BatchesFailed   int64 // batches that exhausted every tier
 	Retries         int64 // same-tier re-runs
@@ -137,4 +153,10 @@ type Stats struct {
 	// aggregates are mutually consistent even while devices are being
 	// killed, quarantined or readmitted.
 	Fleet *fleet.Stats
+
+	// Striped is the native striped engine's counter snapshot. The engine
+	// always exists (it also serves the fleet's CPU member and the striped
+	// backend), so the snapshot is always present; its counters stay zero
+	// while nothing routes to it.
+	Striped *striped.Stats
 }

@@ -1,16 +1,22 @@
-// Package alignsvc is the resilient batch-alignment service layer: it wraps
-// the simulated GPU pipelines behind a bounded worker pool with
-// backpressure and a fault-tolerance ladder. Each batch is retried with
-// exponential backoff and jitter on transient device faults, validated
-// against a CPU-reference sample, and degraded through
+// Package alignsvc is the resilient batch-alignment service layer: it puts
+// every scoring engine — the simulated GPU pipelines, the native striped
+// CPU engine and the scalar reference — behind one pluggable Backend seam,
+// wrapped in a bounded worker pool with backpressure and a fault-tolerance
+// ladder. Each batch is retried with exponential backoff and jitter on
+// transient device faults, validated against a CPU-reference sample (for
+// backends that are not exact by construction), and degraded through its
+// backend's ladder, e.g.
 //
 //	bitwise GPU pipeline → wordwise GPU pipeline → CPU swa.Score
+//	striped CPU engine → CPU swa.Score
 //
-// until a tier produces trustworthy scores, so callers always receive
+// until a rung produces trustworthy scores, so callers always receive
 // correct results (or a context error) together with a per-batch Report of
-// attempts, fallbacks and injected faults. Kernel panics are converted into
-// errors instead of killing the process, and service-level counters are
-// exposed through Stats for the observability layers to build on.
+// attempts, fallbacks and injected faults. The default backend is chosen by
+// Config.Backend; Align uses it, AlignBackend overrides it per request.
+// Kernel panics are converted into errors instead of killing the process,
+// and service-level counters are exposed through Stats for the
+// observability layers to build on.
 package alignsvc
 
 import (
@@ -29,6 +35,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/striped"
 	"repro/internal/swa"
 )
 
@@ -51,6 +58,13 @@ func (e *ValidationError) Error() string {
 // GOMAXPROCS workers, three attempts per tier, millisecond-scale backoff,
 // 5%% score validation, no fault injection.
 type Config struct {
+	// Backend selects the default serving engine and its degradation
+	// ladder by name: BackendBitwiseSim (also the "" default, preserving
+	// the classic sim ladder), BackendWordwiseSim, BackendStriped or
+	// BackendCPURef. Every ladder ends at the CPU reference unless
+	// NoCPUFallback is set. New panics on an unknown name — a misspelled
+	// backend must not silently serve with a different engine.
+	Backend string
 	// Pipeline is the base GPU-pipeline configuration (scoring, device,
 	// lane behaviour). Its Faults field is overwritten per attempt.
 	Pipeline pipeline.Config
@@ -78,8 +92,9 @@ type Config struct {
 	// Each attempt derives its own stream from Faults.Seed, the batch
 	// number and the attempt number, so retries see fresh faults.
 	Faults cudasim.FaultConfig
-	// StartTier skips ladder rungs (e.g. TierWordwise to bypass the
-	// bitwise pipeline entirely).
+	// StartTier skips leading rungs of the default bitwise-sim ladder
+	// (e.g. TierWordwise to bypass the bitwise pipeline entirely). The
+	// other backends' ladders already start at their engine and ignore it.
 	StartTier Tier
 	// BreakerFailures is how many consecutive batch-level failures of a GPU
 	// tier trip its circuit breaker open (default 5; negative disables the
@@ -172,6 +187,7 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 type job struct {
 	ctx       context.Context
 	pairs     []dna.Pair
+	backend   string // serving backend (validated before enqueue)
 	seq       uint64
 	submitted time.Time // when Align enqueued it, for the queue-wait metric
 	res       chan jobResult
@@ -193,9 +209,16 @@ type Service struct {
 	closeOnce sync.Once
 	batchSeq  atomic.Uint64
 
-	// breakers holds the per-tier circuit breakers; the CPU slot stays nil
-	// (the reference rung cannot be tripped). faults is the live fault
-	// config, swappable at runtime via SetFaults for chaos harnesses.
+	// backends holds one Backend per tier; process routes every attempt
+	// through this seam. stripedEng is the shared native engine behind
+	// backends[TierStriped] and the fleet's CPU member.
+	backends   [numTiers]Backend
+	stripedEng *striped.Engine
+
+	// breakers holds the per-tier circuit breakers; the exact rungs (CPU
+	// reference and striped engine) stay nil — they cannot be tripped.
+	// faults is the live fault config, swappable at runtime via SetFaults
+	// for chaos harnesses.
 	breakers [numTiers]*breaker
 	faults   atomic.Pointer[cudasim.FaultConfig]
 	obs      *obs.Registry
@@ -209,9 +232,14 @@ type Service struct {
 	fleetSeq atomic.Uint64
 }
 
-// New starts the worker pool and returns the service.
+// New starts the worker pool and returns the service. It panics on an
+// unknown Config.Backend name — serving with a different engine than the
+// operator asked for is worse than failing fast.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	if _, err := backendTier(cfg.Backend); err != nil {
+		panic(err.Error())
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.Default()
@@ -222,6 +250,11 @@ func New(cfg Config) *Service {
 		quit: make(chan struct{}),
 		obs:  reg,
 	}
+	s.stripedEng = striped.New(striped.Config{})
+	s.backends[TierBitwise] = &simBackend{name: BackendBitwiseSim, tier: TierBitwise, svc: s}
+	s.backends[TierWordwise] = &simBackend{name: BackendWordwiseSim, tier: TierWordwise, svc: s}
+	s.backends[TierStriped] = &stripedBackend{eng: s.stripedEng, scoring: s.scoring}
+	s.backends[TierCPU] = &cpuBackend{scoring: s.scoring}
 	reg.Help("alignsvc_queue_wait_seconds", "time a batch waited for a worker")
 	reg.Help("alignsvc_batch_seconds", "dequeue-to-scores latency of successful batches, by serving tier")
 	reg.Help("alignsvc_batches_total", "successful batches by serving tier")
@@ -284,34 +317,49 @@ func (s *Service) worker() {
 			s.obs.Histogram("alignsvc_queue_wait_seconds", obs.LatencyBuckets).ObserveDuration(wait)
 			obs.FromContext(j.ctx).AddSpan("alignsvc.queue_wait", j.submitted, wait)
 			endSvc := obs.FromContext(j.ctx).StartSpan("alignsvc.process")
-			batch, err := s.process(j.ctx, j.pairs, j.seq)
+			batch, err := s.process(j.ctx, j.pairs, j.seq, j.backend)
 			endSvc()
 			j.res <- jobResult{batch, err}
 		}
 	}
 }
 
-// Align scores one uniform batch of pairs through the degradation ladder.
-// It blocks while the queue is full (backpressure) and honours ctx at every
-// stage: submission, retry backoff, kernel-block boundaries, and the CPU
-// fallback loop. On success the scores are exact; the report says how many
-// attempts, fallbacks and injected faults it took to get them.
+// Align scores one uniform batch of pairs through the default backend's
+// degradation ladder. It blocks while the queue is full (backpressure) and
+// honours ctx at every stage: submission, retry backoff, kernel-block
+// boundaries, and the CPU fallback loop. On success the scores are exact;
+// the report says how many attempts, fallbacks and injected faults it took
+// to get them.
 //
 // With Config.Cache set, pairs whose scores are already cached are served
 // without touching the worker pool, breakers or retry ladder; only the
 // uncached remainder is dispatched (see alignCached). Scores are exact
 // either way — a cache hit is byte-identical to a recompute by key
-// construction.
+// construction, whichever backend filled it (see aligncache.KeyOf).
 func (s *Service) Align(ctx context.Context, pairs []dna.Pair) (*BatchResult, error) {
-	if s.cfg.Cache.Enabled() {
-		return s.alignCached(ctx, pairs)
+	return s.align(ctx, pairs, s.cfg.Backend)
+}
+
+// AlignBackend is Align with a per-request backend override: the batch is
+// served by the named backend's ladder instead of the configured default.
+// An unknown name fails before any work is enqueued.
+func (s *Service) AlignBackend(ctx context.Context, pairs []dna.Pair, backend string) (*BatchResult, error) {
+	if _, err := backendTier(backend); err != nil {
+		return nil, err
 	}
-	return s.dispatch(ctx, pairs)
+	return s.align(ctx, pairs, backend)
+}
+
+func (s *Service) align(ctx context.Context, pairs []dna.Pair, backend string) (*BatchResult, error) {
+	if s.cfg.Cache.Enabled() {
+		return s.alignCached(ctx, pairs, backend)
+	}
+	return s.dispatch(ctx, pairs, backend)
 }
 
 // dispatch is the uncached path: enqueue the batch for a worker and wait.
-func (s *Service) dispatch(ctx context.Context, pairs []dna.Pair) (*BatchResult, error) {
-	j := &job{ctx: ctx, pairs: pairs, seq: s.batchSeq.Add(1),
+func (s *Service) dispatch(ctx context.Context, pairs []dna.Pair, backend string) (*BatchResult, error) {
+	j := &job{ctx: ctx, pairs: pairs, backend: backend, seq: s.batchSeq.Add(1),
 		submitted: time.Now(), res: make(chan jobResult, 1)}
 	select {
 	case s.jobs <- j:
@@ -333,7 +381,12 @@ func (s *Service) dispatch(ctx context.Context, pairs []dna.Pair) (*BatchResult,
 // Stats snapshots the service counters, including the per-tier circuit
 // breaker states.
 func (s *Service) Stats() Stats {
+	defaultBackend := s.cfg.Backend
+	if defaultBackend == "" {
+		defaultBackend = BackendBitwiseSim
+	}
 	st := Stats{
+		Backend:         defaultBackend,
 		Batches:         s.batches.Load(),
 		BatchesFailed:   s.batchesFailed.Load(),
 		Retries:         s.retries.Load(),
@@ -355,6 +408,8 @@ func (s *Service) Stats() Stats {
 		fs := s.cfg.Fleet.Stats()
 		st.Fleet = &fs
 	}
+	ss := s.stripedEng.Stats()
+	st.Striped = &ss
 	return st
 }
 
@@ -374,18 +429,43 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// process walks the degradation ladder for one batch, consulting each GPU
-// tier's circuit breaker before paying for its attempts.
-func (s *Service) process(ctx context.Context, pairs []dna.Pair, seq uint64) (*BatchResult, error) {
+// ladder returns the degradation ladder for a backend: the backend's own
+// rung first, then the cheaper rungs it degrades through, always ending at
+// the CPU reference. StartTier filters only the default bitwise-sim ladder
+// (the other backends' ladders already start at their engine);
+// NoCPUFallback drops the reference rung except for the cpu-ref backend,
+// whose only rung it is.
+func (s *Service) ladder(backend string) []Tier {
+	var rungs []Tier
+	switch backend {
+	case BackendWordwiseSim:
+		rungs = []Tier{TierWordwise, TierCPU}
+	case BackendStriped:
+		rungs = []Tier{TierStriped, TierCPU}
+	case BackendCPURef:
+		return []Tier{TierCPU}
+	default: // BackendBitwiseSim and ""
+		for _, t := range []Tier{TierBitwise, TierWordwise, TierCPU} {
+			if t >= s.cfg.StartTier {
+				rungs = append(rungs, t)
+			}
+		}
+	}
+	if s.cfg.NoCPUFallback && len(rungs) > 0 && rungs[len(rungs)-1] == TierCPU {
+		rungs = rungs[:len(rungs)-1]
+	}
+	return rungs
+}
+
+// process walks the backend's degradation ladder for one batch, consulting
+// each simulated tier's circuit breaker before paying for its attempts.
+func (s *Service) process(ctx context.Context, pairs []dna.Pair, seq uint64, backend string) (*BatchResult, error) {
 	rep := Report{}
 	start := s.cfg.now()
 	rng := rand.New(rand.NewPCG(s.cfg.Seed^seq, 0xa1195c7e))
 	var lastErr error
-	limit := numTiers
-	if s.cfg.NoCPUFallback {
-		limit = TierCPU
-	}
-	for tier := s.cfg.StartTier; tier < limit; tier++ {
+	ladder := s.ladder(backend)
+	for li, tier := range ladder {
 		allowed, probe := s.breakers[tier].allow()
 		if !allowed {
 			rep.Skips = append(rep.Skips, tier)
@@ -408,7 +488,7 @@ func (s *Service) process(ctx context.Context, pairs []dna.Pair, seq uint64) (*B
 		default:
 			s.breakers[tier].release(tierFailed, probe)
 			lastErr = err
-			if tier+1 < numTiers {
+			if li+1 < len(ladder) {
 				rep.Fallbacks++
 				s.fallbacks.Add(1)
 				s.obs.Counter(obs.L("alignsvc_fallbacks_total", "from", tier.String())).Inc()
@@ -431,7 +511,11 @@ func (s *Service) process(ctx context.Context, pairs []dna.Pair, seq uint64) (*B
 // tier is exhausted.
 func (s *Service) runTierAttempts(ctx context.Context, tier Tier, pairs []dna.Pair, seq uint64, rng *rand.Rand, rep *Report) (*BatchResult, error) {
 	attempts := s.cfg.MaxAttempts
-	if tier == TierCPU {
+	exact := s.backends[tier].Capabilities().Exact
+	if exact {
+		// Exact backends (striped, CPU reference) have no transient device
+		// faults to retry through: one attempt, and any failure is either a
+		// context error or a bug.
 		attempts = 1
 	}
 	var lastErr error
@@ -448,7 +532,7 @@ func (s *Service) runTierAttempts(ctx context.Context, tier Tier, pairs []dna.Pa
 		s.faultsInjected.Add(int64(counts.Total()))
 		s.obs.Counter("alignsvc_faults_injected_total").Add(int64(counts.Total()))
 		at := Attempt{Tier: tier, Faults: counts}
-		if err == nil && tier != TierCPU {
+		if err == nil && !exact {
 			var checked int
 			checked, err = s.validate(ctx, pairs, scores, rng)
 			rep.Validated += checked
@@ -486,8 +570,8 @@ func (s *Service) runTierAttempts(ctx context.Context, tier Tier, pairs []dna.Pa
 	return nil, lastErr
 }
 
-// runTier executes one attempt of one tier, converting panics to errors and
-// collecting the attempt's injected-fault counts.
+// runTier executes one attempt of one tier through its Backend, converting
+// panics to errors and collecting the attempt's injected-fault counts.
 func (s *Service) runTier(ctx context.Context, tier Tier, pairs []dna.Pair, seq, attempt uint64) (scores []int, counts cudasim.FaultCounts, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -496,45 +580,8 @@ func (s *Service) runTier(ctx context.Context, tier Tier, pairs []dna.Pair, seq,
 			err = fmt.Errorf("alignsvc: recovered %s-tier panic: %v", tier, r)
 		}
 	}()
-	if tier == TierCPU {
-		scores, err = s.runCPU(ctx, pairs)
-		return scores, cudasim.FaultCounts{}, err
-	}
-	if s.cfg.Fleet != nil {
-		return s.runTierFleet(ctx, tier, pairs)
-	}
-	cfg := s.cfg.Pipeline
-	if cfg.Metrics == nil {
-		// Hand the pipelines the service registry so one scrape sees the
-		// whole stack.
-		cfg.Metrics = s.obs
-	}
-	fcfg := *s.faults.Load()
-	// Derive an independent deterministic fault stream per attempt so a
-	// retry does not replay the exact faults that just killed the batch.
-	fcfg.Seed ^= (seq*0x9e3779b97f4a7c15 + attempt) | 1
-	inj := cudasim.NewFaultInjector(fcfg)
-	cfg.Faults = inj
-	r, err := s.runPipelineTier(ctx, tier, pairs, cfg)
-	counts = inj.Counts()
-	if err != nil {
-		return nil, counts, err
-	}
-	return r.Scores, counts, nil
-}
-
-// runPipelineTier invokes the tier's pipeline with a fully prepared config.
-func (s *Service) runPipelineTier(ctx context.Context, tier Tier, pairs []dna.Pair, cfg pipeline.Config) (*pipeline.Result, error) {
-	switch tier {
-	case TierBitwise:
-		if s.cfg.Lanes == 64 {
-			return pipeline.RunBitwise[uint64](ctx, pairs, cfg)
-		}
-		return pipeline.RunBitwise[uint32](ctx, pairs, cfg)
-	case TierWordwise:
-		return pipeline.RunWordwise(ctx, pairs, cfg)
-	}
-	return nil, fmt.Errorf("alignsvc: unknown tier %v", tier)
+	scores, st, err := s.backends[tier].AlignBatch(ctx, pairs, BatchOpts{Seq: seq, Attempt: attempt})
+	return scores, st.Faults, err
 }
 
 // runTierFleet runs one GPU-tier attempt through the fleet scheduler: the
@@ -542,9 +589,11 @@ func (s *Service) runPipelineTier(ctx context.Context, tier Tier, pairs []dna.Pa
 // tier's pipeline on its device's spec and memory with a per-execution
 // fault stream (the device's flaky profile and kill switch layered on the
 // service's chaos config). The fleet's CPU member serves re-dispatched
-// shards with the host reference. Injected-fault counts are summed across
-// every shard execution, including the ones whose shard was later re-run
-// elsewhere.
+// shards with the native striped engine — still exact (the engine widens
+// on overflow down to the scalar reference) but at wall-clock GCUPS, so a
+// device loss degrades throughput, not latency class. Injected-fault
+// counts are summed across every shard execution, including the ones whose
+// shard was later re-run elsewhere.
 func (s *Service) runTierFleet(ctx context.Context, tier Tier, pairs []dna.Pair) ([]int, cudasim.FaultCounts, error) {
 	var mu sync.Mutex
 	var total cudasim.FaultCounts
@@ -560,7 +609,8 @@ func (s *Service) runTierFleet(ctx context.Context, tier Tier, pairs []dna.Pair)
 			if d.Killed() {
 				return nil, &cudasim.KilledError{Op: cudasim.FaultLaunch}
 			}
-			return s.runCPU(ctx, shard)
+			scores, _, err := s.stripedEng.ScoreBatch(ctx, shard, s.scoring())
+			return scores, err
 		}
 		cfg := s.cfg.Pipeline
 		if cfg.Metrics == nil {
@@ -572,7 +622,7 @@ func (s *Service) runTierFleet(ctx context.Context, tier Tier, pairs []dna.Pair)
 		}
 		inj := d.NewInjector(*s.faults.Load(), s.fleetSeq.Add(1)*0x9e3779b97f4a7c15|1)
 		cfg.Faults = inj
-		r, err := s.runPipelineTier(ctx, tier, shard, cfg)
+		r, err := runPipeline(ctx, tier, shard, cfg, s.cfg.Lanes)
 		c := inj.Counts()
 		mu.Lock()
 		total.HtoD += c.HtoD
@@ -611,22 +661,6 @@ func (s *Service) Scoring() swa.Scoring { return s.scoring() }
 // Lanes reports the effective bitwise lane width (32 or 64), the other
 // input of the content-address cache key.
 func (s *Service) Lanes() int { return s.cfg.Lanes }
-
-// runCPU is the final rung: the exact reference, pair by pair, checking the
-// context as it goes.
-func (s *Service) runCPU(ctx context.Context, pairs []dna.Pair) ([]int, error) {
-	sc := s.scoring()
-	scores := make([]int, len(pairs))
-	for i, p := range pairs {
-		if i%64 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		scores[i] = swa.Score(p.X, p.Y, sc)
-	}
-	return scores, nil
-}
 
 // validate re-scores a sample of the batch on the CPU reference and fails
 // on the first disagreement. Returns how many pairs were checked.

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+// TestValidateRejectsNonFiniteWallGCUPS is the regression test for the
+// wall-clock metric bug: the old check (`WallGCUPS <= 0`) silently accepted
+// +Inf and NaN, which a ~0 elapsed measurement produces when the division
+// is not clamped. Validate must reject the whole non-finite family, on both
+// clocks and in every section that carries a GCUPS number.
+func TestValidateRejectsNonFiniteWallGCUPS(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*File)
+	}{
+		{"wall +Inf", func(f *File) { f.Runs[0].WallGCUPS = math.Inf(1) }},
+		{"wall NaN", func(f *File) { f.Runs[0].WallGCUPS = math.NaN() }},
+		{"sim +Inf", func(f *File) { f.Runs[1].GCUPS = math.Inf(1) }},
+		{"sim NaN", func(f *File) { f.Runs[1].GCUPS = math.NaN() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := collectUnit(t)
+			tc.mutate(f)
+			if err := f.Validate(); err == nil {
+				t.Error("Validate accepted a non-finite GCUPS")
+			}
+		})
+	}
+}
+
+// TestWallGCUPSClampIsFinite pins the producer side of the same bug: a
+// zero (or negative) elapsed measurement must price to a finite positive
+// number, never +Inf/NaN.
+func TestWallGCUPSClampIsFinite(t *testing.T) {
+	for _, wall := range []time.Duration{0, -5 * time.Nanosecond, time.Nanosecond} {
+		v := wallGCUPS(4, 100, 200, wall)
+		if !finitePositive(v) {
+			t.Fatalf("wallGCUPS(wall=%v) = %v, want finite > 0", wall, v)
+		}
+	}
+}
+
+// TestCollectBackendsSectionValidates runs the real backends over the unit
+// workload and checks the section survives Validate, every run is exact
+// against the scalar reference, and the headline speedup is filled in and
+// sane (striped must beat the simulated-GPU backend on the wall clock).
+func TestCollectBackendsSectionValidates(t *testing.T) {
+	f := collectUnit(t)
+	names := []string{"striped", "bitwise-sim", "cpu-ref"}
+	if err := f.CollectBackends(context.Background(), workload.Unit, pipeline.Config{}, 32, names); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Backends) != len(names) {
+		t.Fatalf("%d sections, want %d", len(f.Backends), len(names))
+	}
+	for _, sec := range f.Backends {
+		if len(sec.Runs) != len(workload.Unit.NList) {
+			t.Fatalf("%s: %d runs, want %d", sec.Name, len(sec.Runs), len(workload.Unit.NList))
+		}
+		for _, r := range sec.Runs {
+			if !r.Exact {
+				t.Fatalf("%s: run (m=%d, n=%d) not exact vs reference", sec.Name, r.M, r.N)
+			}
+		}
+	}
+	if !finitePositive(f.SpeedupStripedVsBitwiseSim) {
+		t.Fatalf("speedup = %v, want finite > 0", f.SpeedupStripedVsBitwiseSim)
+	}
+	if f.SpeedupStripedVsBitwiseSim <= 1 {
+		t.Fatalf("striped %vx bitwise-sim on the wall clock, want > 1", f.SpeedupStripedVsBitwiseSim)
+	}
+}
+
+// TestCollectBackendsRejectsUnknown pins the error path.
+func TestCollectBackendsRejectsUnknown(t *testing.T) {
+	f := collectUnit(t)
+	if err := f.CollectBackends(context.Background(), workload.Unit, pipeline.Config{}, 32, []string{"quantum"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := f.CollectBackends(context.Background(), workload.Unit, pipeline.Config{}, 32, nil); err == nil {
+		t.Fatal("empty name list accepted")
+	}
+}
+
+// TestValidateRejectsBadBackendSection mutates a good backends section the
+// ways CI must catch.
+func TestValidateRejectsBadBackendSection(t *testing.T) {
+	base := func(t *testing.T) *File {
+		f := collectUnit(t)
+		if err := f.CollectBackends(context.Background(), workload.Unit, pipeline.Config{}, 32,
+			[]string{"striped", "bitwise-sim"}); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	cases := []struct {
+		name   string
+		mutate func(*File)
+	}{
+		{"inexact run", func(f *File) { f.Backends[0].Runs[0].Exact = false }},
+		{"inf wall gcups", func(f *File) { f.Backends[0].Runs[0].WallGCUPS = math.Inf(1) }},
+		{"zero wall", func(f *File) { f.Backends[1].Runs[0].WallNS = 0 }},
+		{"nan aggregate", func(f *File) { f.Backends[0].AggregateWallGCUPS = math.NaN() }},
+		{"duplicate name", func(f *File) { f.Backends[1].Name = f.Backends[0].Name }},
+		{"empty name", func(f *File) { f.Backends[0].Name = "" }},
+		{"no runs", func(f *File) { f.Backends[0].Runs = nil }},
+		{"inf speedup", func(f *File) { f.SpeedupStripedVsBitwiseSim = math.Inf(1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := base(t)
+			tc.mutate(f)
+			if err := f.Validate(); err == nil {
+				t.Error("Validate accepted a broken backends section")
+			}
+		})
+	}
+}

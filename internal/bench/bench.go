@@ -34,10 +34,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
 
+	"repro/internal/alignsvc"
 	"repro/internal/dna"
 	"repro/internal/fleet"
 	"repro/internal/perfmodel"
@@ -134,6 +136,58 @@ type File struct {
 	// Cluster is present when the sweep was additionally run through a
 	// multi-node peer cluster (swabench -peers N).
 	Cluster *ClusterSection `json:"cluster,omitempty"`
+	// Backends is present when the sweep was additionally served by the
+	// standalone execution backends (swabench -backends). All of its
+	// numbers live on the host (wall) clock.
+	Backends []BackendSection `json:"backends,omitempty"`
+	// SpeedupStripedVsBitwiseSim is the striped backend's aggregate wall
+	// GCUPS over bitwise-sim's, when both sections are present. This is the
+	// headline wall-clock win of the native engine over simulating the
+	// paper's GPU in Go — it deliberately compares wall clock to wall
+	// clock, never wall to simulated.
+	SpeedupStripedVsBitwiseSim float64 `json:"speedup_striped_vs_bitwise_sim,omitempty"`
+}
+
+// BackendRun is one (pairs, m, n) shape served by one execution backend,
+// timed on the host clock.
+type BackendRun struct {
+	Pairs  int   `json:"pairs"`
+	M      int   `json:"m"`
+	N      int   `json:"n"`
+	WallNS int64 `json:"wall_ns"`
+	// WallGCUPS is the run's cell count over WallNS.
+	WallGCUPS float64 `json:"wall_gcups"`
+	// Exact records that every score of this run was re-checked
+	// byte-identical against the scalar swa.Score reference (checked
+	// outside the timed region). Validate fails when it is false: a
+	// backend that wins the benchmark with wrong scores is not a result.
+	Exact bool `json:"exact_vs_reference"`
+}
+
+// BackendSection is one backend's sweep.
+type BackendSection struct {
+	Name string       `json:"name"`
+	Runs []BackendRun `json:"runs"`
+	// AggregateWallGCUPS is the whole sweep's cell count over its summed
+	// wall time.
+	AggregateWallGCUPS float64 `json:"aggregate_wall_gcups"`
+}
+
+// wallGCUPS prices a run's cell count against host elapsed time, clamping
+// the elapsed time to 1ns: a ~0 measurement (coarse clock granularity on a
+// trivially small run) yields a large-but-finite number instead of the
+// +Inf that a bare division produces — and that +Inf would otherwise
+// satisfy a naive "> 0" sanity check and poison downstream aggregates.
+func wallGCUPS(pairs, m, n int, wall time.Duration) float64 {
+	if wall < time.Nanosecond {
+		wall = time.Nanosecond
+	}
+	return perfmodel.GCUPS(pairs, m, n, wall)
+}
+
+// finitePositive reports whether v is a real, positive measurement.
+func finitePositive(v float64) bool {
+	return v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v)
 }
 
 // Collect runs the bitwise pipeline once per n in the spec's sweep and
@@ -177,7 +231,7 @@ func Collect(ctx context.Context, spec workload.Spec, cfg pipeline.Config) (*Fil
 			SimTotalNS: res.Times.Total().Nanoseconds(),
 			WallNS:     wall.Nanoseconds(),
 			GCUPS:      res.GCUPS(),
-			WallGCUPS:  perfmodel.GCUPS(res.Pairs, res.M, res.N, wall),
+			WallGCUPS:  wallGCUPS(res.Pairs, res.M, res.N, wall),
 		})
 	}
 	return f, nil
@@ -280,6 +334,79 @@ func (f *File) CollectFleet(ctx context.Context, spec workload.Spec, cfg pipelin
 	return nil
 }
 
+// CollectBackends serves the spec's n-sweep through each named execution
+// backend (constructed standalone via alignsvc.NewBackend) and attaches one
+// wall-clock BackendSection per name, in the given order. Every batch's
+// scores are re-checked against the scalar swa.Score reference outside the
+// timed region, so the sections double as the cross-backend exactness
+// oracle. When both "striped" and "bitwise-sim" are among the names, the
+// headline SpeedupStripedVsBitwiseSim ratio is filled in.
+func (f *File) CollectBackends(ctx context.Context, spec workload.Spec, cfg pipeline.Config, lanes int, names []string) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("bench: no backend names")
+	}
+	sc := cfg.Scoring
+	if sc == (swa.Scoring{}) {
+		sc = swa.PaperScoring
+	}
+	for _, name := range names {
+		b, err := alignsvc.NewBackend(name, cfg, lanes)
+		if err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		sec := BackendSection{Name: name}
+		var cells int64
+		var wallSum time.Duration
+		for _, n := range spec.NList {
+			pairs := spec.Generate(n)
+			begin := time.Now()
+			scores, _, err := b.AlignBatch(ctx, pairs, alignsvc.BatchOpts{})
+			wall := time.Since(begin)
+			if err != nil {
+				return fmt.Errorf("bench: backend %s n = %d: %w", name, n, err)
+			}
+			exact := len(scores) == len(pairs)
+			for i, p := range pairs {
+				if !exact || scores[i] != swa.Score(p.X, p.Y, sc) {
+					exact = false
+					break
+				}
+			}
+			sec.Runs = append(sec.Runs, BackendRun{
+				Pairs: len(pairs), M: spec.M, N: n,
+				WallNS:    wall.Nanoseconds(),
+				WallGCUPS: wallGCUPS(len(pairs), spec.M, n, wall),
+				Exact:     exact,
+			})
+			cells += int64(len(pairs)) * int64(spec.M) * int64(n)
+			wallSum += wall
+		}
+		if wallSum < time.Nanosecond {
+			wallSum = time.Nanosecond
+		}
+		sec.AggregateWallGCUPS = float64(cells) / 1e9 / wallSum.Seconds()
+		f.Backends = append(f.Backends, sec)
+	}
+	if st, bw := f.backendSection("striped"), f.backendSection("bitwise-sim"); st != nil && bw != nil &&
+		finitePositive(st.AggregateWallGCUPS) && finitePositive(bw.AggregateWallGCUPS) {
+		f.SpeedupStripedVsBitwiseSim = st.AggregateWallGCUPS / bw.AggregateWallGCUPS
+	}
+	return nil
+}
+
+// backendSection returns the named section, or nil.
+func (f *File) backendSection(name string) *BackendSection {
+	for i := range f.Backends {
+		if f.Backends[i].Name == name {
+			return &f.Backends[i]
+		}
+	}
+	return nil
+}
+
 // Validate checks the invariants CI's bench-smoke job relies on: the right
 // schema, at least two distinct (m, n) shapes, and physically sensible
 // numbers (positive GCUPS, nonzero simulated time, SWA dominated breakdown
@@ -296,14 +423,17 @@ func (f *File) Validate() error {
 		if r.Pairs <= 0 || r.M <= 0 || r.N < r.M {
 			return fmt.Errorf("bench: run %d has degenerate shape (%d pairs, m=%d, n=%d)", i, r.Pairs, r.M, r.N)
 		}
-		if r.GCUPS <= 0 {
-			return fmt.Errorf("bench: run %d (m=%d, n=%d) has GCUPS %v, want > 0", i, r.M, r.N, r.GCUPS)
+		if !finitePositive(r.GCUPS) {
+			return fmt.Errorf("bench: run %d (m=%d, n=%d) has GCUPS %v, want finite > 0", i, r.M, r.N, r.GCUPS)
 		}
 		if r.SimTotalNS <= 0 {
 			return fmt.Errorf("bench: run %d (m=%d, n=%d) has zero simulated time", i, r.M, r.N)
 		}
-		if r.WallNS > 0 && r.WallGCUPS <= 0 {
-			return fmt.Errorf("bench: run %d (m=%d, n=%d) has wall time but WallGCUPS %v, want > 0", i, r.M, r.N, r.WallGCUPS)
+		// Historically this read "WallGCUPS <= 0", which a +Inf (from a
+		// ~0 wall measurement divided through unclamped) silently passed;
+		// reject the whole non-finite family explicitly.
+		if r.WallNS > 0 && !finitePositive(r.WallGCUPS) {
+			return fmt.Errorf("bench: run %d (m=%d, n=%d) has wall time but WallGCUPS %v, want finite > 0", i, r.M, r.N, r.WallGCUPS)
 		}
 		sum := r.Stages.H2G + r.Stages.W2B + r.Stages.SWA + r.Stages.B2W + r.Stages.G2H
 		if sum != r.SimTotalNS {
@@ -318,7 +448,7 @@ func (f *File) Validate() error {
 		if len(fl.Devices) < 2 {
 			return fmt.Errorf("bench: fleet section has %d member(s), want a fleet", len(fl.Devices))
 		}
-		if fl.WallNS <= 0 || fl.AggregateGCUPS <= 0 {
+		if fl.WallNS <= 0 || !finitePositive(fl.AggregateGCUPS) {
 			return fmt.Errorf("bench: fleet section has wall %dns, aggregate %v GCUPS, want both > 0",
 				fl.WallNS, fl.AggregateGCUPS)
 		}
@@ -359,6 +489,37 @@ func (f *File) Validate() error {
 		if err := f.Cluster.validate(); err != nil {
 			return err
 		}
+	}
+	seen := make(map[string]bool)
+	for _, sec := range f.Backends {
+		if sec.Name == "" || seen[sec.Name] {
+			return fmt.Errorf("bench: backend section name %q empty or duplicated", sec.Name)
+		}
+		seen[sec.Name] = true
+		if len(sec.Runs) == 0 {
+			return fmt.Errorf("bench: backend %s has no runs", sec.Name)
+		}
+		for i, r := range sec.Runs {
+			if r.Pairs <= 0 || r.M <= 0 || r.N < r.M {
+				return fmt.Errorf("bench: backend %s run %d has degenerate shape (%d pairs, m=%d, n=%d)",
+					sec.Name, i, r.Pairs, r.M, r.N)
+			}
+			if r.WallNS <= 0 || !finitePositive(r.WallGCUPS) {
+				return fmt.Errorf("bench: backend %s run %d has wall %dns, WallGCUPS %v, want finite > 0",
+					sec.Name, i, r.WallNS, r.WallGCUPS)
+			}
+			if !r.Exact {
+				return fmt.Errorf("bench: backend %s run %d (m=%d, n=%d) diverged from the scalar reference",
+					sec.Name, i, r.M, r.N)
+			}
+		}
+		if !finitePositive(sec.AggregateWallGCUPS) {
+			return fmt.Errorf("bench: backend %s aggregate wall GCUPS %v, want finite > 0",
+				sec.Name, sec.AggregateWallGCUPS)
+		}
+	}
+	if f.SpeedupStripedVsBitwiseSim != 0 && !finitePositive(f.SpeedupStripedVsBitwiseSim) {
+		return fmt.Errorf("bench: striped-vs-bitwise speedup %v, want finite > 0", f.SpeedupStripedVsBitwiseSim)
 	}
 	return nil
 }

@@ -137,7 +137,15 @@ const (
 	// are one-hop by construction, so a longer chain means a stale ring
 	// tried to bounce the batch around the cluster.
 	CodeForwardLoop = "forward_loop"
+
+	// CodeBadBackend rejects an X-SWA-Backend header naming an unknown
+	// serving backend.
+	CodeBadBackend = "bad_backend"
 )
+
+// BackendHeader is the request header that overrides the serving backend
+// for one /align request (see alignsvc.BackendNames for the valid values).
+const BackendHeader = "X-SWA-Backend"
 
 // AlignRequest is the /align request body. Either Pairs or Preset must be
 // set. TimeoutMS overrides the server's default deadline (capped at
@@ -471,6 +479,16 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Per-request backend override, validated before paying for admission.
+	backend := r.Header.Get(BackendHeader)
+	if backend != "" && !validBackend(backend) {
+		s.rejected.Add(1)
+		s.writeError(w, r, http.StatusBadRequest, CodeBadBackend,
+			fmt.Sprintf("unknown backend %q (valid: %s)", backend,
+				strings.Join(alignsvc.BackendNames(), ", ")))
+		return
+	}
+
 	// Admission: try for an execution slot; if none is free, wait in the
 	// bounded queue; if the queue is full, shed.
 	release, admit := s.admit(r.Context())
@@ -507,6 +525,17 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		// the local service directly, which is what terminates every chain.
 		align = s.cfg.Cluster.Align
 	}
+	if backend != "" {
+		// An explicit backend override serves on the local service,
+		// bypassing the cluster ring: the ring exists to land pairs on warm
+		// caches, and the cache is backend-agnostic by key construction, so
+		// forwarding steered traffic would add a hop without changing the
+		// answer. This also keeps override semantics identical with and
+		// without a cluster.
+		align = func(ctx context.Context, pairs []dna.Pair) (*alignsvc.BatchResult, error) {
+			return s.cfg.Service.AlignBackend(ctx, pairs, backend)
+		}
+	}
 	res, err := align(ctx, pairs)
 	if err != nil {
 		s.writeAlignError(w, r, err)
@@ -514,6 +543,17 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	}
 	s.completed.Add(1)
 	writeJSON(w, http.StatusOK, AlignResponse{Scores: res.Scores, Report: res.Report})
+}
+
+// validBackend reports whether name is a serving backend AlignBackend will
+// accept.
+func validBackend(name string) bool {
+	for _, n := range alignsvc.BackendNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // forwardChain parses the X-SWA-Forwarded header into its hop list.

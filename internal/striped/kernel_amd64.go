@@ -1,0 +1,107 @@
+//go:build amd64
+
+package striped
+
+import (
+	"context"
+
+	"repro/internal/dna"
+	"repro/internal/swa"
+)
+
+// haveAsm selects the SSE2 assembly kernel. SSE2 is part of the amd64
+// baseline, so no runtime feature detection is needed.
+const haveAsm = true
+
+// asmCap is the largest per-cost value the assembly kernel's full-range
+// 8-bit lanes accept without the constant fills clamping: the overflow
+// tracker flags saturated adds at 255, so 254 is the effective score
+// ceiling and 255-range costs are representable exactly.
+const asmCap = 254
+
+// stripedSW2 is implemented in kernel_amd64.s. It advances both problems'
+// striped rows across n text columns; vm/ovf state round-trips through the
+// arena so the engine can feed a long text in chunks.
+//
+//go:noescape
+func stripedSW2(arena, prof, vh, y0, y1 *byte, n, blockSize int64)
+
+const (
+	arenaSize = 160
+	asmLanes  = 16
+)
+
+// runAsmPair scores two pairs with the two-problem SSE2 kernel. The
+// problems share segLen (from the longer query; shorter ones pad with a
+// zero profile, which is exact) and must have equal text lengths — the
+// engine's grouping guarantees that, duplicating problem 0 otherwise.
+func (e *Engine) runAsmPair(ctx context.Context, sr *scratch, p0, p1 dna.Pair, sc swa.Scoring) (s0, s1 int, ovf0, ovf1 bool, err error) {
+	m := max(len(p0.X), len(p1.X))
+	segLen := (m + asmLanes - 1) / asmLanes
+	bs := segLen * asmLanes
+
+	sr.arena = growBytes(sr.arena, arenaSize)
+	fill16 := func(off, v int) {
+		b := byte(min(v, 255))
+		for i := 0; i < 16; i++ {
+			sr.arena[off+i] = b
+		}
+	}
+	fill16(0, sc.Mismatch)
+	fill16(16, sc.Gap)
+	segGap := segLen * sc.Gap
+	fill16(32, segGap)
+	fill16(48, segGap*2)
+	fill16(64, segGap*4)
+	fill16(80, segGap*8)
+	for i := 96; i < arenaSize; i++ {
+		sr.arena[i] = 0
+	}
+
+	sr.prof2 = growBytes(sr.prof2, 4*2*bs)
+	for i := range sr.prof2 {
+		sr.prof2[i] = 0
+	}
+	pv := byte(sc.Match + sc.Mismatch)
+	for k, x := range [2]dna.Seq{p0.X, p1.X} {
+		for q, b := range x {
+			// query position q = v*segLen + s lands at byte s*16+v of the
+			// (base, problem) block.
+			v := q / segLen
+			s := q % segLen
+			sr.prof2[(int(b)*2+k)*bs+s*asmLanes+v] = pv
+		}
+	}
+
+	sr.vh = growBytes(sr.vh, 2*bs)
+	for i := range sr.vh {
+		sr.vh[i] = 0
+	}
+	sr.yb = copySeq(sr.yb, p0.Y)
+	sr.yb2 = copySeq(sr.yb2, p1.Y)
+
+	n := len(sr.yb)
+	chunk := max(1, pollCells/(2*bs))
+	for at := 0; at < n; at += chunk {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, false, false, err
+		}
+		cols := min(chunk, n-at)
+		stripedSW2(&sr.arena[0], &sr.prof2[0], &sr.vh[0],
+			&sr.yb[at], &sr.yb2[at], int64(cols), int64(bs))
+	}
+
+	best := func(off int) int {
+		b := 0
+		for i := 0; i < 16; i++ {
+			if v := int(sr.arena[off+i]); v > b {
+				b = v
+			}
+		}
+		return b
+	}
+	s0, s1 = best(96), best(112)
+	ovf0 = best(128) == 255
+	ovf1 = best(144) == 255
+	return s0, s1, ovf0, ovf1, nil
+}

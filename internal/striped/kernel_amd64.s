@@ -1,0 +1,182 @@
+#include "textflag.h"
+
+// func stripedSW2(arena, prof, vh, y0, y1 *byte, n, blockSize int64)
+//
+// The SSE2 two-problem striped Smith–Waterman column pass: 16 full-range
+// 8-bit lanes per XMM register (PADDUSB/PSUBUSB/PMAXUB saturate in
+// hardware), two independent (x, y) problems interleaved per call to hide
+// instruction latency. The lane wrap is resolved per Snytsar's lazy-F
+// elimination: four static decayed prefix-max steps over the wrapped F,
+// then one corrective sweep, skipped when the settled F is all zero.
+//
+// arena layout (16-byte lanes, filled by the Go wrapper):
+//   0 bias | 16 gap | 32 dec1 | 48 dec2 | 64 dec4 | 80 dec8
+//   96 vm0 | 112 vm1 | 128 ovf0 | 144 ovf1   (state: loaded AND stored, so
+//   a long text can be fed in chunks with a context poll between calls)
+// prof: per base c (0..3) and problem k (0..1), the striped query profile
+//   block at (c*2+k)*blockSize; blockSize = segLen*16.
+// vh: problem 0's H row at 0, problem 1's at blockSize (zeroed by caller
+//   before the first chunk, preserved across chunks).
+// ovf tracks the running max of every pre-bias add: a 255 lane means some
+//   add may have saturated and the problem must be re-scored wider.
+//
+// X0 f0, X1 f1, X2 prev0, X3 prev1, X4 vm0, X5 vm1, X6 ovf0, X7 ovf1,
+// X8 bias, X9 gap, X10-X13 temps.
+TEXT ·stripedSW2(SB), NOSPLIT, $0-56
+	MOVQ arena+0(FP), DI
+	MOVQ prof+8(FP), SI
+	MOVQ vh+16(FP), R8
+	MOVQ y0+24(FP), R9
+	MOVQ y1+32(FP), R15
+	MOVQ n+40(FP), R10
+	MOVQ blockSize+48(FP), R11
+
+	MOVOU 0(DI), X8
+	MOVOU 16(DI), X9
+	MOVOU 96(DI), X4
+	MOVOU 112(DI), X5
+	MOVOU 128(DI), X6
+	MOVOU 144(DI), X7
+
+	LEAQ (R8)(R11*1), R12    // vh1 base
+	MOVQ $0, BX              // column j
+
+colloop:
+	CMPQ BX, R10
+	JGE  done
+
+	// prev_k = vh_k[last segment] shifted one lane (the lane wrap of the
+	// diagonal term entering segment 0).
+	MOVOU -16(R8)(R11*1), X2
+	MOVOU -16(R12)(R11*1), X3
+	PSLLO $1, X2
+	PSLLO $1, X3
+
+	// profile blocks for this column: c0 = y0[j], c1 = y1[j]
+	MOVBLZX (R9)(BX*1), CX
+	SHLQ $1, CX
+	IMULQ R11, CX
+	LEAQ (SI)(CX*1), R13     // problem 0 block
+	MOVBLZX (R15)(BX*1), CX
+	SHLQ $1, CX
+	IMULQ R11, CX
+	LEAQ 0(SI)(CX*1), R14
+	ADDQ R11, R14            // problem 1 block
+
+	PXOR X0, X0
+	PXOR X1, X1
+	MOVQ $0, DX              // segment byte offset
+
+segloop:
+	// problem 0: h = max(prev + p - bias, H_left - gap, f); f' = h - gap
+	MOVOU (R13)(DX*1), X10   // p
+	PADDUSB X2, X10          // t = prev + p (saturating)
+	PMAXUB X10, X6           // overflow tracker: max t ever seen
+	PSUBUSB X8, X10          // diagonal term
+	MOVOU (R8)(DX*1), X2     // H_left (previous column; becomes next prev)
+	MOVOA X2, X11
+	PSUBUSB X9, X11          // left term
+	PMAXUB X11, X10
+	PMAXUB X0, X10           // up term (running F chain)
+	PMAXUB X10, X4           // vm0
+	MOVOU X10, (R8)(DX*1)
+	MOVOA X10, X0
+	PSUBUSB X9, X0           // f = h - gap
+
+	// problem 1, identical shape
+	MOVOU (R14)(DX*1), X12
+	PADDUSB X3, X12
+	PMAXUB X12, X7
+	PSUBUSB X8, X12
+	MOVOU (R12)(DX*1), X3
+	MOVOA X3, X13
+	PSUBUSB X9, X13
+	PMAXUB X13, X12
+	PMAXUB X1, X12
+	PMAXUB X12, X5
+	MOVOU X12, (R12)(DX*1)
+	MOVOA X12, X1
+	PSUBUSB X9, X1
+
+	ADDQ $16, DX
+	CMPQ DX, R11
+	JLT  segloop
+
+	// Lane wrap: shift F one lane, then four decayed prefix-max steps
+	// (decay vectors clamp at 255, so an over-decayed step is a no-op).
+	PSLLO $1, X0
+	PSLLO $1, X1
+
+	MOVOA X0, X10
+	MOVOA X1, X11
+	PSLLO $1, X10
+	PSLLO $1, X11
+	PSUBUSB 32(DI), X10
+	PSUBUSB 32(DI), X11
+	PMAXUB X10, X0
+	PMAXUB X11, X1
+
+	MOVOA X0, X10
+	MOVOA X1, X11
+	PSLLO $2, X10
+	PSLLO $2, X11
+	PSUBUSB 48(DI), X10
+	PSUBUSB 48(DI), X11
+	PMAXUB X10, X0
+	PMAXUB X11, X1
+
+	MOVOA X0, X10
+	MOVOA X1, X11
+	PSLLO $4, X10
+	PSLLO $4, X11
+	PSUBUSB 64(DI), X10
+	PSUBUSB 64(DI), X11
+	PMAXUB X10, X0
+	PMAXUB X11, X1
+
+	MOVOA X0, X10
+	MOVOA X1, X11
+	PSLLO $8, X10
+	PSLLO $8, X11
+	PSUBUSB 80(DI), X10
+	PSUBUSB 80(DI), X11
+	PMAXUB X10, X0
+	PMAXUB X11, X1
+
+	// One corrective sweep, only if some settled F lane is nonzero.
+	MOVOA X0, X10
+	POR X1, X10
+	PXOR X11, X11
+	PCMPEQB X11, X10
+	PMOVMSKB X10, AX
+	CMPL AX, $0xFFFF
+	JEQ  nextcol
+
+	MOVQ $0, DX
+sweeploop:
+	MOVOU (R8)(DX*1), X10
+	PMAXUB X0, X10
+	MOVOU X10, (R8)(DX*1)
+	MOVOA X10, X0
+	PSUBUSB X9, X0
+
+	MOVOU (R12)(DX*1), X11
+	PMAXUB X1, X11
+	MOVOU X11, (R12)(DX*1)
+	MOVOA X11, X1
+	PSUBUSB X9, X1
+
+	ADDQ $16, DX
+	CMPQ DX, R11
+	JLT  sweeploop
+
+nextcol:
+	INCQ BX
+	JMP  colloop
+
+done:
+	MOVOU X4, 96(DI)
+	MOVOU X5, 112(DI)
+	MOVOU X6, 128(DI)
+	MOVOU X7, 144(DI)
+	RET
