@@ -22,6 +22,13 @@
 // crash (even SIGKILL) costs at most the chunk that was in flight. On
 // SIGTERM, running jobs are checkpointed and requeued rather than awaited.
 //
+// -tenants loads a JSON tenant config (API keys, weights, rate limits,
+// concurrency and job quotas) and turns on multi-tenant admission: requests
+// authenticate with X-SWA-API-Key (or X-SWA-Tenant for keyless tenants),
+// execution slots are divided weighted-fair between backlogged tenants, and
+// jobs belong to the tenant that submitted them. GET /jobs/{id}/events
+// streams live job progress as Server-Sent Events.
+//
 // -ops-addr starts a second listener with the operational endpoints —
 // /metricsz, /tracez (recent request traces) and net/http/pprof under
 // /debug/pprof/. It is off by default and should stay firewalled: pprof can
@@ -31,7 +38,8 @@
 //
 //	swaserver [-backend striped|bitwise-sim|wordwise-sim|cpu-ref]
 //	          [-addr :8468] [-ops-addr :8469] [-workers N] [-inflight N]
-//	          [-queued N] [-grace 15s] [-timeout 30s] [-lanes 32]
+//	          [-queued N] [-tenants tenants.json]
+//	          [-grace 15s] [-timeout 30s] [-lanes 32]
 //	          [-devices 4 -device-specs titanx,titanx-half]
 //	          [-quarantine-after 3 -probe-interval 1s -hedge-after 0]
 //	          [-node-id n1 -peers n2=http://h2:8468,n3=http://h3:8468]
@@ -79,6 +87,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/server"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -113,6 +122,7 @@ func main() {
 
 	inflight := flag.Int("inflight", 0, "max align requests executing concurrently (0 = 2×GOMAXPROCS)")
 	queued := flag.Int("queued", 0, "max align requests waiting for a slot before 429 (0 = inflight)")
+	tenantsFile := flag.String("tenants", "", "JSON tenant config enabling multi-tenant admission (empty = single anonymous tenant)")
 	maxPairs := flag.Int("max-pairs", 4096, "max pairs per batch")
 	maxSeqLen := flag.Int("max-seqlen", 16384, "max sequence length")
 	maxBody := flag.Int64("max-body", 8<<20, "max request body bytes")
@@ -165,6 +175,21 @@ func main() {
 		if r.name != "-validate" && (r.v < 0 || r.v > 1) {
 			cli.Exitf(2, "swaserver: %s must be in [0,1], got %v", r.name, r.v)
 		}
+	}
+
+	// Multi-tenant admission: -tenants loads the API-key registry that the
+	// server (rate limits, weighted-fair queueing) and the job manager
+	// (ownership, running-job quotas) share. Without it, every request is
+	// the anonymous tenant and admission behaves exactly as untenanted.
+	var reg *tenant.Registry
+	if *tenantsFile != "" {
+		var err error
+		reg, err = tenant.LoadFile(*tenantsFile)
+		if err != nil {
+			cli.Exitf(2, "swaserver: -tenants: %v", err)
+		}
+		log.Printf("swaserver: multi-tenant admission enabled: %d tenant(s) from %s",
+			reg.Len(), *tenantsFile)
 	}
 
 	// The content-addressed score cache: identical (pattern, text, scoring,
@@ -279,6 +304,7 @@ func main() {
 			ChunkTimeout:  *jobChunkTimeout,
 			TTL:           *jobTTL,
 			Traces:        ring,
+			Tenants:       reg,
 		})
 		cli.Check(err)
 		if recovered := mgr.Stats().Recovered; recovered > 0 {
@@ -328,6 +354,7 @@ func main() {
 		Jobs:           mgr,
 		TraceRing:      ring,
 		Cluster:        cl,
+		Tenants:        reg,
 	})
 	cli.Check(err)
 

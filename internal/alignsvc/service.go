@@ -340,6 +340,18 @@ func (s *Service) Align(ctx context.Context, pairs []dna.Pair) (*BatchResult, er
 	return s.align(ctx, pairs, s.cfg.Backend)
 }
 
+// Cells is the DP work a batch represents: Σ |pattern|·|text| matrix cells.
+// Tenant cells/sec rate limits and capacity planning meter this quantity —
+// request counts alone are meaningless when one request can carry a
+// thousand-fold more dynamic-programming work than another.
+func Cells(pairs []dna.Pair) int64 {
+	var n int64
+	for _, p := range pairs {
+		n += int64(len(p.X)) * int64(len(p.Y))
+	}
+	return n
+}
+
 // AlignBackend is Align with a per-request backend override: the batch is
 // served by the named backend's ladder instead of the configured default.
 // An unknown name fails before any work is enqueued.

@@ -322,3 +322,23 @@ func TestReportString(t *testing.T) {
 		t.Fatalf("Report.String() = %q, want %q", got, want)
 	}
 }
+
+func TestCells(t *testing.T) {
+	mk := func(s string) dna.Seq {
+		p, err := dna.Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	pairs := []dna.Pair{
+		{X: mk("ACGT"), Y: mk("ACGTACGT")}, // 4·8 = 32
+		{X: mk("A"), Y: mk("ACG")},         // 1·3 = 3
+	}
+	if got := Cells(pairs); got != 35 {
+		t.Fatalf("Cells = %d, want 35", got)
+	}
+	if got := Cells(nil); got != 0 {
+		t.Fatalf("Cells(nil) = %d, want 0", got)
+	}
+}

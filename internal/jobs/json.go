@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"encoding/json"
+	"strings"
 	"time"
 
 	"repro/internal/jobstore"
@@ -18,6 +19,7 @@ import (
 type Snapshot struct {
 	ID         string
 	Key        string // idempotency key, "" when none was sent
+	Tenant     string // owning tenant ID ("" = anonymous)
 	State      jobstore.State
 	Error      string // failure message for failed jobs
 	Pairs      int    // batch size
@@ -31,9 +33,16 @@ type Snapshot struct {
 
 // snapshot builds the wire view from a store job.
 func (m *Manager) snapshot(j *jobstore.Job) Snapshot {
+	// The stored key may be tenant-namespaced (see storeKey); clients get
+	// back exactly the key they sent.
+	key := j.Key
+	if i := strings.IndexByte(key, 0); i >= 0 {
+		key = key[i+1:]
+	}
 	return Snapshot{
 		ID:         j.ID,
-		Key:        j.Key,
+		Key:        key,
+		Tenant:     j.Tenant,
 		State:      j.State,
 		Error:      j.Error,
 		Pairs:      len(j.Pairs),
@@ -49,6 +58,7 @@ func (m *Manager) snapshot(j *jobstore.Job) Snapshot {
 type snapshotJSON struct {
 	ID            string         `json:"id"`
 	Key           string         `json:"idempotency_key,omitempty"`
+	Tenant        string         `json:"tenant,omitempty"`
 	State         jobstore.State `json:"state"`
 	Error         string         `json:"error,omitempty"`
 	Pairs         int            `json:"pairs"`
@@ -65,6 +75,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 	return json.Marshal(snapshotJSON{
 		ID:            s.ID,
 		Key:           s.Key,
+		Tenant:        s.Tenant,
 		State:         s.State,
 		Error:         s.Error,
 		Pairs:         s.Pairs,
@@ -87,6 +98,7 @@ func (s *Snapshot) UnmarshalJSON(b []byte) error {
 	*s = Snapshot{
 		ID:         in.ID,
 		Key:        in.Key,
+		Tenant:     in.Tenant,
 		State:      in.State,
 		Error:      in.Error,
 		Pairs:      in.Pairs,

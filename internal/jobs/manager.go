@@ -29,6 +29,7 @@ import (
 	"repro/internal/dna"
 	"repro/internal/jobstore"
 	"repro/internal/obs"
+	"repro/internal/tenant"
 )
 
 // Typed manager errors, mapped onto HTTP statuses by the server.
@@ -42,6 +43,10 @@ var (
 	ErrNotFound = errors.New("jobs: job not found")
 	// ErrNotReady is returned by Result for a job that has no result yet.
 	ErrNotReady = errors.New("jobs: job not finished")
+	// ErrQuota rejects a submission that would exceed the tenant's
+	// running-job cap (429 quota_exceeded at the server; retry after a job
+	// finishes).
+	ErrQuota = errors.New("jobs: tenant running-job quota exceeded")
 )
 
 // Config tunes the manager. Store and Service are required.
@@ -71,6 +76,14 @@ type Config struct {
 	// Traces, when set, receives one trace per finished job run with spans
 	// for every executed chunk (the server wires its /tracez ring here).
 	Traces *obs.TraceRing
+	// Tenants, when set, supplies per-tenant running-job caps enforced by
+	// SubmitFor against the WAL-backed store (so quotas hold across
+	// restarts). Nil means every tenant is unlimited.
+	Tenants *tenant.Registry
+	// EventBuffer is each progress subscriber's ring-buffer depth; a slow
+	// SSE client beyond it loses its oldest events instead of slowing the
+	// runners (default 16).
+	EventBuffer int
 
 	// now replaces the GC clock in tests.
 	now func() time.Time
@@ -162,6 +175,7 @@ type Manager struct {
 	cfg   Config
 	store *jobstore.Store
 	queue *fifo
+	hub   *hub
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -198,6 +212,7 @@ func New(cfg Config) (*Manager, error) {
 		cfg:        cfg,
 		store:      cfg.Store,
 		queue:      newFIFO(),
+		hub:        newHub(cfg.EventBuffer),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		gcQuit:     make(chan struct{}),
@@ -286,22 +301,66 @@ func (m *Manager) newJobID() string {
 	}
 }
 
-// Submit persists a new job and queues it, returning its snapshot. A
-// non-empty idempotency key that matches a live job returns that job
-// instead (created=false) — re-sent submissions are deduplicated, not
-// re-executed.
+// normalizeTenant maps the wire tenant ID onto the store's owner field:
+// the anonymous tenant is stored as "" (matching pre-tenancy WAL records).
+func normalizeTenant(id string) string {
+	if id == tenant.AnonymousID {
+		return ""
+	}
+	return id
+}
+
+// displayTenant is the inverse of normalizeTenant, for errors and wire
+// output.
+func displayTenant(id string) string {
+	if id == "" {
+		return tenant.AnonymousID
+	}
+	return id
+}
+
+// storeKey namespaces an idempotency key by owning tenant, so equal keys
+// from different tenants deduplicate independently (and one tenant can
+// never be handed another tenant's job by key collision). Anonymous keys
+// stay bare for WAL back-compat. The NUL separator cannot appear in a
+// tenant ID loaded from JSON config.
+func storeKey(tenantID, key string) string {
+	if key == "" || tenantID == "" {
+		return key
+	}
+	return tenantID + "\x00" + key
+}
+
+// Submit persists a new job owned by the anonymous tenant — see SubmitFor.
 func (m *Manager) Submit(pairs []dna.Pair, key string) (snap Snapshot, created bool, err error) {
+	return m.SubmitFor(pairs, key, "")
+}
+
+// SubmitFor persists a new job owned by a tenant and queues it, returning
+// its snapshot. A non-empty idempotency key that matches one of the
+// tenant's live jobs returns that job instead (created=false) — re-sent
+// submissions are deduplicated, not re-executed. Submissions beyond the
+// tenant's MaxRunningJobs cap fail with ErrQuota.
+func (m *Manager) SubmitFor(pairs []dna.Pair, key, tenantID string) (snap Snapshot, created bool, err error) {
+	tid := normalizeTenant(tenantID)
 	if m.Draining() {
 		return Snapshot{}, false, ErrDraining
 	}
 	if len(pairs) == 0 {
 		return Snapshot{}, false, errors.New("jobs: empty batch")
 	}
-	if key != "" {
-		if j, ok := m.store.ByKey(key); ok {
+	sk := storeKey(tid, key)
+	if sk != "" {
+		if j, ok := m.store.ByKey(sk); ok && j.Tenant == tid {
 			m.dedupHits.Add(1)
 			m.obs.Counter("jobs_dedup_hits_total").Inc()
 			return m.snapshot(j), false, nil
+		}
+	}
+	if max := m.cfg.Tenants.MaxRunningJobs(tid); max > 0 {
+		if live := m.store.ActiveByTenant(tid); live >= max {
+			return Snapshot{}, false, fmt.Errorf("%w: tenant %q has %d live job(s), cap %d",
+				ErrQuota, displayTenant(tid), live, max)
 		}
 	}
 	if m.queue.len() >= m.cfg.MaxQueued {
@@ -311,13 +370,14 @@ func (m *Manager) Submit(pairs []dna.Pair, key string) (snap Snapshot, created b
 	for i, p := range pairs {
 		data[i] = jobstore.PairData{X: p.X.String(), Y: p.Y.String()}
 	}
-	j, err := m.store.Submit(m.newJobID(), key, m.cfg.ChunkSize, data)
+	j, err := m.store.SubmitOwned(m.newJobID(), sk, tid, m.cfg.ChunkSize, data)
 	if err != nil {
 		return Snapshot{}, false, err
 	}
 	m.submitted.Add(1)
 	m.obs.Counter("jobs_submitted_total").Inc()
 	m.refreshStateGauges()
+	m.hub.publish(j.ID, EventState, m.snapshot(j))
 	m.queue.push(j.ID)
 	return m.snapshot(j), true, nil
 }
@@ -329,6 +389,54 @@ func (m *Manager) Get(id string) (Snapshot, error) {
 		return Snapshot{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
 	return m.snapshot(j), nil
+}
+
+// owned fetches a job iff the tenant owns it. Another tenant's job answers
+// ErrNotFound — existence itself is tenant-private.
+func (m *Manager) owned(id, tenantID string) (*jobstore.Job, error) {
+	j, ok := m.store.Get(id)
+	if !ok || j.Tenant != normalizeTenant(tenantID) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// GetFor is Get scoped to the owning tenant.
+func (m *Manager) GetFor(id, tenantID string) (Snapshot, error) {
+	j, err := m.owned(id, tenantID)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return m.snapshot(j), nil
+}
+
+// ResultFor is Result scoped to the owning tenant.
+func (m *Manager) ResultFor(id, tenantID string) ([]int, Snapshot, error) {
+	if _, err := m.owned(id, tenantID); err != nil {
+		return nil, Snapshot{}, err
+	}
+	return m.Result(id)
+}
+
+// CancelFor is Cancel scoped to the owning tenant.
+func (m *Manager) CancelFor(id, tenantID string) (Snapshot, error) {
+	if _, err := m.owned(id, tenantID); err != nil {
+		return Snapshot{}, err
+	}
+	return m.Cancel(id)
+}
+
+// EventsFor subscribes to a job's live progress feed, scoped to the owning
+// tenant. The subscription is seeded with a snapshot event carrying the
+// job's current progress (so a late subscriber replays the last
+// checkpoint), then receives a state event per transition and a chunk
+// event per checkpoint. The caller must Close the subscription.
+func (m *Manager) EventsFor(id, tenantID string) (*Sub, error) {
+	j, err := m.owned(id, tenantID)
+	if err != nil {
+		return nil, err
+	}
+	return m.hub.subscribe(id, m.snapshot(j)), nil
 }
 
 // Result returns the assembled scores of a done job. Unfinished jobs fail
@@ -373,8 +481,16 @@ func (m *Manager) Cancel(id string) (Snapshot, error) {
 	m.cancelled.Add(1)
 	m.obs.Counter(obs.L("jobs_terminal_total", "state", "cancelled")).Inc()
 	m.refreshStateGauges()
+	m.publishEvent(id, EventState)
 	j, _ = m.store.Get(id)
 	return m.snapshot(j), nil
+}
+
+// publishEvent publishes the job's current store state on its feed.
+func (m *Manager) publishEvent(id, typ string) {
+	if j, ok := m.store.Get(id); ok {
+		m.hub.publish(id, typ, m.snapshot(j))
+	}
 }
 
 // BeginDrain stops runners at their next chunk boundary (requeueing their
@@ -384,6 +500,9 @@ func (m *Manager) BeginDrain() {
 	m.drainOnce.Do(func() {
 		close(m.draining)
 		m.queue.close()
+		// Progress feeds end with a drain event; SSE handlers unblock
+		// immediately instead of stalling the HTTP server's shutdown.
+		m.hub.close()
 	})
 }
 
@@ -454,6 +573,7 @@ func (m *Manager) runJob(id string) {
 	m.running.Add(1)
 	defer m.running.Add(-1)
 	m.refreshStateGauges()
+	m.publishEvent(id, EventState)
 
 	j, ok := m.store.Get(id)
 	if !ok {
@@ -476,6 +596,7 @@ func (m *Manager) runJob(id string) {
 				m.requeued.Add(1)
 				m.obs.Counter("jobs_requeued_total").Inc()
 			}
+			m.publishEvent(id, EventState)
 		}
 		m.refreshStateGauges()
 		endJob()
@@ -563,6 +684,7 @@ func (m *Manager) runJob(id string) {
 		}
 		m.chunksCheckpointed.Add(1)
 		m.obs.Counter("jobs_chunks_checkpointed_total").Inc()
+		m.publishEvent(id, EventChunk)
 	}
 	finish(jobstore.StateDone, "")
 }

@@ -474,3 +474,56 @@ func TestOpenSyncsDirOnFirstSegment(t *testing.T) {
 		t.Fatal("fsyncDir on a missing directory should fail")
 	}
 }
+
+func TestTenantOwnershipSurvivesReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir)
+	if _, err := s.SubmitOwned("t1", "", "acme", 2, testPairs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SubmitOwned("t2", "", "acme", 2, testPairs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("t3", "", 2, testPairs(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ActiveByTenant("acme"); got != 2 {
+		t.Fatalf("ActiveByTenant(acme) = %d, want 2", got)
+	}
+	if got := s.ActiveByTenant(""); got != 1 {
+		t.Fatalf("ActiveByTenant(anonymous) = %d, want 1", got)
+	}
+	// Terminal jobs stop counting against the quota.
+	if _, err := s.SetState("t1", StateRunning, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddChunk("t1", 0, []int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SetState("t1", StateDone, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ActiveByTenant("acme"); got != 1 {
+		t.Fatalf("ActiveByTenant(acme) after done = %d, want 1", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ownership and the active count are WAL-resident: both survive reopen.
+	s2, rep := mustOpen(t, dir)
+	defer s2.Close()
+	if rep.Truncated {
+		t.Fatalf("replay report: %+v", rep)
+	}
+	j, ok := s2.Get("t2")
+	if !ok || j.Tenant != "acme" {
+		t.Fatalf("replayed job t2 tenant = %+v ok=%v", j, ok)
+	}
+	if got := s2.ActiveByTenant("acme"); got != 1 {
+		t.Fatalf("replayed ActiveByTenant(acme) = %d, want 1", got)
+	}
+	if j3, ok := s2.Get("t3"); !ok || j3.Tenant != "" {
+		t.Fatalf("untenanted submit gained a tenant: %+v", j3)
+	}
+}

@@ -99,6 +99,7 @@ func validTransition(from, to State) bool {
 type Job struct {
 	ID        string
 	Key       string // idempotency key ("" when the client sent none)
+	Tenant    string // owning tenant ID ("" = the anonymous tenant)
 	State     State
 	Error     string // failure message for StateFailed
 	ChunkSize int
@@ -311,6 +312,7 @@ func (s *Store) apply(rec Record) {
 		j := &Job{
 			ID:        sub.ID,
 			Key:       sub.Key,
+			Tenant:    sub.Tenant,
 			State:     StateQueued,
 			ChunkSize: sub.ChunkSize,
 			Pairs:     sub.Pairs,
@@ -361,8 +363,16 @@ func (s *Store) appendLocked(rec Record) error {
 	return nil
 }
 
-// Submit persists a new job in StateQueued. The ID must be unused.
+// Submit persists a new job in StateQueued owned by the anonymous tenant.
+// The ID must be unused.
 func (s *Store) Submit(id, key string, chunkSize int, pairs []PairData) (*Job, error) {
+	return s.SubmitOwned(id, key, "", chunkSize, pairs)
+}
+
+// SubmitOwned persists a new job in StateQueued owned by a tenant. The
+// tenant ID is written to the WAL, so ownership (and any per-tenant
+// running-job quota derived from it) survives replay.
+func (s *Store) SubmitOwned(id, key, tenant string, chunkSize int, pairs []PairData) (*Job, error) {
 	if id == "" || chunkSize <= 0 || len(pairs) == 0 {
 		return nil, fmt.Errorf("jobstore: submit needs id, positive chunk size and pairs")
 	}
@@ -372,7 +382,7 @@ func (s *Store) Submit(id, key string, chunkSize int, pairs []PairData) (*Job, e
 		return nil, fmt.Errorf("jobstore: job %s already exists", id)
 	}
 	err := s.appendLocked(Record{Type: RecSubmit,
-		Submit: &SubmitRecord{ID: id, Key: key, ChunkSize: chunkSize, Pairs: pairs}})
+		Submit: &SubmitRecord{ID: id, Key: key, Tenant: tenant, ChunkSize: chunkSize, Pairs: pairs}})
 	if err != nil {
 		return nil, err
 	}
@@ -473,6 +483,21 @@ func (s *Store) List() []*Job {
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].SubmitSeq < out[b].SubmitSeq })
 	return out
+}
+
+// ActiveByTenant counts a tenant's live (queued or running) jobs — the
+// quantity per-tenant running-job quotas are enforced against. Because
+// ownership is WAL-resident, the count is correct immediately after replay.
+func (s *Store) ActiveByTenant(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.Tenant == tenant && !j.State.Terminal() {
+			n++
+		}
+	}
+	return n
 }
 
 // StateCounts tallies jobs per state without cloning payloads.

@@ -56,10 +56,13 @@ type PairData struct {
 	Y string `json:"y"`
 }
 
-// SubmitRecord introduces a job.
+// SubmitRecord introduces a job. Tenant is the owning tenant's ID; it is
+// omitempty so logs written before multi-tenancy replay unchanged (an
+// absent tenant means the anonymous tenant).
 type SubmitRecord struct {
 	ID        string     `json:"id"`
 	Key       string     `json:"key,omitempty"` // idempotency key
+	Tenant    string     `json:"tenant,omitempty"`
 	ChunkSize int        `json:"chunk_size"`
 	Pairs     []PairData `json:"pairs"`
 }

@@ -1,9 +1,12 @@
 // Async job endpoints: the durable counterpart of POST /align. A batch
 // submitted to POST /jobs is persisted to the WAL-backed job store before
 // the 202 goes out, executed chunk by chunk in the background, and survives
-// crashes and restarts — clients poll GET /jobs/{id} and fetch scores from
-// GET /jobs/{id}/result when the job reaches "done". The endpoints are
-// mounted only when Config.Jobs is set.
+// crashes and restarts — clients poll GET /jobs/{id}, stream progress from
+// GET /jobs/{id}/events (Server-Sent Events), and fetch scores from
+// GET /jobs/{id}/result when the job reaches "done". Every route is
+// tenant-scoped: jobs belong to the tenant that submitted them, and another
+// tenant's credentials see 404, not 403 — existence is tenant-private. The
+// endpoints are mounted only when Config.Jobs is set.
 
 package server
 
@@ -12,12 +15,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"strings"
-	"time"
 
+	"repro/internal/alignsvc"
 	"repro/internal/dna"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // Job-specific error codes (alongside the Code* constants in server.go).
@@ -31,8 +34,8 @@ const (
 
 // JobSubmitRequest is the POST /jobs body. Either Pairs or Preset must be
 // set (same shapes and caps as /align). IdempotencyKey deduplicates
-// re-sent submissions; the Idempotency-Key header takes precedence when
-// both are present.
+// re-sent submissions per tenant; the Idempotency-Key header takes
+// precedence when both are present.
 type JobSubmitRequest struct {
 	Pairs          []PairJSON `json:"pairs,omitempty"`
 	Preset         string     `json:"preset,omitempty"`
@@ -46,7 +49,8 @@ type JobResultResponse struct {
 	Scores []int         `json:"scores"`
 }
 
-// handleJobs serves POST /jobs: validate, persist, enqueue, answer 202 with
+// handleJobs serves POST /jobs: resolve the tenant, validate, charge the
+// tenant's rate buckets and job quota, persist, enqueue, answer 202 with
 // the job snapshot (or 200 when an idempotency key matched an existing
 // job — the Location header points at it either way).
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -60,19 +64,43 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
 		return
 	}
+	t := s.resolveTenant(w, r)
+	if t == nil {
+		return
+	}
 	pairs, key, status, code, err := s.parseJobRequest(w, r)
 	if err != nil {
 		s.rejected.Add(1)
 		s.writeError(w, r, status, code, err.Error())
 		return
 	}
-	snap, created, err := s.cfg.Jobs.Submit(pairs, key)
+	// The same token buckets as /align guard the async door: a tenant
+	// cannot dodge its rate limits by submitting jobs instead.
+	if ok, wait := t.AllowRequest(); !ok {
+		s.rejectRateLimited(w, r, t, wait, "request rate limit")
+		return
+	}
+	if ok, wait := t.AllowCells(float64(alignsvc.Cells(pairs))); !ok {
+		s.rejectRateLimited(w, r, t, wait, "cell rate limit")
+		return
+	}
+	snap, created, err := s.cfg.Jobs.SubmitFor(pairs, key, t.ID)
 	switch {
+	case errors.Is(err, jobs.ErrQuota):
+		s.sched.NoteQuotaRejected(t.ID)
+		s.tenantOutcome(t.ID, "quota_exceeded")
+		// A quota slot frees when one of the tenant's own jobs finishes —
+		// the queue drain rate is the best available proxy for that.
+		setRetryAfter(w, s.sched.RetryAfterHint(s.cfg.RetryAfter))
+		s.writeErrorReason(w, r, http.StatusTooManyRequests, CodeQuotaExceeded,
+			ReasonQuotaExceeded, err.Error())
+		return
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.shed.Add(1)
-		w.Header().Set("Retry-After",
-			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		s.writeError(w, r, http.StatusTooManyRequests, CodeShed, err.Error())
+		s.tenantOutcome(t.ID, "shed")
+		setRetryAfter(w, s.sched.RetryAfterHint(s.cfg.RetryAfter))
+		s.writeErrorReason(w, r, http.StatusTooManyRequests, CodeShed, ReasonQueueFull,
+			err.Error())
 		return
 	case errors.Is(err, jobs.ErrDraining):
 		s.drainRefusals.Add(1)
@@ -91,26 +119,33 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJob serves the per-job routes: GET /jobs/{id}, GET
-// /jobs/{id}/result and DELETE /jobs/{id} (cancel).
+// /jobs/{id}/result, GET /jobs/{id}/events (SSE) and DELETE /jobs/{id}
+// (cancel). All of them are scoped to the resolved tenant.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
 	id, sub, _ := strings.Cut(rest, "/")
-	if id == "" || (sub != "" && sub != "result") {
+	if id == "" || (sub != "" && sub != "result" && sub != "events") {
 		s.writeError(w, r, http.StatusNotFound, CodeNotFound, "no such route")
+		return
+	}
+	t := s.resolveTenant(w, r)
+	if t == nil {
 		return
 	}
 	switch {
 	case sub == "result" && r.Method == http.MethodGet:
-		s.handleJobResult(w, r, id)
+		s.handleJobResult(w, r, id, t.ID)
+	case sub == "events" && r.Method == http.MethodGet:
+		s.handleJobEvents(w, r, id, t.ID)
 	case sub == "" && r.Method == http.MethodGet:
-		snap, err := s.cfg.Jobs.Get(id)
+		snap, err := s.cfg.Jobs.GetFor(id, t.ID)
 		if err != nil {
 			s.writeJobError(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, snap)
 	case sub == "" && r.Method == http.MethodDelete:
-		snap, err := s.cfg.Jobs.Cancel(id)
+		snap, err := s.cfg.Jobs.CancelFor(id, t.ID)
 		if err != nil {
 			s.writeJobError(w, r, err)
 			return
@@ -124,8 +159,8 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 // handleJobResult answers with the assembled scores of a done job, or a
 // typed error explaining why there are none (yet, or ever).
-func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request, id string) {
-	scores, snap, err := s.cfg.Jobs.Result(id)
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request, id, tenantID string) {
+	scores, snap, err := s.cfg.Jobs.ResultFor(id, tenantID)
 	if err != nil {
 		s.writeJobError(w, r, err)
 		return
@@ -142,6 +177,50 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request, id stri
 		return
 	}
 	writeJSON(w, http.StatusOK, JobResultResponse{Job: snap, Scores: scores})
+}
+
+// handleJobEvents streams a job's progress feed as Server-Sent Events: a
+// snapshot of the current state on subscribe (so a late client replays the
+// last checkpoint), then one event per state transition and chunk
+// checkpoint, ending with the terminal state (or a drain event on manager
+// shutdown). The subscription rides a bounded per-subscriber ring that
+// drops oldest on a slow reader — the job runner never blocks on a stalled
+// client — and is released on disconnect.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request, id, tenantID string) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, r, http.StatusInternalServerError, CodeInternal,
+			"response writer cannot stream")
+		return
+	}
+	sub, err := s.cfg.Jobs.EventsFor(id, tenantID)
+	if err != nil {
+		s.writeJobError(w, r, err)
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no") // tell proxies not to buffer
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	defer obs.FromContext(r.Context()).StartSpan("job_events." + id)()
+	for {
+		ev, err := sub.Next(r.Context())
+		if err != nil {
+			// ErrSubClosed (feed finished, drain) or the client went away:
+			// either way the stream is over.
+			return
+		}
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, payload)
+		flusher.Flush()
+	}
 }
 
 // writeJobError maps manager errors onto HTTP statuses + typed codes.

@@ -36,6 +36,7 @@ import (
 	"repro/internal/dna"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -78,6 +79,13 @@ type Config struct {
 	// in-flight jobs. The server does not own the manager: callers Close it
 	// (after Drain) themselves.
 	Jobs *jobs.Manager
+	// Tenants, when set, turns on multi-tenant admission: API-key/header
+	// resolution, per-tenant token-bucket rate limits (requests/sec and DP
+	// cells/sec), per-tenant concurrency caps and queue bounds, and
+	// weighted-fair (deficit round-robin) slot scheduling. Nil falls back
+	// to the anonymous-only registry, which reproduces untenanted
+	// admission exactly: one weight-1 queue bounded by MaxQueued.
+	Tenants *tenant.Registry
 	// Cluster, when set, routes non-forwarded align batches through the
 	// coordinator-free peer layer (consistent-hash ownership with local
 	// fallback), mounts POST /cluster/warm for drain handoffs, enforces the
@@ -141,6 +149,35 @@ const (
 	// CodeBadBackend rejects an X-SWA-Backend header naming an unknown
 	// serving backend.
 	CodeBadBackend = "bad_backend"
+
+	// CodeBadTenant rejects credentials that resolve to no tenant: an
+	// unknown API key, an unknown or key-protected tenant named by bare
+	// header, or a key/header pair naming different tenants (401).
+	CodeBadTenant = "bad_tenant"
+	// CodeRateLimited rejects a request that outran the tenant's
+	// requests/sec or cells/sec token bucket (429; Retry-After is the
+	// bucket's refill time).
+	CodeRateLimited = "rate_limited"
+	// CodeQuotaExceeded rejects a job submission beyond the tenant's
+	// running-job cap (429; retry after one of the tenant's jobs ends).
+	CodeQuotaExceeded = "quota_exceeded"
+)
+
+// Machine-readable 429 reasons (ErrorResponse.Reason): clients distinguish
+// "slow down" (rate_limited), "finish what you started" (quota_exceeded)
+// and "everyone is queueing" (queue_full) without parsing prose.
+const (
+	ReasonRateLimited   = "rate_limited"
+	ReasonQuotaExceeded = "quota_exceeded"
+	ReasonQueueFull     = "queue_full"
+)
+
+// Tenant resolution headers: the API key is the credential; the bare
+// tenant header works alone only for keyless (trusted-network) tenants
+// and must agree with the key when both are sent.
+const (
+	APIKeyHeader = "X-SWA-API-Key"
+	TenantHeader = "X-SWA-Tenant"
 )
 
 // BackendHeader is the request header that overrides the serving backend
@@ -173,24 +210,29 @@ type AlignResponse struct {
 }
 
 // ErrorResponse is the body of every non-200 answer. TraceID lets a client
-// correlate the failure with /tracez and server logs.
+// correlate the failure with /tracez and server logs. Reason is set on 429
+// responses to say which limit fired (rate_limited, quota_exceeded,
+// queue_full).
 type ErrorResponse struct {
 	Error   string `json:"error"`
 	Code    string `json:"code"`
+	Reason  string `json:"reason,omitempty"`
 	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ServerStats counts what the admission layer did, for /statsz.
 type ServerStats struct {
-	Requests  int64 `json:"requests"`   // align requests received
-	Completed int64 `json:"completed"`  // answered 200 with scores
-	Shed      int64 `json:"shed"`       // 429: queue full
-	Rejected  int64 `json:"rejected"`   // 4xx: malformed or oversized
-	Deadlines int64 `json:"deadlines"`  // 504: deadline expired
-	Draining  int64 `json:"draining"`   // 503: refused during drain
-	InFlight  int64 `json:"in_flight"`  // executing right now
-	Queued    int64 `json:"queued"`     // waiting for a slot right now
-	MaxQueued int64 `json:"max_queued"` // the queue bound
+	Requests    int64 `json:"requests"`     // align requests received
+	Completed   int64 `json:"completed"`    // answered 200 with scores
+	Shed        int64 `json:"shed"`         // 429: queue full
+	RateLimited int64 `json:"rate_limited"` // 429: tenant token bucket empty
+	Rejected    int64 `json:"rejected"`     // 4xx: malformed or oversized
+	BadTenant   int64 `json:"bad_tenant"`   // 401: credentials resolved to no tenant
+	Deadlines   int64 `json:"deadlines"`    // 504: deadline expired
+	Draining    int64 `json:"draining"`     // 503: refused during drain
+	InFlight    int64 `json:"in_flight"`    // executing right now
+	Queued      int64 `json:"queued"`       // waiting for a slot right now
+	MaxQueued   int64 `json:"max_queued"`   // the default per-tenant queue bound
 }
 
 // StatszResponse is the /statsz body: admission counters plus the service's
@@ -198,11 +240,12 @@ type ServerStats struct {
 // when a cache is configured, and the job manager's counters when the async
 // job API is mounted.
 type StatszResponse struct {
-	Server  ServerStats       `json:"server"`
-	Service alignsvc.Stats    `json:"service"`
-	Cache   *aligncache.Stats `json:"cache,omitempty"`
-	Jobs    *jobs.Stats       `json:"jobs,omitempty"`
-	Cluster *cluster.Stats    `json:"cluster,omitempty"`
+	Server  ServerStats             `json:"server"`
+	Service alignsvc.Stats          `json:"service"`
+	Cache   *aligncache.Stats       `json:"cache,omitempty"`
+	Jobs    *jobs.Stats             `json:"jobs,omitempty"`
+	Cluster *cluster.Stats          `json:"cluster,omitempty"`
+	Tenants map[string]tenant.Stats `json:"tenants,omitempty"`
 }
 
 // Server is the HTTP alignment server. Create with New, expose Handler()
@@ -210,16 +253,16 @@ type StatszResponse struct {
 type Server struct {
 	cfg    Config
 	mux    *http.ServeMux
-	sem    chan struct{}
+	reg    *tenant.Registry
+	sched  *tenant.Scheduler
 	obs    *obs.Registry
 	traces *obs.TraceRing
 
 	draining  chan struct{}
 	drainOnce func()
-	inflight  atomic.Int64
-	queued    atomic.Int64
 
 	requests, completed, shed, rejected atomic.Int64
+	rateLimited, badTenant              atomic.Int64
 	deadlines, drainRefusals            atomic.Int64
 }
 
@@ -233,10 +276,19 @@ func New(cfg Config) (*Server, error) {
 	if traces == nil {
 		traces = obs.NewTraceRing(cfg.TraceRingSize)
 	}
+	reg := cfg.Tenants
+	if reg == nil {
+		reg = tenant.Default()
+	}
 	s := &Server{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		sem:      make(chan struct{}, cfg.MaxInFlight),
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		reg: reg,
+		sched: tenant.NewScheduler(tenant.SchedulerConfig{
+			Capacity:     cfg.MaxInFlight,
+			DefaultQueue: cfg.MaxQueued,
+			Registry:     reg,
+		}),
 		obs:      cfg.Metrics,
 		traces:   traces,
 		draining: make(chan struct{}),
@@ -245,6 +297,7 @@ func New(cfg Config) (*Server, error) {
 	s.drainOnce = func() {
 		if once.CompareAndSwap(false, true) {
 			close(s.draining)
+			s.sched.BeginDrain()
 		}
 	}
 	s.obs.Help("http_requests_total", "HTTP requests by route and status code.")
@@ -252,6 +305,10 @@ func New(cfg Config) (*Server, error) {
 	s.obs.Help("server_admission_total", "Align admission decisions by outcome.")
 	s.obs.Help("server_inflight", "Align requests executing right now.")
 	s.obs.Help("server_queued", "Align requests waiting for an execution slot.")
+	s.obs.Help("tenant_requests_total", "Align admission outcomes by tenant.")
+	s.obs.Help("tenant_admission_wait_seconds", "Admission queue wait by tenant.")
+	s.obs.Help("tenant_inflight", "Execution slots held right now, by tenant.")
+	s.obs.Help("tenant_queued", "Admission waiters right now, by tenant.")
 	s.mux.Handle("/align", s.instrument("align", s.handleAlign))
 	if cfg.Cluster != nil {
 		s.mux.Handle("/cluster/warm", s.instrument("cluster_warm", s.handleClusterWarm))
@@ -277,6 +334,15 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so SSE responses stream: embedding
+// promotes only the ResponseWriter methods, not the Flusher the job-events
+// handler type-asserts for.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a route with the edge concerns: a trace (new, or adopted
@@ -343,13 +409,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	t := time.NewTicker(2 * time.Millisecond)
 	defer t.Stop()
 	for {
-		if s.inflight.Load() == 0 && s.queued.Load() == 0 {
+		if s.sched.InFlight() == 0 && s.sched.Queued() == 0 {
 			break
 		}
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("server: drain: %d request(s) still in flight: %w",
-				s.inflight.Load()+s.queued.Load(), ctx.Err())
+				s.sched.InFlight()+s.sched.Queued(), ctx.Err())
 		case <-t.C:
 		}
 	}
@@ -362,15 +428,17 @@ func (s *Server) Drain(ctx context.Context) error {
 // Stats snapshots the admission counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Requests:  s.requests.Load(),
-		Completed: s.completed.Load(),
-		Shed:      s.shed.Load(),
-		Rejected:  s.rejected.Load(),
-		Deadlines: s.deadlines.Load(),
-		Draining:  s.drainRefusals.Load(),
-		InFlight:  s.inflight.Load(),
-		Queued:    s.queued.Load(),
-		MaxQueued: int64(s.cfg.MaxQueued),
+		Requests:    s.requests.Load(),
+		Completed:   s.completed.Load(),
+		Shed:        s.shed.Load(),
+		RateLimited: s.rateLimited.Load(),
+		Rejected:    s.rejected.Load(),
+		BadTenant:   s.badTenant.Load(),
+		Deadlines:   s.deadlines.Load(),
+		Draining:    s.drainRefusals.Load(),
+		InFlight:    int64(s.sched.InFlight()),
+		Queued:      int64(s.sched.Queued()),
+		MaxQueued:   int64(s.cfg.MaxQueued),
 	}
 }
 
@@ -403,15 +471,22 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		cs := s.cfg.Cluster.Stats()
 		resp.Cluster = &cs
 	}
+	if ts := s.sched.Snapshot(); len(ts) > 0 {
+		resp.Tenants = ts
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetricsz renders the obs registry as Prometheus text (exposition
-// format 0.0.4). The inflight/queued gauges are refreshed at scrape time so
-// they are exact, not sampled.
+// format 0.0.4). The inflight/queued gauges — global and per-tenant — are
+// refreshed at scrape time so they are exact, not sampled.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
-	s.obs.Gauge("server_inflight").Set(float64(s.inflight.Load()))
-	s.obs.Gauge("server_queued").Set(float64(s.queued.Load()))
+	s.obs.Gauge("server_inflight").Set(float64(s.sched.InFlight()))
+	s.obs.Gauge("server_queued").Set(float64(s.sched.Queued()))
+	for id, st := range s.sched.Snapshot() {
+		s.obs.Gauge(obs.L("tenant_inflight", "tenant", id)).Set(float64(st.InFlight))
+		s.obs.Gauge(obs.L("tenant_queued", "tenant", id)).Set(float64(st.Queued))
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.obs.WritePrometheus(w)
 }
@@ -472,6 +547,14 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Tenant resolution before parsing: a bad credential is a cheap 401, and
+	// everything below charges quota to the resolved tenant.
+	t := s.resolveTenant(w, r)
+	if t == nil {
+		return
+	}
+	defer obs.FromContext(r.Context()).StartSpan("tenant." + t.ID)()
+
 	pairs, timeout, status, code, err := s.parseRequest(w, r)
 	if err != nil {
 		s.rejected.Add(1)
@@ -489,29 +572,46 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission: try for an execution slot; if none is free, wait in the
-	// bounded queue; if the queue is full, shed.
-	release, admit := s.admit(r.Context())
+	// Per-tenant rate limits: one request token, then the batch's DP-cell
+	// mass. Both are token buckets, so the refusal carries the bucket's own
+	// refill time — that, not a fixed guess, becomes Retry-After.
+	if ok, wait := t.AllowRequest(); !ok {
+		s.rejectRateLimited(w, r, t, wait, "request rate limit")
+		return
+	}
+	if ok, wait := t.AllowCells(float64(alignsvc.Cells(pairs))); !ok {
+		s.rejectRateLimited(w, r, t, wait, "cell rate limit")
+		return
+	}
+
+	// Admission: ask the weighted-fair scheduler for an execution slot. A
+	// backlogged tenant waits in its own bounded FIFO and is shed beyond it;
+	// Retry-After on shed comes from the observed queue drain rate.
+	waitBegin := time.Now()
+	release, admit := s.sched.Admit(r.Context(), t.ID)
+	s.obs.Histogram(obs.L("tenant_admission_wait_seconds", "tenant", t.ID),
+		obs.LatencyBuckets).Observe(time.Since(waitBegin).Seconds())
 	switch admit {
-	case admitShed:
+	case tenant.AdmitShed:
 		s.shed.Add(1)
 		s.admissionOutcome("shed")
-		w.Header().Set("Retry-After",
-			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
-		s.writeError(w, r, http.StatusTooManyRequests, CodeShed,
-			fmt.Sprintf("admission queue full (%d waiting)", s.cfg.MaxQueued))
+		s.tenantOutcome(t.ID, "shed")
+		setRetryAfter(w, s.sched.RetryAfterHint(s.cfg.RetryAfter))
+		s.writeErrorReason(w, r, http.StatusTooManyRequests, CodeShed, ReasonQueueFull,
+			fmt.Sprintf("admission queue full for tenant %q", t.ID))
 		return
-	case admitDraining:
+	case tenant.AdmitDraining:
 		s.drainRefusals.Add(1)
 		s.admissionOutcome("draining")
 		s.writeError(w, r, http.StatusServiceUnavailable, CodeDraining, "server is draining")
 		return
-	case admitCtxDone:
+	case tenant.AdmitCtxDone:
 		s.admissionOutcome("canceled")
 		s.writeError(w, r, statusClientClosedRequest, CodeCanceled, "client went away while queued")
 		return
 	}
 	s.admissionOutcome("ok")
+	s.tenantOutcome(t.ID, "ok")
 	defer release()
 
 	// Deadline propagation: the request context (client disconnects) plus
@@ -735,44 +835,36 @@ func (s *Server) presetPairs(req AlignRequest) ([]dna.Pair, int, string, error) 
 	return spec.Generate(n), 0, "", nil
 }
 
-type admitResult int
+// resolveTenant maps the request's credentials onto a tenant; on failure it
+// writes the 401 itself and returns nil.
+func (s *Server) resolveTenant(w http.ResponseWriter, r *http.Request) *tenant.Tenant {
+	t, err := s.reg.Resolve(r.Header.Get(APIKeyHeader), r.Header.Get(TenantHeader))
+	if err != nil {
+		s.badTenant.Add(1)
+		s.admissionOutcome("bad_tenant")
+		s.writeError(w, r, http.StatusUnauthorized, CodeBadTenant, err.Error())
+		return nil
+	}
+	return t
+}
 
-const (
-	admitOK admitResult = iota
-	admitShed
-	admitDraining
-	admitCtxDone
-)
+// rejectRateLimited writes the typed 429 for an empty token bucket, with
+// Retry-After derived from the bucket's refill time (clamped to the same
+// sane range as queue-drain hints).
+func (s *Server) rejectRateLimited(w http.ResponseWriter, r *http.Request, t *tenant.Tenant, wait time.Duration, what string) {
+	s.rateLimited.Add(1)
+	s.sched.NoteRateLimited(t.ID)
+	s.admissionOutcome("rate_limited")
+	s.tenantOutcome(t.ID, "rate_limited")
+	setRetryAfter(w, tenant.ClampRetryAfter(wait))
+	s.writeErrorReason(w, r, http.StatusTooManyRequests, CodeRateLimited, ReasonRateLimited,
+		fmt.Sprintf("tenant %q exceeded its %s", t.ID, what))
+}
 
-// admit implements the two-level admission control: a semaphore of
-// MaxInFlight execution slots and a bounded wait queue of MaxQueued
-// requests in front of it.
-func (s *Server) admit(ctx context.Context) (release func(), res admitResult) {
-	enter := func() func() {
-		s.inflight.Add(1)
-		return func() {
-			s.inflight.Add(-1)
-			<-s.sem
-		}
-	}
-	select {
-	case s.sem <- struct{}{}:
-		return enter(), admitOK
-	default:
-	}
-	if s.queued.Add(1) > int64(s.cfg.MaxQueued) {
-		s.queued.Add(-1)
-		return nil, admitShed
-	}
-	defer s.queued.Add(-1)
-	select {
-	case s.sem <- struct{}{}:
-		return enter(), admitOK
-	case <-ctx.Done():
-		return nil, admitCtxDone
-	case <-s.draining:
-		return nil, admitDraining
-	}
+// setRetryAfter writes the Retry-After header, rounded up to whole seconds
+// (the header's only portable unit).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((d+time.Second-1)/time.Second)))
 }
 
 // statusClientClosedRequest is nginx's conventional 499 for a client that
@@ -782,6 +874,11 @@ const statusClientClosedRequest = 499
 // admissionOutcome counts an admission decision into the obs registry.
 func (s *Server) admissionOutcome(outcome string) {
 	s.obs.Counter(obs.L("server_admission_total", "outcome", outcome)).Inc()
+}
+
+// tenantOutcome counts a per-tenant admission decision.
+func (s *Server) tenantOutcome(id, outcome string) {
+	s.obs.Counter(obs.L("tenant_requests_total", "tenant", id, "outcome", outcome)).Inc()
 }
 
 // writeAlignError maps service errors onto HTTP statuses + typed codes.
@@ -804,6 +901,16 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 	writeJSON(w, status, ErrorResponse{
 		Error:   msg,
 		Code:    code,
+		TraceID: obs.TraceID(r.Context()),
+	})
+}
+
+// writeErrorReason is writeError plus the machine-readable 429 reason.
+func (s *Server) writeErrorReason(w http.ResponseWriter, r *http.Request, status int, code, reason, msg string) {
+	writeJSON(w, status, ErrorResponse{
+		Error:   msg,
+		Code:    code,
+		Reason:  reason,
 		TraceID: obs.TraceID(r.Context()),
 	})
 }

@@ -1,0 +1,470 @@
+// The weighted-fair admission scheduler: per-tenant bounded FIFO wait
+// queues in front of a shared pool of execution slots, drained by deficit
+// round-robin (DRR) with quantum equal to the tenant's weight. Under
+// contention each tenant's grant rate converges to weight/Σweights of the
+// slot throughput, so a tenant flooding its own queue cannot starve the
+// others; it only fills its own bounded queue and is shed.
+
+package tenant
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// AdmitResult says how an Admit call ended.
+type AdmitResult int
+
+const (
+	// AdmitOK granted an execution slot; call the release function.
+	AdmitOK AdmitResult = iota
+	// AdmitShed means the tenant's wait queue is full: shed with 429.
+	AdmitShed
+	// AdmitDraining means the scheduler is shutting down: 503.
+	AdmitDraining
+	// AdmitCtxDone means the caller's context expired while queued.
+	AdmitCtxDone
+)
+
+// SchedulerConfig tunes NewScheduler.
+type SchedulerConfig struct {
+	// Capacity is the shared execution-slot pool (the server's
+	// MaxInFlight). Required, > 0.
+	Capacity int
+	// DefaultQueue bounds the wait queue of tenants whose Limits leave
+	// MaxQueued zero (default: Capacity).
+	DefaultQueue int
+	// Registry supplies per-tenant weights, concurrency caps and queue
+	// bounds. Unknown tenant IDs get weight-1 defaults; a nil registry
+	// makes every tenant a default tenant.
+	Registry *Registry
+
+	// now replaces the grant-rate clock in tests.
+	now func() time.Time
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	ch       chan struct{} // closed on grant or drain
+	q        *tq
+	granted  bool
+	gone     bool // cancelled; skipped by dispatch
+	draining bool
+}
+
+// tq is one tenant's admission queue plus its DRR and accounting state.
+// All fields are guarded by the scheduler mutex.
+type tq struct {
+	id      string
+	weight  float64
+	maxConc int // 0 = uncapped
+	bound   int
+
+	deficit  float64
+	waiters  []*waiter
+	live     int // non-gone waiters (the queue-depth bound applies to these)
+	inflight int
+	inRing   bool
+
+	admitted, shed, cancelled, drained int64
+	rateLimited, quotaRejected         int64
+	waitTotal                          time.Duration
+}
+
+// Scheduler is the weighted-fair admission gate. Create with NewScheduler;
+// every method is safe for concurrent use.
+type Scheduler struct {
+	mu       sync.Mutex
+	capacity int
+	defQueue int
+	reg      *Registry
+	now      func() time.Time
+
+	queues   map[string]*tq
+	ring     []*tq // active (non-empty) queues in round-robin order
+	ringIdx  int
+	inflight int
+	queued   int // live waiters across all tenants
+	draining bool
+
+	// grants is a ring of recent grant times; the observed drain rate
+	// derived from it feeds Retry-After hints on shed responses.
+	grants    []time.Time
+	grantIdx  int
+	grantFull bool
+}
+
+// NewScheduler builds the scheduler around the registry's weights.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
+	}
+	if cfg.DefaultQueue <= 0 {
+		cfg.DefaultQueue = cfg.Capacity
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return &Scheduler{
+		capacity: cfg.Capacity,
+		defQueue: cfg.DefaultQueue,
+		reg:      cfg.Registry,
+		now:      cfg.now,
+		queues:   make(map[string]*tq),
+		grants:   make([]time.Time, 64),
+	}
+}
+
+// queue returns (creating on first use) the tenant's queue state.
+func (s *Scheduler) queue(id string) *tq {
+	if q, ok := s.queues[id]; ok {
+		return q
+	}
+	q := &tq{id: id, weight: 1, bound: s.defQueue}
+	if s.reg != nil {
+		if t := s.reg.Get(id); t != nil {
+			l := t.Limits
+			if l.Weight > 0 {
+				q.weight = l.Weight
+			}
+			q.maxConc = l.MaxConcurrent
+			if l.MaxQueued > 0 {
+				q.bound = l.MaxQueued
+			}
+		}
+	}
+	s.queues[id] = q
+	return q
+}
+
+func (q *tq) atCap() bool { return q.maxConc > 0 && q.inflight >= q.maxConc }
+
+// popWaiter removes and returns the tenant's oldest live waiter (dropping
+// cancelled ones it walks past), or nil.
+func (q *tq) popWaiter() *waiter {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if w.gone {
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
+// Admit asks for an execution slot on behalf of tenant id. It returns
+// immediately with a slot when one is free and nobody is queued; otherwise
+// it waits in the tenant's bounded FIFO until the DRR scheduler grants a
+// slot, the context expires, or the scheduler drains. On AdmitOK the
+// returned release function (idempotent) frees the slot.
+func (s *Scheduler) Admit(ctx context.Context, id string) (release func(), res AdmitResult) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, AdmitDraining
+	}
+	q := s.queue(id)
+	// Fast path: a free slot with an empty house means no queued tenant
+	// can be overtaken by granting immediately.
+	if s.inflight < s.capacity && s.queued == 0 && !q.atCap() {
+		s.grantLocked(q)
+		s.mu.Unlock()
+		return s.releaseFunc(q), AdmitOK
+	}
+	if q.live >= q.bound {
+		q.shed++
+		s.mu.Unlock()
+		return nil, AdmitShed
+	}
+	w := &waiter{ch: make(chan struct{}), q: q}
+	q.waiters = append(q.waiters, w)
+	q.live++
+	s.queued++
+	s.ringAdd(q)
+	begin := s.now()
+	// A slot may be free even though waiters exist (e.g. every earlier
+	// waiter's tenant is at its concurrency cap) — let DRR decide.
+	s.dispatch()
+	s.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		s.mu.Lock()
+		q.waitTotal += s.now().Sub(begin)
+		s.mu.Unlock()
+		if w.draining {
+			return nil, AdmitDraining
+		}
+		return s.releaseFunc(q), AdmitOK
+	case <-ctx.Done():
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if w.granted {
+			// Lost the race against dispatch: hand the slot straight back.
+			s.inflight--
+			q.inflight--
+			q.cancelled++
+			s.dispatch()
+			return nil, AdmitCtxDone
+		}
+		w.gone = true
+		q.live--
+		s.queued--
+		q.cancelled++
+		return nil, AdmitCtxDone
+	}
+}
+
+// grantLocked books a slot for tenant q and records the grant time.
+func (s *Scheduler) grantLocked(q *tq) {
+	s.inflight++
+	q.inflight++
+	q.admitted++
+	s.grants[s.grantIdx] = s.now()
+	s.grantIdx++
+	if s.grantIdx == len(s.grants) {
+		s.grantIdx = 0
+		s.grantFull = true
+	}
+}
+
+// releaseFunc frees q's slot once, waking the DRR dispatcher.
+func (s *Scheduler) releaseFunc(q *tq) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.mu.Lock()
+			s.inflight--
+			q.inflight--
+			s.dispatch()
+			s.mu.Unlock()
+		})
+	}
+}
+
+// ringAdd puts q into the active ring if it is not there already.
+func (s *Scheduler) ringAdd(q *tq) {
+	if !q.inRing {
+		q.inRing = true
+		s.ring = append(s.ring, q)
+	}
+}
+
+// ringRemove drops the queue at index i, keeping ringIdx pointed at the
+// element that follows it.
+func (s *Scheduler) ringRemove(i int) {
+	s.ring[i].inRing = false
+	s.ring = append(s.ring[:i], s.ring[i+1:]...)
+	if s.ringIdx > i {
+		s.ringIdx--
+	}
+}
+
+// dispatch grants free slots to queued waiters by deficit round-robin:
+// each visited tenant's deficit grows by its weight, and it may take one
+// slot per whole unit of deficit. Tenants at their concurrency cap keep
+// their place (and their deficit) until a slot of theirs frees; emptied
+// queues leave the ring with their deficit reset, so fairness is measured
+// only across backlogged tenants, and idle tenants accumulate no credit.
+func (s *Scheduler) dispatch() {
+	for s.inflight < s.capacity && s.queued > 0 {
+		granted := false
+		for pass := len(s.ring); pass > 0 && s.inflight < s.capacity; pass-- {
+			if len(s.ring) == 0 {
+				break
+			}
+			if s.ringIdx >= len(s.ring) {
+				s.ringIdx = 0
+			}
+			q := s.ring[s.ringIdx]
+			if q.live == 0 {
+				q.deficit = 0
+				s.ringRemove(s.ringIdx)
+				continue
+			}
+			if q.atCap() {
+				s.ringIdx++
+				continue
+			}
+			// One quantum per round: only top up once the previous quantum
+			// is spent. A slot-at-a-time drain interrupts the grant loop at
+			// capacity, and the next dispatch must resume THIS queue with
+			// its remaining deficit, not re-credit it — otherwise every
+			// release visits a fresh queue and DRR degrades to round-robin.
+			if q.deficit < 1 {
+				q.deficit += q.weight
+			}
+			for q.deficit >= 1 && q.live > 0 && !q.atCap() && s.inflight < s.capacity {
+				w := q.popWaiter()
+				if w == nil {
+					break
+				}
+				q.deficit--
+				q.live--
+				s.queued--
+				w.granted = true
+				s.grantLocked(q)
+				granted = true
+				close(w.ch)
+			}
+			switch {
+			case q.live == 0:
+				q.deficit = 0
+				s.ringRemove(s.ringIdx)
+			case q.deficit < 1 || q.atCap():
+				s.ringIdx++
+			default:
+				// Deficit and backlog remain: capacity ran out mid-quantum.
+				// Keep ringIdx here so the next free slot comes back.
+			}
+		}
+		if !granted {
+			return // everyone left is capped (or the ring is empty)
+		}
+	}
+}
+
+// BeginDrain wakes every queued waiter with AdmitDraining and makes every
+// future Admit fail fast the same way. In-flight slots release normally.
+// Safe to call more than once.
+func (s *Scheduler) BeginDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return
+	}
+	s.draining = true
+	for _, q := range s.queues {
+		for {
+			w := q.popWaiter()
+			if w == nil {
+				break
+			}
+			q.live--
+			s.queued--
+			q.drained++
+			w.draining = true
+			close(w.ch)
+		}
+		q.deficit = 0
+		q.inRing = false
+	}
+	s.ring = nil
+	s.ringIdx = 0
+}
+
+// InFlight counts the slots currently held.
+func (s *Scheduler) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// Queued counts the live waiters across all tenants.
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// NoteRateLimited counts a token-bucket rejection against the tenant, so
+// /statsz shows rate-limit pressure next to queue pressure.
+func (s *Scheduler) NoteRateLimited(id string) {
+	s.mu.Lock()
+	s.queue(id).rateLimited++
+	s.mu.Unlock()
+}
+
+// NoteQuotaRejected counts a running-job-quota rejection for the tenant.
+func (s *Scheduler) NoteQuotaRejected(id string) {
+	s.mu.Lock()
+	s.queue(id).quotaRejected++
+	s.mu.Unlock()
+}
+
+// drainRateLocked estimates granted slots per second from the recent-grant
+// ring. It needs at least 8 grants over a measurable interval; otherwise 0.
+func (s *Scheduler) drainRateLocked() float64 {
+	n := s.grantIdx
+	oldest := 0
+	if s.grantFull {
+		n = len(s.grants)
+		oldest = s.grantIdx
+	}
+	if n < 8 {
+		return 0
+	}
+	span := s.now().Sub(s.grants[oldest])
+	if span <= 0 {
+		return 0
+	}
+	return float64(n) / span.Seconds()
+}
+
+// RetryAfterHint derives the 429 Retry-After for a shed request: the time
+// for the observed grant rate to work through the current backlog, clamped
+// to [1s, 30s]. With no observed drain yet it returns the fallback.
+func (s *Scheduler) RetryAfterHint(fallback time.Duration) time.Duration {
+	s.mu.Lock()
+	rate := s.drainRateLocked()
+	backlog := s.queued
+	s.mu.Unlock()
+	if rate <= 0 {
+		return clampRetryAfter(fallback)
+	}
+	return clampRetryAfter(time.Duration(float64(backlog+1) / rate * float64(time.Second)))
+}
+
+// clampRetryAfter bounds any Retry-After hint to [1s, 30s]: never tell a
+// client "0" (it would hot-loop) and never park it for minutes on a
+// transient spike.
+func clampRetryAfter(d time.Duration) time.Duration {
+	return min(max(d, time.Second), 30*time.Second)
+}
+
+// ClampRetryAfter bounds a Retry-After hint to the scheduler's sane range
+// [1s, 30s] — for callers deriving hints from token-bucket refill times.
+func ClampRetryAfter(d time.Duration) time.Duration { return clampRetryAfter(d) }
+
+// Stats is the per-tenant admission snapshot for /statsz.
+type Stats struct {
+	Weight        float64 `json:"weight"`
+	Admitted      int64   `json:"admitted"`       // slots granted
+	Shed          int64   `json:"shed"`           // queue-full 429s
+	RateLimited   int64   `json:"rate_limited"`   // token-bucket 429s
+	QuotaRejected int64   `json:"quota_rejected"` // running-job-cap 429s
+	Cancelled     int64   `json:"cancelled"`      // waiters whose context expired
+	Drained       int64   `json:"drained"`        // waiters flushed by BeginDrain
+	InFlight      int64   `json:"in_flight"`      // slots held right now
+	Queued        int64   `json:"queued"`         // waiters right now
+	MaxQueued     int64   `json:"max_queued"`     // the tenant's queue bound
+	AvgWaitMS     float64 `json:"avg_wait_ms"`    // mean queue wait of granted waiters
+}
+
+// Snapshot returns the per-tenant admission stats, keyed by tenant ID.
+func (s *Scheduler) Snapshot() map[string]Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Stats, len(s.queues))
+	for id, q := range s.queues {
+		st := Stats{
+			Weight:        q.weight,
+			Admitted:      q.admitted,
+			Shed:          q.shed,
+			RateLimited:   q.rateLimited,
+			QuotaRejected: q.quotaRejected,
+			Cancelled:     q.cancelled,
+			Drained:       q.drained,
+			InFlight:      int64(q.inflight),
+			Queued:        int64(q.live),
+			MaxQueued:     int64(q.bound),
+		}
+		if waited := q.admitted; waited > 0 {
+			st.AvgWaitMS = float64(q.waitTotal) / float64(waited) / float64(time.Millisecond)
+		}
+		out[id] = st
+	}
+	return out
+}

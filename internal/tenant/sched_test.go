@@ -1,0 +1,269 @@
+package tenant
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// admitOK admits and fails the test on any non-OK result.
+func admitOK(t *testing.T, s *Scheduler, id string) func() {
+	t.Helper()
+	release, res := s.Admit(context.Background(), id)
+	if res != AdmitOK {
+		t.Fatalf("Admit(%s) = %v, want AdmitOK", id, res)
+	}
+	return release
+}
+
+func TestSchedulerFastPath(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Capacity: 2})
+	r1 := admitOK(t, s, "a")
+	r2 := admitOK(t, s, "b")
+	if got := s.InFlight(); got != 2 {
+		t.Fatalf("inflight = %d, want 2", got)
+	}
+	r1()
+	r1() // release is idempotent
+	r2()
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("inflight after release = %d, want 0", got)
+	}
+}
+
+func TestSchedulerShedsAtTenantBound(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Capacity: 1, DefaultQueue: 2})
+	release := admitOK(t, s, "a")
+	defer release()
+
+	// Two waiters fit the default bound; the third sheds.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if rel, res := s.Admit(ctx, "a"); res == AdmitOK {
+				rel()
+			}
+		}()
+	}
+	waitFor(t, func() bool { return s.Queued() == 2 })
+	if _, res := s.Admit(context.Background(), "a"); res != AdmitShed {
+		t.Fatalf("over-bound Admit = %v, want AdmitShed", res)
+	}
+	// Another tenant still has its own queue space.
+	done := make(chan AdmitResult, 1)
+	go func() {
+		rel, res := s.Admit(ctx, "b")
+		if res == AdmitOK {
+			rel()
+		}
+		done <- res
+	}()
+	waitFor(t, func() bool { return s.Queued() == 3 })
+
+	cancel()
+	wg.Wait()
+	if res := <-done; res != AdmitCtxDone {
+		t.Fatalf("cancelled waiter = %v, want AdmitCtxDone", res)
+	}
+	if st := s.Snapshot()["a"]; st.Shed != 1 || st.Cancelled != 2 {
+		t.Fatalf("tenant a stats = %+v", st)
+	}
+}
+
+func TestSchedulerDrainWakesWaiters(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{Capacity: 1, DefaultQueue: 8})
+	release := admitOK(t, s, "a")
+
+	results := make(chan AdmitResult, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, res := s.Admit(context.Background(), "a")
+			results <- res
+		}()
+	}
+	waitFor(t, func() bool { return s.Queued() == 3 })
+	s.BeginDrain()
+	for i := 0; i < 3; i++ {
+		if res := <-results; res != AdmitDraining {
+			t.Fatalf("drained waiter = %v, want AdmitDraining", res)
+		}
+	}
+	if _, res := s.Admit(context.Background(), "b"); res != AdmitDraining {
+		t.Fatalf("post-drain Admit = %v, want AdmitDraining", res)
+	}
+	release()
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("inflight after drain+release = %d", got)
+	}
+}
+
+func TestSchedulerPerTenantConcurrencyCap(t *testing.T) {
+	reg, err := NewRegistry(Config{Tenants: []TenantConfig{
+		{ID: "capped", Limits: Limits{MaxConcurrent: 1}},
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(SchedulerConfig{Capacity: 4, DefaultQueue: 8, Registry: reg})
+
+	relCapped := admitOK(t, s, "capped")
+	// A second capped request must queue even though slots are free...
+	got := make(chan AdmitResult, 1)
+	go func() {
+		rel, res := s.Admit(context.Background(), "capped")
+		if res == AdmitOK {
+			rel()
+		}
+		got <- res
+	}()
+	waitFor(t, func() bool { return s.Queued() == 1 })
+	// ...while another tenant sails straight through the capped one.
+	relOther := admitOK(t, s, "other")
+	relOther()
+
+	relCapped() // frees the cap; the queued request is granted
+	if res := <-got; res != AdmitOK {
+		t.Fatalf("queued capped request = %v, want AdmitOK", res)
+	}
+}
+
+// TestWeightedFairness is the DRR contract: grants out of a saturated
+// backlog divide in proportion to weight. Three tenants (weights 1, 2, 4)
+// pre-enqueue deep backlogs behind a single held slot; with capacity 1 and
+// instant release, grants are strictly serialized, so the composition of
+// the first rounds must match quantum=weight exactly.
+func TestWeightedFairness(t *testing.T) {
+	reg, err := NewRegistry(Config{Tenants: []TenantConfig{
+		{ID: "w1", Limits: Limits{Weight: 1}},
+		{ID: "w2", Limits: Limits{Weight: 2}},
+		{ID: "w4", Limits: Limits{Weight: 4}},
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(SchedulerConfig{Capacity: 1, DefaultQueue: 64, Registry: reg})
+
+	const perTenant = 30
+	var (
+		wg      sync.WaitGroup
+		orderMu sync.Mutex
+		order   []string
+	)
+
+	// Hold the only slot, then back-log every tenant's queue.
+	release := admitOK(t, s, "w1")
+	for _, id := range []string{"w1", "w2", "w4"} {
+		for i := 0; i < perTenant; i++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				rel, res := s.Admit(context.Background(), id)
+				if res != AdmitOK {
+					return
+				}
+				orderMu.Lock()
+				order = append(order, id)
+				orderMu.Unlock()
+				rel()
+			}(id)
+		}
+	}
+	waitFor(t, func() bool { return s.Queued() == 3*perTenant })
+	release() // open the floodgates; grants now drain one at a time
+	wg.Wait()
+
+	if len(order) != 3*perTenant {
+		t.Fatalf("granted %d of %d waiters", len(order), 3*perTenant)
+	}
+	// Examine the first 28 grants — four full DRR rounds (1+2+4 = 7 per
+	// round), before any tenant's backlog runs dry.
+	counts := map[string]int{}
+	for _, id := range order[:28] {
+		counts[id]++
+	}
+	c1, c2, c4 := counts["w1"], counts["w2"], counts["w4"]
+	if c1 != 4 || c2 != 8 || c4 != 16 {
+		t.Fatalf("first 4 rounds: w1=%d w2=%d w4=%d, want 4/8/16", c1, c2, c4)
+	}
+}
+
+// TestRetryAfterHint is the satellite regression: the shed hint must come
+// from the observed grant rate and the live backlog, clamped to [1s, 30s].
+func TestRetryAfterHint(t *testing.T) {
+	clk := newFakeClock()
+	s := NewScheduler(SchedulerConfig{Capacity: 1, DefaultQueue: 64, now: clk.now})
+
+	// No grants observed yet: the configured fallback, clamped.
+	if got := s.RetryAfterHint(5 * time.Second); got != 5*time.Second {
+		t.Fatalf("fallback hint = %v, want 5s", got)
+	}
+	if got := s.RetryAfterHint(0); got != time.Second {
+		t.Fatalf("fallback hint clamps up: %v, want 1s", got)
+	}
+	if got := s.RetryAfterHint(10 * time.Minute); got != 30*time.Second {
+		t.Fatalf("fallback hint clamps down: %v, want 30s", got)
+	}
+
+	// Simulate a steady drain: 2 grants/sec for 8 seconds.
+	for i := 0; i < 16; i++ {
+		rel := admitOK(t, s, "a")
+		rel()
+		clk.advance(500 * time.Millisecond)
+	}
+	// Queue up a backlog of 7 behind a slot holder.
+	hold := admitOK(t, s, "a")
+	defer hold()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 7; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if rel, res := s.Admit(ctx, "a"); res == AdmitOK {
+				rel()
+			}
+		}()
+	}
+	waitFor(t, func() bool { return s.Queued() == 7 })
+
+	// (7 backlog + 1) / 2 grants-per-sec = 4s.
+	got := s.RetryAfterHint(time.Second)
+	if got < 3*time.Second || got > 5*time.Second {
+		t.Fatalf("derived hint = %v, want ≈4s", got)
+	}
+	cancel()
+	wg.Wait()
+
+	// A huge synthetic backlog still clamps to 30s.
+	s2 := NewScheduler(SchedulerConfig{Capacity: 1, now: clk.now})
+	for i := 0; i < 16; i++ {
+		rel := admitOK(t, s2, "a")
+		rel()
+		clk.advance(10 * time.Second)
+	}
+	s2.mu.Lock()
+	s2.queued = 1 << 20
+	hint := time.Duration(float64(s2.queued+1) / s2.drainRateLocked() * float64(time.Second))
+	s2.queued = 0
+	s2.mu.Unlock()
+	if clampRetryAfter(hint) != 30*time.Second {
+		t.Fatalf("huge backlog must clamp to 30s, got %v", clampRetryAfter(hint))
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

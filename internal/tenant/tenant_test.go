@@ -1,0 +1,202 @@
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for bucket and drain-rate tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBucketRefillAndWait(t *testing.T) {
+	clk := newFakeClock()
+	b := newBucket(10, 5, clk.now) // 10 tokens/s, burst 5
+
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.take(1); !ok {
+			t.Fatalf("take %d within burst should pass", i)
+		}
+	}
+	ok, wait := b.take(1)
+	if ok {
+		t.Fatal("empty bucket should refuse")
+	}
+	if want := 100 * time.Millisecond; wait != want {
+		t.Fatalf("refill wait = %v, want %v", wait, want)
+	}
+
+	clk.advance(250 * time.Millisecond) // 2.5 tokens back
+	if ok, _ := b.take(2); !ok {
+		t.Fatal("refilled bucket should cover 2 tokens")
+	}
+	if ok, _ := b.take(1); ok {
+		t.Fatal("only 0.5 tokens should remain")
+	}
+
+	clk.advance(time.Hour)
+	if ok, _ := b.take(5); !ok {
+		t.Fatal("long idle should refill to the full burst")
+	}
+	if ok, _ := b.take(1); ok {
+		t.Fatal("burst must cap the refill")
+	}
+}
+
+func TestBucketNilIsUnlimited(t *testing.T) {
+	var b *bucket
+	if ok, wait := b.take(1e18); !ok || wait != 0 {
+		t.Fatal("nil bucket must always allow")
+	}
+}
+
+func TestTenantLimitsDefaults(t *testing.T) {
+	l := Limits{RPS: 4, CellsPerSec: 100}.withDefaults()
+	if l.Weight != 1 {
+		t.Fatalf("default weight = %v, want 1", l.Weight)
+	}
+	if l.Burst != 4 || l.CellBurst != 100 {
+		t.Fatalf("default bursts = %v/%v, want 4/100", l.Burst, l.CellBurst)
+	}
+	if l2 := (Limits{RPS: 0.5}).withDefaults(); l2.Burst != 1 {
+		t.Fatalf("sub-1 RPS burst = %v, want min 1", l2.Burst)
+	}
+}
+
+func testRegistry(t *testing.T, now func() time.Time) *Registry {
+	t.Helper()
+	r, err := NewRegistry(Config{
+		Anonymous: &Limits{Weight: 1},
+		Tenants: []TenantConfig{
+			{ID: "acme", Key: "sk-acme", Limits: Limits{Weight: 4, RPS: 100, MaxRunningJobs: 2}},
+			{ID: "lab", Limits: Limits{Weight: 2, MaxConcurrent: 1, MaxQueued: 3}},
+		},
+	}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRegistryResolve(t *testing.T) {
+	r := testRegistry(t, nil)
+
+	if tn, err := r.Resolve("sk-acme", ""); err != nil || tn.ID != "acme" {
+		t.Fatalf("key resolve = %v, %v", tn, err)
+	}
+	if tn, err := r.Resolve("sk-acme", "acme"); err != nil || tn.ID != "acme" {
+		t.Fatalf("key+matching header = %v, %v", tn, err)
+	}
+	if _, err := r.Resolve("sk-acme", "lab"); !errors.Is(err, ErrTenantMismatch) {
+		t.Fatalf("key+conflicting header err = %v", err)
+	}
+	if _, err := r.Resolve("sk-bogus", ""); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("unknown key err = %v", err)
+	}
+	if tn, err := r.Resolve("", "lab"); err != nil || tn.ID != "lab" {
+		t.Fatalf("keyless ID resolve = %v, %v", tn, err)
+	}
+	if _, err := r.Resolve("", "acme"); !errors.Is(err, ErrKeyRequired) {
+		t.Fatalf("bare ID for keyed tenant err = %v", err)
+	}
+	if _, err := r.Resolve("", "ghost"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant err = %v", err)
+	}
+	if tn, err := r.Resolve("", ""); err != nil || tn.ID != AnonymousID {
+		t.Fatalf("no credentials = %v, %v", tn, err)
+	}
+	if r.MaxRunningJobs("acme") != 2 || r.MaxRunningJobs("ghost") != 0 {
+		t.Fatal("MaxRunningJobs lookup broken")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	bad := []Config{
+		{Tenants: []TenantConfig{{ID: ""}}},
+		{Tenants: []TenantConfig{{ID: AnonymousID}}},
+		{Tenants: []TenantConfig{{ID: "a"}, {ID: "a"}}},
+		{Tenants: []TenantConfig{{ID: "a", Key: "k"}, {ID: "b", Key: "k"}}},
+		{Tenants: []TenantConfig{{ID: "a", Limits: Limits{Weight: -1}}}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewRegistry(cfg, nil); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	cfg := Config{Tenants: []TenantConfig{
+		{ID: "acme", Key: "sk-acme", Limits: Limits{Weight: 3, RPS: 10, CellsPerSec: 1e6, MaxRunningJobs: 1}},
+	}}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := r.Resolve("sk-acme", "")
+	if err != nil || tn.Limits.Weight != 3 || tn.Limits.RPS != 10 {
+		t.Fatalf("loaded tenant = %+v, %v", tn, err)
+	}
+	// The inlined Limits must round-trip through the entry's own object.
+	if tn.Limits.CellsPerSec != 1e6 || tn.Limits.MaxRunningJobs != 1 {
+		t.Fatalf("inlined limits lost: %+v", tn.Limits)
+	}
+
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("bad JSON should fail")
+	}
+}
+
+func TestTenantBucketsEnforced(t *testing.T) {
+	clk := newFakeClock()
+	tn := newTenant("x", "", Limits{RPS: 2, Burst: 2, CellsPerSec: 100, CellBurst: 100}, clk.now)
+	if ok, _ := tn.AllowRequest(); !ok {
+		t.Fatal("first request within burst")
+	}
+	if ok, _ := tn.AllowCells(100); !ok {
+		t.Fatal("cells within burst")
+	}
+	if ok, wait := tn.AllowCells(50); ok || wait != 500*time.Millisecond {
+		t.Fatalf("drained cell bucket = %v wait %v", ok, wait)
+	}
+	tn.AllowRequest()
+	if ok, wait := tn.AllowRequest(); ok || wait != 500*time.Millisecond {
+		t.Fatalf("drained request bucket = %v wait %v", ok, wait)
+	}
+}
