@@ -176,7 +176,10 @@ func newHub(bufSize int) *hub {
 }
 
 // subscribe registers a subscriber seeded with a snapshot event carrying
-// the job's current progress at the feed's current seq.
+// the job's current progress at the feed's current seq. A subscription to
+// an already-terminal job (its feed ended at the terminal publish) is born
+// closed: it delivers the snapshot and then ErrSubClosed, and is never
+// registered with the hub.
 func (h *hub) subscribe(jobID string, seed Snapshot) *Sub {
 	s := &Sub{
 		hub:    h,
@@ -185,16 +188,22 @@ func (h *hub) subscribe(jobID string, seed Snapshot) *Sub {
 		notify: make(chan struct{}, 1),
 	}
 	h.mu.Lock()
-	down := h.shutdown
 	seedEv := Event{Seq: h.seq[jobID], Type: EventSnapshot, Job: seed}
-	if !down {
-		h.subs[jobID] = append(h.subs[jobID], s)
-	}
-	h.mu.Unlock()
+	// Seed before the Sub becomes visible to publish, while still holding
+	// the hub lock: the snapshot is guaranteed first in the ring, and no
+	// concurrent publish can slip a newer event ahead of it.
 	s.push(seedEv)
-	if down {
+	switch {
+	case h.shutdown:
+		h.mu.Unlock()
 		s.push(Event{Seq: seedEv.Seq, Type: EventDrain, Job: seed})
 		s.markClosed()
+	case seed.State.Terminal():
+		h.mu.Unlock()
+		s.markClosed()
+	default:
+		h.subs[jobID] = append(h.subs[jobID], s)
+		h.mu.Unlock()
 	}
 	return s
 }

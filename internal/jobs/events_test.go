@@ -128,6 +128,77 @@ func TestHubCloseAndTerminalFreeSubscribers(t *testing.T) {
 	}
 }
 
+// TestHubSubscribeTerminalBornClosed: subscribing to a job whose feed
+// already ended (publish deleted it at the terminal event) must deliver the
+// snapshot and then close, without registering anything with the hub — a
+// subscription that never closes would pin its SSE handler goroutine until
+// the client disconnected or the server drained.
+func TestHubSubscribeTerminalBornClosed(t *testing.T) {
+	h := newHub(4)
+	h.publish("j", EventState, snap(jobstore.StateDone, 4)) // ends the feed
+
+	sub := h.subscribe("j", snap(jobstore.StateDone, 4))
+	defer sub.Close()
+	if h.subscribers() != 0 {
+		t.Fatalf("terminal subscribe registered: subscribers = %d, want 0", h.subscribers())
+	}
+	ctx := context.Background()
+	if ev, err := sub.Next(ctx); err != nil || ev.Type != EventSnapshot || ev.Job.State != jobstore.StateDone {
+		t.Fatalf("terminal seed = %+v, %v, want done snapshot", ev, err)
+	}
+	if _, err := sub.Next(ctx); !errors.Is(err, ErrSubClosed) {
+		t.Fatalf("after terminal seed: err = %v, want ErrSubClosed", err)
+	}
+}
+
+// TestHubSubscribeSeedAlwaysFirst races subscribe against a publisher: the
+// seed snapshot must always be the first event in the ring with no seq
+// regression after it — the old code registered the Sub under the hub lock
+// but pushed the seed after unlocking, letting a concurrent publish deliver
+// a newer event ahead of the older snapshot.
+func TestHubSubscribeSeedAlwaysFirst(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		h := newHub(64)
+		h.publish("j", EventState, snap(jobstore.StateRunning, 0))
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 1; c <= 5; c++ {
+				h.publish("j", EventChunk, snap(jobstore.StateRunning, c))
+			}
+		}()
+		sub := h.subscribe("j", snap(jobstore.StateRunning, 0))
+		wg.Wait()
+
+		first, err := sub.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Type != EventSnapshot {
+			t.Fatalf("iteration %d: first event = %s (seq %d), want snapshot", i, first.Type, first.Seq)
+		}
+		last := first.Seq
+		for { // drain the settled buffer; seq must never move backwards
+			sub.mu.Lock()
+			empty := sub.n == 0
+			sub.mu.Unlock()
+			if empty {
+				break
+			}
+			ev, err := sub.Next(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Seq < last {
+				t.Fatalf("iteration %d: seq regressed from %d to %d (%s)", i, last, ev.Seq, ev.Type)
+			}
+			last = ev.Seq
+		}
+		sub.Close()
+	}
+}
+
 // TestEventsObserveEveryChunk runs a real job with a live subscriber and
 // asserts the feed carries every chunk checkpoint exactly once, ending
 // with the done state — and that disconnecting subscribers leaks no

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -322,8 +323,10 @@ func displayTenant(id string) string {
 // storeKey namespaces an idempotency key by owning tenant, so equal keys
 // from different tenants deduplicate independently (and one tenant can
 // never be handed another tenant's job by key collision). Anonymous keys
-// stay bare for WAL back-compat. The NUL separator cannot appear in a
-// tenant ID loaded from JSON config.
+// stay bare for WAL back-compat. The NUL separator cannot appear in either
+// side: tenant.NewRegistry rejects NUL in tenant IDs and SubmitFor (plus
+// the server's request validation) rejects NUL in client keys, so the
+// namespacing is not forgeable through the JSON body.
 func storeKey(tenantID, key string) string {
 	if key == "" || tenantID == "" {
 		return key
@@ -348,6 +351,9 @@ func (m *Manager) SubmitFor(pairs []dna.Pair, key, tenantID string) (snap Snapsh
 	}
 	if len(pairs) == 0 {
 		return Snapshot{}, false, errors.New("jobs: empty batch")
+	}
+	if strings.ContainsRune(key, 0) {
+		return Snapshot{}, false, errors.New("jobs: idempotency key must not contain NUL bytes")
 	}
 	sk := storeKey(tid, key)
 	if sk != "" {

@@ -253,6 +253,13 @@ func (s *Server) parseJobRequest(w http.ResponseWriter, r *http.Request) (pairs 
 	if h := r.Header.Get("Idempotency-Key"); h != "" {
 		key = h
 	}
+	if strings.ContainsRune(key, 0) {
+		// NUL is the store's tenant-namespacing separator: a key like
+		// "tenantA\x00k" would collide with tenant A's namespaced key and
+		// clobber its idempotent dedup.
+		return nil, "", http.StatusBadRequest, CodeBadRequest,
+			errors.New("idempotency key must not contain NUL bytes")
+	}
 	switch {
 	case len(req.Pairs) > 0 && req.Preset != "":
 		return nil, "", http.StatusBadRequest, CodeBadRequest,

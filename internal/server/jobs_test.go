@@ -224,6 +224,17 @@ func TestJobsAPIIdempotencyKey(t *testing.T) {
 	if st3 != http.StatusOK || third.ID != first.ID {
 		t.Fatalf("header precedence: %d id=%s want %s", st3, third.ID, first.ID)
 	}
+
+	// A NUL byte in the body key is rejected outright: the store namespaces
+	// keys by tenant with a NUL separator, so "tenant\x00k" from one client
+	// must never alias another tenant's namespaced key.
+	nulReq := body
+	nulReq.IdempotencyKey = "acme\x00batch-7"
+	var e ErrorResponse
+	resp := doJSON(t, http.MethodPost, ts.URL+"/jobs", nulReq, &e)
+	if resp.StatusCode != http.StatusBadRequest || e.Code != CodeBadRequest {
+		t.Fatalf("NUL key: %d %q, want 400 %q", resp.StatusCode, e.Code, CodeBadRequest)
+	}
 }
 
 func TestJobsAPICancelAndConflicts(t *testing.T) {

@@ -125,7 +125,10 @@ func (s *Scheduler) queue(id string) *tq {
 	if s.reg != nil {
 		if t := s.reg.Get(id); t != nil {
 			l := t.Limits
-			if l.Weight > 0 {
+			// Weights below 1 never accumulate a whole quantum and would
+			// stall the queue; NewRegistry rejects them, and this guard
+			// keeps a hand-built registry from wedging dispatch anyway.
+			if l.Weight >= 1 {
 				q.weight = l.Weight
 			}
 			q.maxConc = l.MaxConcurrent
@@ -208,6 +211,12 @@ func (s *Scheduler) Admit(ctx context.Context, id string) (release func(), res A
 			q.cancelled++
 			s.dispatch()
 			return nil, AdmitCtxDone
+		}
+		if w.draining {
+			// Lost the race against BeginDrain, which already popped this
+			// waiter and settled the live/queued accounting — decrementing
+			// again would drive the counts negative and stall Drain.
+			return nil, AdmitDraining
 		}
 		w.gone = true
 		q.live--

@@ -257,6 +257,72 @@ func TestRetryAfterHint(t *testing.T) {
 	}
 }
 
+// TestCancelDrainRaceAccounting races a queued waiter's context expiry
+// against BeginDrain: BeginDrain pops the waiter and settles live/queued,
+// and the waiter's ctx.Done branch must not decrement them again — the
+// double-decrement drove Queued() negative and made Drain (which polls
+// Queued()==0) spin for the whole grace period. Racy by construction; the
+// tenant-chaos CI job runs it under -race.
+func TestCancelDrainRaceAccounting(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		s := NewScheduler(SchedulerConfig{Capacity: 1, DefaultQueue: 8})
+		hold := admitOK(t, s, "a")
+		ctx, cancel := context.WithCancel(context.Background())
+		got := make(chan AdmitResult, 1)
+		go func() {
+			rel, res := s.Admit(ctx, "a")
+			if res == AdmitOK {
+				rel()
+			}
+			got <- res
+		}()
+		waitFor(t, func() bool { return s.Queued() == 1 })
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); cancel() }()
+		go func() { defer wg.Done(); s.BeginDrain() }()
+		wg.Wait()
+		if res := <-got; res != AdmitDraining && res != AdmitCtxDone {
+			t.Fatalf("iteration %d: Admit = %v, want AdmitDraining or AdmitCtxDone", i, res)
+		}
+		if q := s.Queued(); q != 0 {
+			t.Fatalf("iteration %d: Queued() = %d after cancel+drain race, want 0", i, q)
+		}
+		hold()
+		if n := s.InFlight(); n != 0 {
+			t.Fatalf("iteration %d: InFlight() = %d, want 0", i, n)
+		}
+	}
+}
+
+// TestSub1WeightNeverStalls: NewRegistry rejects fractional weights, and
+// the scheduler additionally clamps a sub-1 weight from a hand-built
+// registry to the default 1, so a lone waiter is still granted instead of
+// waiting forever for a whole DRR quantum that never accumulates.
+func TestSub1WeightNeverStalls(t *testing.T) {
+	reg := &Registry{byID: map[string]*Tenant{
+		"frac": newTenant("frac", "", Limits{Weight: 0.5}, nil),
+	}}
+	s := NewScheduler(SchedulerConfig{Capacity: 1, DefaultQueue: 4, Registry: reg})
+	hold := admitOK(t, s, "other")
+	got := make(chan AdmitResult, 1)
+	go func() {
+		rel, res := s.Admit(context.Background(), "frac")
+		if res == AdmitOK {
+			rel()
+		}
+		got <- res
+	}()
+	waitFor(t, func() bool { return s.Queued() == 1 })
+	hold()
+	if res := <-got; res != AdmitOK {
+		t.Fatalf("weight-0.5 waiter = %v, want AdmitOK", res)
+	}
+	if s.InFlight() != 0 || s.Queued() != 0 {
+		t.Fatalf("scheduler not drained: inflight=%d queued=%d", s.InFlight(), s.Queued())
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

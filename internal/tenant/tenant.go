@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"sync"
 	"time"
 )
@@ -35,7 +36,9 @@ const AnonymousID = "anonymous"
 type Limits struct {
 	// Weight is the tenant's share of execution slots under contention:
 	// a weight-2 tenant is granted twice as many slots per scheduling
-	// round as a weight-1 tenant (default 1).
+	// round as a weight-1 tenant. Must be >= 1 when set (the DRR quantum
+	// is one slot, so express ratios by scaling the other tenants up);
+	// default 1.
 	Weight float64 `json:"weight,omitempty"`
 	// RPS caps admission attempts per second through a token bucket;
 	// Burst is the bucket depth (default: RPS, min 1). 0 = unlimited.
@@ -188,12 +191,30 @@ type Registry struct {
 	anon  *Tenant
 }
 
+// validateLimits rejects limit values the scheduler cannot honor: negatives,
+// and fractional weights — the DRR quantum is one whole slot, so a weight
+// below 1 would never accumulate enough deficit to be granted and its lone
+// waiter would stall until its context expired.
+func validateLimits(who string, l Limits) error {
+	if l.Weight < 0 || l.RPS < 0 || l.Burst < 0 || l.CellsPerSec < 0 || l.CellBurst < 0 ||
+		l.MaxConcurrent < 0 || l.MaxQueued < 0 || l.MaxRunningJobs < 0 {
+		return fmt.Errorf("tenant: %s has a negative limit", who)
+	}
+	if l.Weight != 0 && l.Weight < 1 {
+		return fmt.Errorf("tenant: %s has fractional weight %v; weights must be >= 1 (scale the other tenants up instead)", who, l.Weight)
+	}
+	return nil
+}
+
 // NewRegistry validates cfg and builds the registry. now is the bucket
 // clock seam (nil = time.Now).
 func NewRegistry(cfg Config, now func() time.Time) (*Registry, error) {
 	anonLimits := Limits{}
 	if cfg.Anonymous != nil {
 		anonLimits = *cfg.Anonymous
+		if err := validateLimits("the anonymous tenant", anonLimits); err != nil {
+			return nil, err
+		}
 	}
 	r := &Registry{
 		byID:  make(map[string]*Tenant, len(cfg.Tenants)+1),
@@ -208,12 +229,16 @@ func NewRegistry(cfg Config, now func() time.Time) (*Registry, error) {
 		if tc.ID == AnonymousID {
 			return nil, fmt.Errorf("tenant: entry %d uses the reserved id %q (set the top-level anonymous limits instead)", i, AnonymousID)
 		}
+		if strings.ContainsRune(tc.ID, 0) {
+			// NUL is the jobs store's key-namespacing separator; a tenant ID
+			// carrying one could forge another tenant's namespaced keys.
+			return nil, fmt.Errorf("tenant: entry %d id contains a NUL byte", i)
+		}
 		if _, dup := r.byID[tc.ID]; dup {
 			return nil, fmt.Errorf("tenant: duplicate tenant id %q", tc.ID)
 		}
-		if tc.Weight < 0 || tc.RPS < 0 || tc.CellsPerSec < 0 || tc.MaxConcurrent < 0 ||
-			tc.MaxQueued < 0 || tc.MaxRunningJobs < 0 {
-			return nil, fmt.Errorf("tenant: tenant %q has a negative limit", tc.ID)
+		if err := validateLimits(fmt.Sprintf("tenant %q", tc.ID), tc.Limits); err != nil {
+			return nil, err
 		}
 		t := newTenant(tc.ID, tc.Key, tc.Limits, now)
 		r.byID[tc.ID] = t

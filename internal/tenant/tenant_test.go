@@ -138,6 +138,12 @@ func TestRegistryValidation(t *testing.T) {
 		{Tenants: []TenantConfig{{ID: "a"}, {ID: "a"}}},
 		{Tenants: []TenantConfig{{ID: "a", Key: "k"}, {ID: "b", Key: "k"}}},
 		{Tenants: []TenantConfig{{ID: "a", Limits: Limits{Weight: -1}}}},
+		// Fractional weights stall the DRR quantum (see validateLimits).
+		{Tenants: []TenantConfig{{ID: "a", Limits: Limits{Weight: 0.5}}}},
+		{Anonymous: &Limits{Weight: 0.5}},
+		{Anonymous: &Limits{RPS: -1}},
+		// NUL is the jobs store's key-namespacing separator.
+		{Tenants: []TenantConfig{{ID: "a\x00b"}}},
 	}
 	for i, cfg := range bad {
 		if _, err := NewRegistry(cfg, nil); err == nil {
