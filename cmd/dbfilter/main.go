@@ -1,35 +1,53 @@
-// Command dbfilter runs the paper's motivating use case end to end: screen
-// a database of texts against a query pattern with the BPBC bulk engine,
-// keep the entries whose maximum local-alignment score exceeds a threshold
-// τ, and print their detailed CPU alignments.
+// Command dbfilter runs the paper's motivating use case end to end:
+// screen a database of sequences against a query and report the best
+// local-alignment hits.
 //
-// The database is either a FASTA file of equal-length sequences (-db) or a
-// synthetic one generated on the fly (-synthetic N), in which a fraction of
-// entries carries a mutated copy of the query.
+// The modern path works on a persistent corpus index (internal/corpus,
+// the same format swaserver mounts with -corpus):
 //
-// Usage:
+//	dbfilter -build -index ./idx [-db db.fasta | -synthetic 100000]   build the index
+//	dbfilter -index ./idx -query ACGT... [-topk 10] [-json]           ranked top-K search
 //
-//	dbfilter -query ACGT... [-db db.fasta | -synthetic 1024] [-tau T] [-lanes 32] [-json]
+// A search runs the two-stage query path: a k-mer posting-list prefilter
+// (-minhits, with a bitap edit-distance refinement bounded by -maxedits)
+// narrows the corpus, then the exact backend named by -search-backend
+// (default striped) scores the survivors and a bounded heap keeps the
+// top -topk. -minhits -1 disables the prefilter (exact brute force) —
+// useful as an oracle, since both modes return identical hits. When
+// -index names a directory without an index and a source (-db or
+// -synthetic) is given, the index is built first, then searched.
 //
-// With -json the screening summary and hits are printed as one JSON
-// document instead of the text rendering.
+// The legacy path (no -index) keeps the original BPBC bulk screening:
+// score every entry with the bitwise-parallel engine, keep entries whose
+// maximum score exceeds a threshold τ, and print their detailed CPU
+// alignments.
+//
+//	dbfilter -query ACGT... [-db db.fasta | -synthetic 1024] [-tau T] [-lanes 32]
+//
+// With -json either path prints one JSON document instead of the text
+// rendering.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"os"
 	"time"
 
+	"repro/internal/alignsvc"
 	"repro/internal/bpbc"
 	"repro/internal/cli"
+	"repro/internal/corpus"
 	"repro/internal/dna"
+	"repro/internal/pipeline"
 	"repro/internal/swa"
 )
 
-// screenJSON is the -json wire form: stable snake_case names, duration in
-// milliseconds, hits always a list (possibly empty, never null).
+// screenJSON is the legacy-path -json wire form: stable snake_case names,
+// duration in milliseconds, hits always a list (possibly empty, never null).
 type screenJSON struct {
 	Entries   int       `json:"entries"`
 	M         int       `json:"m"`
@@ -50,27 +68,52 @@ type hitJSON struct {
 	Identity   float64 `json:"identity"`
 }
 
+// searchJSON is the index-path -json wire form: the ranked hits plus the
+// prefilter funnel, mirroring the server's /search response.
+type searchJSON struct {
+	Index     string       `json:"index"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+	Hits      []corpus.Hit `json:"hits"`
+	Stats     corpus.Stats `json:"stats"`
+}
+
+// buildJSON is the -build -json summary.
+type buildJSON struct {
+	Index       string  `json:"index"`
+	Seqs        int     `json:"seqs"`
+	TotalBases  int64   `json:"total_bases"`
+	K           int     `json:"k"`
+	Fingerprint string  `json:"fingerprint"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
 func main() {
 	query := flag.String("query", "", "query pattern (ACGT letters)")
-	dbPath := flag.String("db", "", "FASTA file of equal-length database sequences")
+	dbPath := flag.String("db", "", "FASTA file of database sequences")
 	synthetic := flag.Int("synthetic", 0, "generate N synthetic database entries instead of -db")
 	synLen := flag.Int("synlen", 1024, "synthetic entry length")
 	plant := flag.Float64("plant", 0.05, "fraction of synthetic entries carrying a mutated copy of the query")
-	tau := flag.Int("tau", 0, "score threshold τ (default: 3/4 of the maximum score)")
-	lanes := flag.Int("lanes", 32, "BPBC lane width: 32 or 64")
-	both := flag.Bool("both", false, "also screen the reverse complement of the query (both strands)")
-	workers := flag.Int("workers", 1, "lane groups scored concurrently")
 	seed := flag.Uint64("seed", 42, "synthetic generator seed")
 	asJSON := flag.Bool("json", false, "print the result as JSON")
+
+	index := flag.String("index", "", "corpus index directory (enables the indexed search path)")
+	build := flag.Bool("build", false, "build the index from -db/-synthetic and exit (requires -index)")
+	kmer := flag.Int("k", 0, "index k-mer length when building (0 = default)")
+	topK := flag.Int("topk", 10, "ranked hits to return from an indexed search")
+	minHits := flag.Int("minhits", 0, "distinct query k-mers a sequence must share to pass the prefilter (0 = default, -1 = scan all)")
+	maxEdits := flag.Int("maxedits", 0, "bitap refinement edit budget (0 = default, -1 = disabled)")
+	searchBackend := flag.String("search-backend", alignsvc.BackendStriped,
+		"exact scoring backend for the indexed search")
+
+	tau := flag.Int("tau", 0, "legacy screening: score threshold τ (default: 3/4 of the maximum score)")
+	lanes := flag.Int("lanes", 32, "legacy screening: BPBC lane width, 32 or 64")
+	both := flag.Bool("both", false, "legacy screening: also screen the reverse complement of the query")
+	workers := flag.Int("workers", 1, "legacy screening: lane groups scored concurrently")
 	flag.Parse()
 
 	if flag.NArg() != 0 {
 		flag.PrintDefaults()
 		cli.Exitf(2, "dbfilter: unexpected arguments %v", flag.Args())
-	}
-	if *query == "" {
-		flag.PrintDefaults()
-		cli.Exitf(2, "dbfilter: -query is required")
 	}
 	if *lanes != 32 && *lanes != 64 {
 		flag.PrintDefaults()
@@ -80,46 +123,35 @@ func main() {
 		flag.PrintDefaults()
 		cli.Exitf(2, "dbfilter: -db and -synthetic are mutually exclusive")
 	}
-	q, err := dna.Parse(*query)
-	if err != nil {
-		cli.Die(fmt.Errorf("query: %w", err))
+	if *build && *index == "" {
+		cli.Exitf(2, "dbfilter: -build requires -index")
 	}
 
-	// Ctrl-C / SIGTERM aborts between screening passes.
+	// Ctrl-C / SIGTERM aborts between passes.
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
-	var names []string
-	var texts []dna.Seq
-	switch {
-	case *dbPath != "":
-		f, err := os.Open(*dbPath)
-		cli.Check(err)
-		recs, err := dna.ReadFASTA(f)
-		f.Close()
-		cli.Check(err)
-		for _, r := range recs {
-			names = append(names, r.Name)
-			texts = append(texts, r.Seq)
+	var q dna.Seq
+	if *query != "" {
+		var err error
+		q, err = dna.Parse(*query)
+		if err != nil {
+			cli.Die(fmt.Errorf("query: %w", err))
 		}
-	case *synthetic > 0:
-		rng := rand.New(rand.NewPCG(*seed, 0))
-		mut := dna.MutationModel{SubRate: 0.05, InsRate: 0.01, DelRate: 0.01}
-		for i := 0; i < *synthetic; i++ {
-			t := dna.RandSeq(rng, *synLen)
-			if rng.Float64() < *plant {
-				c := mut.Mutate(rng, q)
-				if len(c) > len(t) {
-					c = c[:len(t)]
-				}
-				copy(t[rng.IntN(len(t)-len(c)+1):], c)
-			}
-			names = append(names, fmt.Sprintf("synthetic-%04d", i))
-			texts = append(texts, t)
-		}
-	default:
-		cli.Exitf(2, "dbfilter: need -db or -synthetic")
 	}
+
+	if *index != "" {
+		runIndexed(ctx, q, *index, *build, *kmer, *topK, *minHits, *maxEdits,
+			*searchBackend, *dbPath, *synthetic, *synLen, *plant, *seed, *asJSON)
+		return
+	}
+
+	// Legacy BPBC screening path below.
+	if len(q) == 0 {
+		flag.PrintDefaults()
+		cli.Exitf(2, "dbfilter: -query is required")
+	}
+	names, texts := loadDatabase(q, *dbPath, *synthetic, *synLen, *plant, *seed)
 	if len(texts) == 0 {
 		cli.Exitf(1, "dbfilter: empty database")
 	}
@@ -194,5 +226,117 @@ func main() {
 	for i, h := range hits {
 		fmt.Printf("--- %s (score %d, strand %c) ---\n%s\n\n",
 			names[h.Index], h.Score, strand[i], h.Alignment)
+	}
+}
+
+// loadDatabase reads the FASTA file or generates the synthetic database
+// (planting mutated copies of q when q is non-empty).
+func loadDatabase(q dna.Seq, dbPath string, synthetic, synLen int, plant float64, seed uint64) ([]string, []dna.Seq) {
+	var names []string
+	var texts []dna.Seq
+	switch {
+	case dbPath != "":
+		f, err := os.Open(dbPath)
+		cli.Check(err)
+		recs, err := dna.ReadFASTA(f)
+		f.Close()
+		cli.Check(err)
+		for _, r := range recs {
+			names = append(names, r.Name)
+			texts = append(texts, r.Seq)
+		}
+	case synthetic > 0:
+		rng := rand.New(rand.NewPCG(seed, 0))
+		mut := dna.MutationModel{SubRate: 0.05, InsRate: 0.01, DelRate: 0.01}
+		for i := 0; i < synthetic; i++ {
+			t := dna.RandSeq(rng, synLen)
+			if len(q) > 0 && rng.Float64() < plant {
+				c := mut.Mutate(rng, q)
+				if len(c) > len(t) {
+					c = c[:len(t)]
+				}
+				copy(t[rng.IntN(len(t)-len(c)+1):], c)
+			}
+			names = append(names, fmt.Sprintf("synthetic-%04d", i))
+			texts = append(texts, t)
+		}
+	default:
+		cli.Exitf(2, "dbfilter: need -db or -synthetic")
+	}
+	return names, texts
+}
+
+// runIndexed is the corpus-index path: build and/or open the index, then
+// (unless -build) run a ranked top-K search and print the hits.
+func runIndexed(ctx context.Context, q dna.Seq, dir string, buildOnly bool, k, topK, minHits, maxEdits int,
+	backendName, dbPath string, synthetic, synLen int, plant float64, seed uint64, asJSON bool) {
+	c, err := corpus.Open(dir)
+	switch {
+	case err == nil:
+		if buildOnly {
+			cli.Exitf(2, "dbfilter: -build: %s already holds an index (fingerprint %s)", dir, c.Fingerprint())
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// Build-or-open: no index yet, so a source must be supplied.
+		if dbPath == "" && synthetic == 0 {
+			cli.Exitf(2, "dbfilter: %s holds no index and no -db/-synthetic source was given", dir)
+		}
+		names, texts := loadDatabase(q, dbPath, synthetic, synLen, plant, seed)
+		recs := make([]dna.Record, len(texts))
+		for i := range texts {
+			recs[i] = dna.Record{Name: names[i], Seq: texts[i]}
+		}
+		start := time.Now()
+		c, err = corpus.Build(dir, recs, corpus.IndexOptions{K: k})
+		cli.Check(err)
+		elapsed := time.Since(start)
+		if buildOnly {
+			if asJSON {
+				cli.Check(cli.PrintJSON(buildJSON{
+					Index: dir, Seqs: c.Len(), TotalBases: c.TotalBases(),
+					K: c.K(), Fingerprint: c.Fingerprint(),
+					ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+				}))
+			} else {
+				fmt.Printf("built index %s: %d sequence(s), %d base(s), k=%d, fingerprint %s in %v\n",
+					dir, c.Len(), c.TotalBases(), c.K(), c.Fingerprint(), elapsed.Round(time.Millisecond))
+			}
+			return
+		}
+	default:
+		cli.Die(fmt.Errorf("dbfilter: open index: %w", err))
+	}
+
+	if len(q) == 0 {
+		cli.Exitf(2, "dbfilter: -query is required for an indexed search")
+	}
+	be, err := alignsvc.NewBackend(backendName, pipeline.Config{}, 0)
+	if err != nil {
+		cli.Die(fmt.Errorf("dbfilter: -search-backend: %w", err))
+	}
+	s := corpus.NewSearcher(c, be, nil)
+	p := corpus.Params{TopK: topK, MinKmerHits: minHits, MaxEdits: maxEdits}
+	start := time.Now()
+	res, err := s.Search(ctx, q, p)
+	cli.Check(err)
+	elapsed := time.Since(start)
+
+	if asJSON {
+		cli.Check(cli.PrintJSON(searchJSON{
+			Index:     dir,
+			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+			Hits:      res.Hits,
+			Stats:     res.Stats,
+		}))
+		return
+	}
+	st := res.Stats
+	fmt.Printf("searched %d sequence(s) in %v: %d candidate(s) after prefilter (%.1f%% pass), %d cell(s) scored\n\n",
+		st.Seqs, elapsed.Round(time.Millisecond), st.Candidates, 100*st.PassRate, st.Cells)
+	for i, h := range res.Hits {
+		fmt.Printf("%2d. %-24s id=%-8d score=%d\n", i+1, h.Name, h.ID, h.Score)
+	}
+	if len(res.Hits) == 0 {
+		fmt.Println("no hits")
 	}
 }

@@ -20,10 +20,14 @@
 // of the human-readable tables. -backends additionally serves the same sweep
 // through the named execution backends (striped, bitwise-sim, wordwise-sim,
 // cpu-ref) on the wall clock, with every score re-checked against the scalar
-// reference, and records the striped-vs-bitwise-sim speedup. -check-bench
-// validates such a file and exits nonzero if it is malformed — CI's
-// bench-smoke job uses the two together, with -require-backends and
-// -min-striped-speedup gating the wall-clock win.
+// reference, and records the striped-vs-bitwise-sim speedup. -search
+// additionally sweeps the corpus-search prefilter over k-mer lengths 4, 6
+// and 8 on a deterministic synthetic corpus, recording per-k selectivity
+// and verifying every prefiltered top-K against a scan-all baseline.
+// -check-bench validates such a file and exits nonzero if it is malformed —
+// CI's bench-smoke job uses the two together, with -require-backends,
+// -min-striped-speedup and -require-search gating the wall-clock win and
+// the prefilter's selectivity.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cli"
+	"repro/internal/corpus"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
@@ -51,10 +56,14 @@ func main() {
 	deviceSpecs := flag.String("device-specs", "titanx", "with -devices: comma-separated perf specs cycled over the fleet members")
 	peers := flag.Int("peers", 0, "with -bench-out: also sweep a cluster of N peer nodes and record routing, peer cache hit ratio and re-homes")
 	backends := flag.String("backends", "", "with -bench-out: comma-separated execution backends to sweep on the wall clock (e.g. striped,bitwise-sim,cpu-ref)")
+	search := flag.Bool("search", false, "with -bench-out: also sweep the corpus-search prefilter selectivity across k-mer lengths 4, 6 and 8")
+	searchSeqs := flag.Int("search-seqs", 4000, "with -search: synthetic corpus size in sequences")
+	searchBackend := flag.String("search-backend", "striped", "with -search: scoring backend for the search sweep")
 	checkBench := flag.String("check-bench", "", "validate a bench-pipeline JSON document and exit")
 	requireFleet := flag.Bool("require-fleet", false, "with -check-bench: fail unless the document carries a fleet section")
 	requireCluster := flag.Bool("require-cluster", false, "with -check-bench: fail unless the document carries a cluster section")
 	requireBackends := flag.String("require-backends", "", "with -check-bench: fail unless the document carries a section for each comma-separated backend")
+	requireSearch := flag.Bool("require-search", false, "with -check-bench: fail unless the document carries a search section whose default-k pass rate is under 0.2")
 	minStripedSpeedup := flag.Float64("min-striped-speedup", 0, "with -check-bench: fail unless striped beats bitwise-sim on the wall clock by at least this factor")
 	metricsOut := flag.String("metrics-out", "", "with -bench-out: also dump the run's Prometheus metrics to FILE (- = stderr)")
 	quiet := flag.Bool("q", false, "suppress progress output")
@@ -83,6 +92,16 @@ func main() {
 				}
 			}
 		}
+		if err == nil && *requireSearch {
+			if f.Search == nil {
+				err = fmt.Errorf("%s has no search section (regenerate with -search)", *checkBench)
+			} else if r := f.Search.SearchRunAt(corpus.DefaultK); r == nil {
+				err = fmt.Errorf("%s search section has no k=%d run", *checkBench, corpus.DefaultK)
+			} else if r.PassRate >= 0.2 {
+				err = fmt.Errorf("%s: prefilter pass rate %.3f at k=%d, gate requires < 0.2",
+					*checkBench, r.PassRate, corpus.DefaultK)
+			}
+		}
 		if err == nil && *minStripedSpeedup > 0 && f.SpeedupStripedVsBitwiseSim < *minStripedSpeedup {
 			err = fmt.Errorf("%s: striped is %.1fx bitwise-sim on the wall clock, gate requires >= %.1fx",
 				*checkBench, f.SpeedupStripedVsBitwiseSim, *minStripedSpeedup)
@@ -99,6 +118,9 @@ func main() {
 		}
 		if len(f.Backends) > 0 {
 			fleetNote += fmt.Sprintf(", %d backend(s)", len(f.Backends))
+		}
+		if f.Search != nil {
+			fleetNote += fmt.Sprintf(", search sweep over %d k(s)", len(f.Search.Runs))
 		}
 		fmt.Printf("swabench: %s ok (%s workload, %d runs%s)\n", *checkBench, f.Workload, len(f.Runs), fleetNote)
 		return
@@ -163,6 +185,14 @@ func main() {
 				cli.Die(fmt.Errorf("swabench: bench: %w", err))
 			}
 		}
+		if *search {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "... bench: corpus-search selectivity sweep (%d seqs, k = 4, 6, 8)\n", *searchSeqs)
+			}
+			if err := f.CollectSearch(ctx, *searchSeqs, nil, *searchBackend); err != nil {
+				cli.Die(fmt.Errorf("swabench: bench: %w", err))
+			}
+		}
 		if err := f.WriteFile(*benchOut); err != nil {
 			cli.Die(fmt.Errorf("swabench: bench: %w", err))
 		}
@@ -188,6 +218,12 @@ func main() {
 		}
 		for _, sec := range f.Backends {
 			fmt.Printf("backend %s wall_gcups=%.4f runs=%d\n", sec.Name, sec.AggregateWallGCUPS, len(sec.Runs))
+		}
+		if f.Search != nil {
+			for _, r := range f.Search.Runs {
+				fmt.Printf("search k=%d kmer_rate=%.3f pass_rate=%.4f cands/query=%.1f wall_gcups=%.3f exact=%v\n",
+					r.K, r.KmerPassRate, r.PassRate, r.CandidatesPerQuery, r.WallGCUPS, r.ExactTopK)
+			}
 		}
 		if f.SpeedupStripedVsBitwiseSim > 0 {
 			fmt.Printf("backend speedup striped/bitwise-sim=%.1fx\n", f.SpeedupStripedVsBitwiseSim)

@@ -29,6 +29,15 @@
 // jobs belong to the tenant that submitted them. GET /jobs/{id}/events
 // streams live job progress as Server-Sent Events.
 //
+// -corpus name=dir (repeatable) mounts reference corpora built with
+// dbfilter -build (or corpus.Build): POST /search answers ranked top-K
+// queries — a k-mer/bitap prefilter narrows the corpus, then the exact
+// Smith-Waterman backend named by -search-backend scores the survivors —
+// and, combined with -data-dir, POST /jobs accepts kind "search" for
+// durable chunk-checkpointed searches (-search-chunk-size sequences per
+// checkpoint) that resume from the WAL after a crash. /statsz gains a
+// search section with per-corpus inventory and funnel counters.
+//
 // -ops-addr starts a second listener with the operational endpoints —
 // /metricsz, /tracez (recent request traces) and net/http/pprof under
 // /debug/pprof/. It is off by default and should stay firewalled: pprof can
@@ -45,6 +54,8 @@
 //	          [-node-id n1 -peers n2=http://h2:8468,n3=http://h3:8468]
 //	          [-peer-timeout 5s -peer-hedge-after 0 -peer-probe-interval 1s]
 //	          [-data-dir /var/lib/swa -wal-sync always -chunk-size 64]
+//	          [-corpus ref=/var/lib/swa/corpus -search-backend striped]
+//	          [-search-chunk-size 4096]
 //	          [-read-header-timeout 10s -read-timeout 2m -idle-timeout 2m]
 //	          [-fault-launch 0.3 -fault-bitflip 0.2 ...]   (chaos mode)
 //
@@ -80,12 +91,14 @@ import (
 	"repro/internal/alignsvc"
 	"repro/internal/cli"
 	"repro/internal/cluster"
+	"repro/internal/corpus"
 	"repro/internal/cudasim"
 	"repro/internal/fleet"
 	"repro/internal/jobs"
 	"repro/internal/jobstore"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
+	"repro/internal/pipeline"
 	"repro/internal/server"
 	"repro/internal/tenant"
 )
@@ -142,6 +155,12 @@ func main() {
 	jobQueue := flag.Int("job-queue", 64, "jobs waiting in the queue before 429")
 	jobTTL := flag.Duration("job-ttl", 15*time.Minute, "how long finished jobs stay queryable before GC")
 	jobChunkTimeout := flag.Duration("job-chunk-timeout", time.Minute, "per-chunk execution deadline")
+
+	var corpusMounts mountFlags
+	flag.Var(&corpusMounts, "corpus", "mount a corpus index as name=dir (repeatable; enables POST /search)")
+	searchBackend := flag.String("search-backend", alignsvc.BackendStriped,
+		"exact scoring backend for corpus search: "+strings.Join(alignsvc.BackendNames(), ", "))
+	searchChunkSize := flag.Int("search-chunk-size", 4096, "corpus sequences per search-job chunk (the checkpoint granularity)")
 
 	faultSeed := flag.Uint64("fault-seed", 1, "fault-injection seed")
 	faultHtoD := flag.Float64("fault-htod", 0, "HtoD transfer failure rate [0,1]")
@@ -268,6 +287,32 @@ func main() {
 			BitFlip: *faultBitFlip,
 		},
 	})
+	// Reference corpora: each -corpus name=dir opens a CRC-checked index
+	// built by dbfilter -build, and all mounts share one exact scoring
+	// backend (-search-backend). The registry is handed to both the server
+	// (POST /search) and the job manager (kind "search" jobs).
+	var corpora *corpus.Registry
+	if len(corpusMounts) > 0 {
+		if !slices.Contains(alignsvc.BackendNames(), *searchBackend) {
+			cli.Exitf(2, "swaserver: -search-backend: unknown backend %q (have %s)",
+				*searchBackend, strings.Join(alignsvc.BackendNames(), ", "))
+		}
+		be, err := alignsvc.NewBackend(*searchBackend, pipeline.Config{}, *lanes)
+		cli.Check(err)
+		corpora = corpus.NewRegistry()
+		for _, m := range corpusMounts {
+			c, err := corpus.Open(m.dir)
+			if err != nil {
+				cli.Exitf(2, "swaserver: -corpus %s=%s: %v", m.name, m.dir, err)
+			}
+			if err := corpora.Add(m.name, c, corpus.NewSearcher(c, be, obs.Default())); err != nil {
+				cli.Exitf(2, "swaserver: -corpus: %v", err)
+			}
+			log.Printf("swaserver: corpus %q mounted: %d sequence(s), %d base(s), k=%d, fingerprint %s",
+				m.name, c.Len(), c.TotalBases(), c.K(), c.Fingerprint())
+		}
+	}
+
 	// The durable job stack: WAL store + chunked job manager, sharing one
 	// trace ring with the server so /tracez covers background job runs too.
 	var (
@@ -296,15 +341,17 @@ func main() {
 		}
 		ring = obs.NewTraceRing(64)
 		mgr, err = jobs.New(jobs.Config{
-			Store:         store,
-			Service:       svc,
-			ChunkSize:     *chunkSize,
-			MaxConcurrent: *jobConcurrency,
-			MaxQueued:     *jobQueue,
-			ChunkTimeout:  *jobChunkTimeout,
-			TTL:           *jobTTL,
-			Traces:        ring,
-			Tenants:       reg,
+			Store:           store,
+			Service:         svc,
+			ChunkSize:       *chunkSize,
+			MaxConcurrent:   *jobConcurrency,
+			MaxQueued:       *jobQueue,
+			ChunkTimeout:    *jobChunkTimeout,
+			TTL:             *jobTTL,
+			Traces:          ring,
+			Tenants:         reg,
+			Corpora:         corpora,
+			SearchChunkSize: *searchChunkSize,
 		})
 		cli.Check(err)
 		if recovered := mgr.Stats().Recovered; recovered > 0 {
@@ -355,6 +402,7 @@ func main() {
 		TraceRing:      ring,
 		Cluster:        cl,
 		Tenants:        reg,
+		Corpora:        corpora,
 	})
 	cli.Check(err)
 
@@ -446,4 +494,31 @@ func main() {
 		cli.Die(fmt.Errorf("swaserver: %w", drainErr))
 	}
 	log.Printf("swaserver: drained cleanly")
+}
+
+// mountFlags collects repeated -corpus name=dir flags in order.
+type mountFlags []corpusMount
+
+type corpusMount struct{ name, dir string }
+
+func (m *mountFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, c := range *m {
+		parts[i] = c.name + "=" + c.dir
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *mountFlags) Set(v string) error {
+	name, dir, ok := strings.Cut(v, "=")
+	if !ok || name == "" || dir == "" {
+		return fmt.Errorf("want name=dir, got %q", v)
+	}
+	for _, c := range *m {
+		if c.name == name {
+			return fmt.Errorf("corpus %q mounted twice", name)
+		}
+	}
+	*m = append(*m, corpusMount{name: name, dir: dir})
+	return nil
 }

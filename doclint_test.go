@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -10,13 +11,11 @@ import (
 	"testing"
 )
 
-// TestEveryPackageHasDocComment is the doc-lint gate: every package in the
-// repository (root, internal/*, cmd/*, examples/*) must carry a package doc
-// comment on at least one of its files. godoc and pkg.go.dev render that
-// comment as the package's synopsis; a missing one reads as an undocumented
-// subsystem.
-func TestEveryPackageHasDocComment(t *testing.T) {
-	pkgs := map[string][]string{} // directory -> .go files (tests excluded)
+// lintGoFiles walks the repository and returns the non-test .go files
+// grouped by directory, skipping dot-directories and results/.
+func lintGoFiles(t *testing.T) map[string][]string {
+	t.Helper()
+	pkgs := map[string][]string{}
 	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -37,6 +36,16 @@ func TestEveryPackageHasDocComment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return pkgs
+}
+
+// TestEveryPackageHasDocComment is the doc-lint gate: every package in the
+// repository (root, internal/*, cmd/*, examples/*) must carry a package doc
+// comment on at least one of its files. godoc and pkg.go.dev render that
+// comment as the package's synopsis; a missing one reads as an undocumented
+// subsystem.
+func TestEveryPackageHasDocComment(t *testing.T) {
+	pkgs := lintGoFiles(t) // directory -> .go files (tests excluded)
 	if len(pkgs) < 20 {
 		t.Fatalf("walk found only %d packages — lint scope broke", len(pkgs))
 	}
@@ -62,5 +71,53 @@ func TestEveryPackageHasDocComment(t *testing.T) {
 		if !documented {
 			t.Errorf("package in %s has no package doc comment on any file", dir)
 		}
+	}
+}
+
+// TestEveryExportedTypeHasDocComment extends the doc-lint gate to the
+// type level: every exported type declared under internal/ must carry a
+// doc comment. An exported type is a package's API surface; one without a
+// comment renders as a bare name on pkg.go.dev. Grouped declarations may
+// document the group instead of each spec.
+func TestEveryExportedTypeHasDocComment(t *testing.T) {
+	fset := token.NewFileSet()
+	types := 0
+	for dir, files := range lintGoFiles(t) {
+		if dir != "internal" && !strings.HasPrefix(dir, "internal"+string(filepath.Separator)) {
+			continue
+		}
+		for _, path := range files {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				continue
+			}
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				groupDoc := gd.Doc != nil && strings.TrimSpace(gd.Doc.Text()) != ""
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || !ts.Name.IsExported() {
+						continue
+					}
+					types++
+					specDoc := ts.Doc != nil && strings.TrimSpace(ts.Doc.Text()) != ""
+					if !groupDoc && !specDoc {
+						pos := fset.Position(ts.Pos())
+						t.Errorf("%s:%d: exported type %s has no doc comment", path, pos.Line, ts.Name.Name)
+					}
+				}
+			}
+		}
+	}
+	if types < 50 {
+		t.Fatalf("lint saw only %d exported types — scope broke", types)
 	}
 }

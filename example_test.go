@@ -3,12 +3,16 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"math/rand/v2"
+	"os"
 
 	"repro/internal/aligncache"
 	"repro/internal/alignsvc"
 	"repro/internal/bpbc"
+	"repro/internal/corpus"
 	"repro/internal/dna"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 )
 
 // Example_bulkScores scores a small batch on the CPU BPBC engine: every pair
@@ -63,4 +67,50 @@ func Example_alignService() {
 	// Output:
 	// run 1: scores=[13 6] cache hits=0
 	// run 2: scores=[13 6] cache hits=2
+}
+
+// Example_corpusSearch builds a small on-disk corpus index with two
+// planted copies of a query and runs a ranked top-K search against it.
+// The k-mer prefilter narrows the corpus to a handful of candidates
+// before any Smith-Waterman cell is computed; the stats funnel shows how
+// much scoring the index avoided.
+func Example_corpusSearch() {
+	dir, err := os.MkdirTemp("", "corpus-example-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	rng := rand.New(rand.NewPCG(7, 3))
+	query := dna.RandSeq(rng, 48)
+	recs := make([]dna.Record, 50)
+	for i := range recs {
+		seq := dna.RandSeq(rng, 64)
+		if i == 12 || i == 31 { // plant two exact copies of the query
+			copy(seq[8:], query)
+		}
+		recs[i] = dna.Record{Name: fmt.Sprintf("seq-%02d", i), Seq: seq}
+	}
+	c, err := corpus.Build(dir, recs, corpus.IndexOptions{})
+	if err != nil {
+		panic(err)
+	}
+
+	be, err := alignsvc.NewBackend(alignsvc.BackendStriped, pipeline.Config{}, 0)
+	if err != nil {
+		panic(err)
+	}
+	s := corpus.NewSearcher(c, be, nil)
+	res, err := s.Search(context.Background(), query, corpus.Params{TopK: 3})
+	if err != nil {
+		panic(err)
+	}
+	for i, h := range res.Hits {
+		fmt.Printf("%d. %s score=%d\n", i+1, h.Name, h.Score)
+	}
+	fmt.Printf("scored %d of %d sequences\n", res.Stats.Candidates, res.Stats.Seqs)
+	// Output:
+	// 1. seq-12 score=96
+	// 2. seq-31 score=96
+	// scored 2 of 50 sequences
 }

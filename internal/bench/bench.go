@@ -140,6 +140,10 @@ type File struct {
 	// standalone execution backends (swabench -backends). All of its
 	// numbers live on the host (wall) clock.
 	Backends []BackendSection `json:"backends,omitempty"`
+	// Search is present when the corpus-search selectivity sweep was
+	// additionally run (swabench -search). All of its numbers live on
+	// the host (wall) clock.
+	Search *SearchSection `json:"search,omitempty"`
 	// SpeedupStripedVsBitwiseSim is the striped backend's aggregate wall
 	// GCUPS over bitwise-sim's, when both sections are present. This is the
 	// headline wall-clock win of the native engine over simulating the
@@ -487,6 +491,11 @@ func (f *File) Validate() error {
 	}
 	if f.Cluster != nil {
 		if err := f.Cluster.validate(); err != nil {
+			return err
+		}
+	}
+	if f.Search != nil {
+		if err := f.Search.validate(); err != nil {
 			return err
 		}
 	}

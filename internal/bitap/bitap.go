@@ -132,6 +132,46 @@ func MyersSearch(x, y dna.Seq, k int) ([]MyersHit, error) {
 	return hits, nil
 }
 
+// MyersMinDistance returns the minimum semi-global edit distance between
+// X and any substring of Y — min over j of MyersDistances(x, y)[j] —
+// without materialising the per-position slice. The corpus prefilter uses
+// it to refine k-mer candidates: one O(n) bit-parallel pass per candidate
+// decides whether the quadratic Smith-Waterman pass is worth running.
+// An empty Y has no substring ending anywhere, so the distance is len(x)
+// (delete everything), matching the DP's first column.
+func MyersMinDistance(x, y dna.Seq) (int, error) {
+	b, err := masks(x)
+	if err != nil {
+		return 0, err
+	}
+	m := len(x)
+	high := uint64(1) << uint(m-1)
+	pv := ^uint64(0)
+	mv := uint64(0)
+	score := m
+	best := m
+	for _, c := range y {
+		eq := b[c&3]
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&high != 0 {
+			score++
+		} else if mh&high != 0 {
+			score--
+		}
+		ph <<= 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+		if score < best {
+			best = score
+		}
+	}
+	return best, nil
+}
+
 // EditDistancesRef is the quadratic reference for MyersDistances: the
 // semi-global edit-distance DP (first row free), used by tests.
 func EditDistancesRef(x, y dna.Seq) []int {

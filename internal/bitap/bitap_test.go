@@ -186,3 +186,41 @@ func BenchmarkMyers(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)*64*4096/b.Elapsed().Seconds()/1e9, "Gcells/s")
 }
+
+func TestMyersMinDistanceMatchesFullScan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 200; trial++ {
+		x := dna.RandSeq(rng, 1+rng.IntN(64))
+		y := dna.RandSeq(rng, rng.IntN(200))
+		got, err := MyersMinDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := len(x)
+		for _, d := range EditDistancesRef(x, y) {
+			if d < want {
+				want = d
+			}
+		}
+		if got != want {
+			t.Fatalf("trial %d: MyersMinDistance = %d, want %d (m=%d n=%d)",
+				trial, got, want, len(x), len(y))
+		}
+	}
+}
+
+func TestMyersMinDistanceEdges(t *testing.T) {
+	if _, err := MyersMinDistance(nil, dna.MustParse("ACGT")); err == nil {
+		t.Error("empty pattern: want error")
+	}
+	if _, err := MyersMinDistance(dna.RandSeq(rand.New(rand.NewPCG(8, 8)), 65), nil); err == nil {
+		t.Error("pattern over 64: want error")
+	}
+	d, err := MyersMinDistance(dna.MustParse("ACGT"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 4 {
+		t.Errorf("empty text: distance %d, want 4", d)
+	}
+}

@@ -1,0 +1,405 @@
+package corpus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/alignsvc"
+	"repro/internal/dna"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/swa"
+)
+
+// buildSmall builds a deterministic little corpus for round-trip tests.
+func buildSmall(t *testing.T, dir string, n int, opts IndexOptions) *Corpus {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(1, 2))
+	recs := make([]dna.Record, n)
+	for i := range recs {
+		recs[i] = dna.Record{Name: fmt.Sprintf("seq-%04d", i), Seq: dna.RandSeq(rng, 20+rng.IntN(200))}
+	}
+	c, err := Build(dir, recs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	built := buildSmall(t, dir, 200, IndexOptions{})
+	opened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.Len() != built.Len() || opened.K() != built.K() {
+		t.Fatalf("opened len=%d k=%d, built len=%d k=%d", opened.Len(), opened.K(), built.Len(), built.K())
+	}
+	if opened.Fingerprint() != built.Fingerprint() {
+		t.Fatalf("fingerprint %s != %s", opened.Fingerprint(), built.Fingerprint())
+	}
+	if opened.TotalBases() != built.TotalBases() {
+		t.Fatalf("total bases %d != %d", opened.TotalBases(), built.TotalBases())
+	}
+	for id := 0; id < built.Len(); id++ {
+		if opened.Name(id) != built.Name(id) || !opened.Seq(id).Equal(built.Seq(id)) {
+			t.Fatalf("sequence %d differs after reopen", id)
+		}
+	}
+	if !reflect.DeepEqual(opened.postings, built.postings) {
+		t.Fatal("posting lists differ after reopen")
+	}
+}
+
+func TestBuilderRejects(t *testing.T) {
+	if _, err := NewBuilder(t.TempDir(), IndexOptions{K: 1}); err == nil {
+		t.Error("k=1: want error")
+	}
+	if _, err := NewBuilder(t.TempDir(), IndexOptions{K: 11}); err == nil {
+		t.Error("k=11: want error")
+	}
+	dir := t.TempDir()
+	b, err := NewBuilder(dir, IndexOptions{MaxSeqLen: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add("long", dna.RandSeq(rand.New(rand.NewPCG(3, 3)), 9)); err == nil {
+		t.Error("over MaxSeqLen: want error")
+	}
+	if _, err := b.Commit(); err == nil {
+		t.Error("commit after sticky error: want error")
+	}
+	b2, _ := NewBuilder(t.TempDir(), IndexOptions{})
+	if _, err := b2.Commit(); err == nil {
+		t.Error("empty commit: want error")
+	}
+	buildSmall(t, dir+"/idx", 3, IndexOptions{})
+	if _, err := NewBuilder(dir+"/idx", IndexOptions{}); err == nil {
+		t.Error("rebuilding over an existing index: want error")
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	flip := func(t *testing.T, path string, off int) {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off < 0 {
+			off = len(raw) + off
+		}
+		raw[off] ^= 0x01
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name   string
+		damage func(t *testing.T, dir string)
+	}{
+		{"postings-bitflip", func(t *testing.T, dir string) { flip(t, filepath.Join(dir, "postings.log"), 40) }},
+		{"segment-bitflip", func(t *testing.T, dir string) {
+			segs, _ := filepath.Glob(filepath.Join(dir, "seqs-*.log"))
+			if len(segs) == 0 {
+				t.Fatal("no segments")
+			}
+			flip(t, segs[0], 30)
+		}},
+		{"manifest-fingerprint", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, "manifest.json")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip one hex digit of the fingerprint value.
+			i := len(raw) - 1
+			for ; i > 0; i-- {
+				if raw[i] == '"' {
+					break
+				}
+			}
+			raw[i-1] = '0' + ('9' - raw[i-1]) // deterministic different digit
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"torn-segment", func(t *testing.T, dir string) {
+			segs, _ := filepath.Glob(filepath.Join(dir, "seqs-*.log"))
+			st, err := os.Stat(segs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(segs[0], st.Size()-3); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			buildSmall(t, dir, 50, IndexOptions{})
+			tc.damage(t, dir)
+			if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Open after damage: err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestOpenMissingManifest(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("open of empty dir: want error")
+	}
+}
+
+func TestTopKHeapMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.IntN(200)
+		k := 1 + rng.IntN(20)
+		all := make([]Hit, n)
+		heap := newTopK(k)
+		for i := range all {
+			all[i] = Hit{ID: i, Score: rng.IntN(30)} // dense scores force ties
+			heap.push(all[i])
+		}
+		want := RankHits(all, k)
+		if got := heap.ranked(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: heap %v, sort %v", trial, got, want)
+		}
+	}
+}
+
+func TestPrefilterBypasses(t *testing.T) {
+	c := buildSmall(t, t.TempDir(), 30, IndexOptions{})
+	short := c.Prefilter(dna.MustParse("ACG"), Params{}) // shorter than k=6
+	if short.Prefiltered || len(short.IDs) != c.Len() {
+		t.Errorf("short query: %+v, want full bypass", short)
+	}
+	off := c.Prefilter(dna.RandSeq(rand.New(rand.NewPCG(4, 4)), 40), Params{MinKmerHits: -1})
+	if off.Prefiltered || len(off.IDs) != c.Len() {
+		t.Errorf("disabled prefilter: %+v, want full bypass", off)
+	}
+}
+
+// stripedSearcher builds a Searcher on the exact striped backend.
+func stripedSearcher(t *testing.T, c *Corpus, reg *obs.Registry) *Searcher {
+	t.Helper()
+	be, err := alignsvc.NewBackend(alignsvc.BackendStriped, pipeline.Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSearcher(c, be, reg)
+}
+
+// TestSearchOracle100k is the acceptance oracle: over a ≥100k-sequence
+// synthetic corpus with planted homologs, the prefiltered top-K must be
+// identical to brute-force SW over every sequence, and the prefilter
+// must pass under 20% of the corpus at the default k.
+func TestSearchOracle100k(t *testing.T) {
+	const (
+		seqs   = 100_000
+		seqLen = 128
+		qLen   = 64
+		plants = 40
+		topK   = 10
+	)
+	rng := rand.New(rand.NewPCG(42, 7))
+	q := dna.RandSeq(rng, qLen)
+	mut := dna.MutationModel{SubRate: 0.05, InsRate: 0.01, DelRate: 0.01}
+
+	b, err := NewBuilder(t.TempDir(), IndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plantAt := map[int]bool{}
+	for len(plantAt) < plants {
+		plantAt[rng.IntN(seqs)] = true
+	}
+	for i := 0; i < seqs; i++ {
+		y := dna.RandSeq(rng, seqLen)
+		if plantAt[i] {
+			cp := mut.Mutate(rng, q)
+			if len(cp) > seqLen {
+				cp = cp[:seqLen]
+			}
+			copy(y[rng.IntN(seqLen-len(cp)+1):], cp)
+		}
+		if err := b.Add(fmt.Sprintf("ref-%06d", i), y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stripedSearcher(t, c, obs.NewRegistry())
+	ctx := context.Background()
+
+	brute, err := s.Search(ctx, q, Params{TopK: topK, MinKmerHits: -1, MaxEdits: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brute.Stats.Candidates != seqs || brute.Stats.Prefiltered {
+		t.Fatalf("brute-force stats: %+v, want full scan", brute.Stats)
+	}
+	filtered, err := s.Search(ctx, q, Params{TopK: topK})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(filtered.Hits, brute.Hits) {
+		t.Errorf("prefiltered top-%d differs from brute force:\n  filtered: %v\n  brute:    %v",
+			topK, filtered.Hits, brute.Hits)
+	}
+	st := filtered.Stats
+	if !st.Prefiltered || st.Candidates == 0 {
+		t.Fatalf("prefilter did not engage: %+v", st)
+	}
+	if st.PassRate >= 0.20 {
+		t.Errorf("prefilter pass rate %.3f, want < 0.20", st.PassRate)
+	}
+	if st.Cells >= st.BruteCells {
+		t.Errorf("prefilter saved nothing: cells %d, brute %d", st.Cells, st.BruteCells)
+	}
+	if st.Scores.N != st.Candidates {
+		t.Errorf("score summary over %d samples, want %d", st.Scores.N, st.Candidates)
+	}
+
+	// Independent score check: every reported hit re-scored by the
+	// scalar reference.
+	for _, h := range filtered.Hits {
+		if want := swa.Score(q, c.Seq(h.ID), swa.PaperScoring); h.Score != want {
+			t.Errorf("hit %d (%s): score %d, want %d", h.ID, h.Name, h.Score, want)
+		}
+	}
+	// The plants dominate the ranking by construction.
+	for _, h := range filtered.Hits {
+		if !plantAt[h.ID] {
+			t.Errorf("hit %d is not a planted homolog (score %d)", h.ID, h.Score)
+		}
+	}
+}
+
+// TestChunkedMergeMatchesSearch proves the per-chunk top-K merge used by
+// search jobs reproduces an uninterrupted search exactly.
+func TestChunkedMergeMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	b, err := NewBuilder(t.TempDir(), IndexOptions{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dna.RandSeq(rng, 48)
+	mut := dna.MutationModel{SubRate: 0.08, InsRate: 0.02, DelRate: 0.02}
+	for i := 0; i < 3000; i++ {
+		y := dna.RandSeq(rng, 100)
+		if i%150 == 0 {
+			cp := mut.Mutate(rng, q)
+			if len(cp) > 100 {
+				cp = cp[:100]
+			}
+			copy(y[rng.IntN(100-len(cp)+1):], cp)
+		}
+		if err := b.Add(fmt.Sprintf("m-%04d", i), y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stripedSearcher(t, c, nil)
+	ctx := context.Background()
+	p := Params{TopK: 7}
+	full, err := s.Search(ctx, q, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := c.Prefilter(q, p)
+	for _, chunk := range []int{1, 64, 257, 3000, 5000} {
+		var union []Hit
+		for lo := 0; lo < c.Len(); lo += chunk {
+			hits, _, err := s.ScoreRange(ctx, q, cand.IDs, lo, min(lo+chunk, c.Len()), p.TopK)
+			if err != nil {
+				t.Fatal(err)
+			}
+			union = append(union, hits...)
+		}
+		if got := RankHits(union, p.TopK); !reflect.DeepEqual(got, full.Hits) {
+			t.Errorf("chunk size %d: merged %v, full %v", chunk, got, full.Hits)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	c := buildSmall(t, t.TempDir(), 10, IndexOptions{})
+	s := stripedSearcher(t, c, nil)
+	r := NewRegistry()
+	if err := r.Add("", c, s); err == nil {
+		t.Error("empty mount name: want error")
+	}
+	if err := r.Add("ref", c, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("ref", c, s); err == nil {
+		t.Error("duplicate mount: want error")
+	}
+	if err := r.Add("other", c, s); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := r.Get("ref")
+	if !ok || h.Corpus != c || h.Searcher != s || h.Name != "ref" {
+		t.Fatalf("Get: %+v ok=%v", h, ok)
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Error("Get of unknown mount succeeded")
+	}
+	want := []string{"other", "ref"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) || r.Len() != 2 {
+		t.Errorf("Names() = %v len=%d, want %v len=2", got, r.Len(), want)
+	}
+	if !sort.StringsAreSorted(r.Names()) {
+		t.Error("Names() not sorted")
+	}
+}
+
+func TestEncodeDecodeIDs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.IntN(100)
+		ids := make([]int32, 0, n)
+		next := int32(0)
+		for len(ids) < n {
+			next += int32(1 + rng.IntN(50))
+			ids = append(ids, next)
+		}
+		if trial%3 == 0 && len(ids) > 0 {
+			ids[0] = 0 // exercise the first-ID-zero path
+		}
+		got, err := decodeIDs(encodeIDs(ids), 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("empty round-trip returned %v", got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, ids) {
+			t.Fatalf("round-trip %v != %v", got, ids)
+		}
+	}
+	if _, err := decodeIDs(encodeIDs([]int32{5, 9}), 8); !errors.Is(err, ErrCorrupt) {
+		t.Error("out-of-range ID: want ErrCorrupt")
+	}
+}

@@ -1,0 +1,71 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Handle is one mounted corpus: the opened index plus the searcher that
+// serves queries against it.
+type Handle struct {
+	// Name is the mount name clients address the corpus by.
+	Name string
+	// Corpus is the opened index.
+	Corpus *Corpus
+	// Searcher answers queries (corpus + backend + metrics).
+	Searcher *Searcher
+}
+
+// Registry maps mount names to corpora, shared by the /search route,
+// the search job runner and /statsz. Safe for concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*Handle
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*Handle)}
+}
+
+// Add mounts a corpus under name. Duplicate names fail.
+func (r *Registry) Add(name string, c *Corpus, s *Searcher) error {
+	if name == "" {
+		return fmt.Errorf("corpus: registry needs a non-empty mount name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[name]; dup {
+		return fmt.Errorf("corpus: %q already mounted", name)
+	}
+	r.m[name] = &Handle{Name: name, Corpus: c, Searcher: s}
+	return nil
+}
+
+// Get looks a mounted corpus up by name.
+func (r *Registry) Get(name string) (*Handle, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.m[name]
+	return h, ok
+}
+
+// Names lists the mounted corpus names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len is the number of mounted corpora.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}

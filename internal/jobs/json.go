@@ -20,9 +20,12 @@ type Snapshot struct {
 	ID         string
 	Key        string // idempotency key, "" when none was sent
 	Tenant     string // owning tenant ID ("" = anonymous)
+	Kind       string // "" = alignment, "search" = corpus search
+	Corpus     string // search jobs: corpus mount name
+	TopK       int    // search jobs: requested hit count
 	State      jobstore.State
 	Error      string // failure message for failed jobs
-	Pairs      int    // batch size
+	Pairs      int    // batch size (alignment) or corpus size (search)
 	ChunkSize  int
 	Chunks     int // total chunks
 	ChunksDone int // checkpointed chunks
@@ -39,10 +42,11 @@ func (m *Manager) snapshot(j *jobstore.Job) Snapshot {
 	if i := strings.IndexByte(key, 0); i >= 0 {
 		key = key[i+1:]
 	}
-	return Snapshot{
+	s := Snapshot{
 		ID:         j.ID,
 		Key:        key,
 		Tenant:     j.Tenant,
+		Kind:       j.Kind,
 		State:      j.State,
 		Error:      j.Error,
 		Pairs:      len(j.Pairs),
@@ -53,12 +57,21 @@ func (m *Manager) snapshot(j *jobstore.Job) Snapshot {
 		Updated:    j.Updated,
 		Elapsed:    j.Updated.Sub(j.Created),
 	}
+	if j.Kind == jobstore.KindSearch {
+		s.Corpus = j.Search.Corpus
+		s.TopK = j.Search.TopK
+		s.Pairs = j.Search.SeqCount
+	}
+	return s
 }
 
 type snapshotJSON struct {
 	ID            string         `json:"id"`
 	Key           string         `json:"idempotency_key,omitempty"`
 	Tenant        string         `json:"tenant,omitempty"`
+	Kind          string         `json:"kind,omitempty"`
+	Corpus        string         `json:"corpus,omitempty"`
+	TopK          int            `json:"top_k,omitempty"`
 	State         jobstore.State `json:"state"`
 	Error         string         `json:"error,omitempty"`
 	Pairs         int            `json:"pairs"`
@@ -76,6 +89,9 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 		ID:            s.ID,
 		Key:           s.Key,
 		Tenant:        s.Tenant,
+		Kind:          s.Kind,
+		Corpus:        s.Corpus,
+		TopK:          s.TopK,
 		State:         s.State,
 		Error:         s.Error,
 		Pairs:         s.Pairs,
@@ -99,6 +115,9 @@ func (s *Snapshot) UnmarshalJSON(b []byte) error {
 		ID:         in.ID,
 		Key:        in.Key,
 		Tenant:     in.Tenant,
+		Kind:       in.Kind,
+		Corpus:     in.Corpus,
+		TopK:       in.TopK,
 		State:      in.State,
 		Error:      in.Error,
 		Pairs:      in.Pairs,

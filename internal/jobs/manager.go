@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/alignsvc"
+	"repro/internal/corpus"
 	"repro/internal/dna"
 	"repro/internal/jobstore"
 	"repro/internal/obs"
@@ -60,6 +61,12 @@ type Config struct {
 	// ChunkSize is the number of pairs per chunk — the checkpoint (and
 	// resume) granularity (default 64).
 	ChunkSize int
+	// Corpora, when set, enables kind:"search" jobs against its mounted
+	// corpora (see SubmitSearchFor). Nil rejects search submissions.
+	Corpora *corpus.Registry
+	// SearchChunkSize is the number of corpus sequence IDs per search-job
+	// chunk — the search checkpoint granularity (default 4096).
+	SearchChunkSize int
 	// MaxConcurrent bounds how many jobs execute at once (default 2).
 	// MaxQueued bounds how many more may wait in FIFO order (default 64);
 	// beyond that Submit fails fast with ErrQueueFull.
@@ -93,6 +100,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.ChunkSize <= 0 {
 		c.ChunkSize = 64
+	}
+	if c.SearchChunkSize <= 0 {
+		c.SearchChunkSize = 4096
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 2
@@ -259,6 +269,9 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.Service.CacheEnabled() {
 		warmed := 0
 		for _, j := range m.store.List() {
+			if j.Kind != "" {
+				continue // search checkpoints hold hits, not pair scores
+			}
 			for c, scores := range j.Chunks {
 				lo, hi := j.ChunkBounds(c)
 				pairs, err := parsePairs(j.Pairs[lo:hi])
@@ -609,6 +622,11 @@ func (m *Manager) runJob(id string) {
 		if m.cfg.Traces != nil {
 			m.cfg.Traces.Add(tr)
 		}
+	}
+
+	if j.Kind == jobstore.KindSearch {
+		m.runSearchJob(ctx, id, j, tr, finish, endJob)
+		return
 	}
 
 	chunkLat := m.obs.Histogram("jobs_chunk_seconds", obs.LatencyBuckets)

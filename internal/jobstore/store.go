@@ -94,40 +94,61 @@ func validTransition(from, to State) bool {
 	return false
 }
 
-// Job is the durable view of one async alignment job, rebuilt from the WAL
-// on every open. Chunks holds the checkpointed scores by chunk index.
+// Job is the durable view of one async job, rebuilt from the WAL on
+// every open. Alignment jobs (Kind "") carry Pairs and checkpoint scores
+// into Chunks; search jobs (KindSearch) carry a SearchSpec and
+// checkpoint per-chunk top-K hits into SearchChunks.
 type Job struct {
 	ID        string
 	Key       string // idempotency key ("" when the client sent none)
 	Tenant    string // owning tenant ID ("" = the anonymous tenant)
+	Kind      string // "" = alignment, KindSearch = corpus search
 	State     State
 	Error     string // failure message for StateFailed
 	ChunkSize int
 	Pairs     []PairData
+	Search    *SearchSpec
 	Chunks    map[int][]int
-	SubmitSeq uint64    // WAL sequence of the submit record: FIFO order
-	Created   time.Time // submit record timestamp
-	Updated   time.Time // timestamp of the job's latest record
+	// SearchChunks holds the checkpointed per-chunk top-K hits of a
+	// search job by chunk index (present-but-empty is a legitimate
+	// checkpoint: no candidate fell in the chunk's ID range).
+	SearchChunks map[int][]HitData
+	SubmitSeq    uint64    // WAL sequence of the submit record: FIFO order
+	Created      time.Time // submit record timestamp
+	Updated      time.Time // timestamp of the job's latest record
 }
 
-// NumChunks is how many chunks the job's batch splits into.
+// units is how many items the job chunks over: pairs for alignment,
+// corpus sequences for search.
+func (j *Job) units() int {
+	if j.Kind == KindSearch {
+		return j.Search.SeqCount
+	}
+	return len(j.Pairs)
+}
+
+// NumChunks is how many chunks the job splits into.
 func (j *Job) NumChunks() int {
-	return (len(j.Pairs) + j.ChunkSize - 1) / j.ChunkSize
+	return (j.units() + j.ChunkSize - 1) / j.ChunkSize
 }
 
-// ChunkBounds returns the [lo, hi) pair range of chunk idx.
+// ChunkBounds returns the [lo, hi) item range of chunk idx: pair indices
+// for alignment jobs, corpus sequence IDs for search jobs.
 func (j *Job) ChunkBounds(idx int) (lo, hi int) {
 	lo = idx * j.ChunkSize
-	hi = min(lo+j.ChunkSize, len(j.Pairs))
+	hi = min(lo+j.ChunkSize, j.units())
 	return lo, hi
 }
 
-// ChunksDone counts checkpointed chunks.
-func (j *Job) ChunksDone() int { return len(j.Chunks) }
+// ChunksDone counts checkpointed chunks of either kind.
+func (j *Job) ChunksDone() int { return len(j.Chunks) + len(j.SearchChunks) }
 
-// Scores assembles the final score slice from the chunk checkpoints,
-// failing if any chunk is missing or misshapen.
+// Scores assembles an alignment job's final score slice from the chunk
+// checkpoints, failing if any chunk is missing or misshapen.
 func (j *Job) Scores() ([]int, error) {
+	if j.Kind == KindSearch {
+		return nil, fmt.Errorf("%w: job %s is a search job", ErrWrongKind, j.ID)
+	}
 	out := make([]int, 0, len(j.Pairs))
 	for c := 0; c < j.NumChunks(); c++ {
 		lo, hi := j.ChunkBounds(c)
@@ -144,13 +165,45 @@ func (j *Job) Scores() ([]int, error) {
 	return out, nil
 }
 
-// clone snapshots the job for readers. Pairs and chunk score slices are
-// shared (append-only once written), the chunk map is copied.
+// SearchHits merges a search job's per-chunk checkpoints into the final
+// ranked top-K (score descending, then ID ascending — the same total
+// order the searcher uses, so the merge is byte-identical to an
+// uninterrupted search). Fails if any chunk is missing.
+func (j *Job) SearchHits() ([]HitData, error) {
+	if j.Kind != KindSearch {
+		return nil, fmt.Errorf("%w: job %s is an alignment job", ErrWrongKind, j.ID)
+	}
+	var union []HitData
+	for c := 0; c < j.NumChunks(); c++ {
+		hits, ok := j.SearchChunks[c]
+		if !ok {
+			return nil, fmt.Errorf("jobstore: job %s: chunk %d not checkpointed", j.ID, c)
+		}
+		union = append(union, hits...)
+	}
+	sort.Slice(union, func(a, b int) bool {
+		if union[a].Score != union[b].Score {
+			return union[a].Score > union[b].Score
+		}
+		return union[a].ID < union[b].ID
+	})
+	if len(union) > j.Search.TopK {
+		union = union[:j.Search.TopK]
+	}
+	return union, nil
+}
+
+// clone snapshots the job for readers. Pairs and per-chunk slices are
+// shared (append-only once written), the chunk maps are copied.
 func (j *Job) clone() *Job {
 	c := *j
 	c.Chunks = make(map[int][]int, len(j.Chunks))
 	for k, v := range j.Chunks {
 		c.Chunks[k] = v
+	}
+	c.SearchChunks = make(map[int][]HitData, len(j.SearchChunks))
+	for k, v := range j.SearchChunks {
+		c.SearchChunks[k] = v
 	}
 	return &c
 }
@@ -165,6 +218,10 @@ var (
 	// ErrDuplicateChunk is returned when a chunk index is checkpointed
 	// twice — the signature of duplicate chunk execution.
 	ErrDuplicateChunk = errors.New("jobstore: chunk already checkpointed")
+	// ErrWrongKind is returned when a kind-specific accessor or
+	// checkpoint is used on a job of the other kind (e.g. Scores on a
+	// search job).
+	ErrWrongKind = errors.New("jobstore: wrong job kind")
 )
 
 // Options configures Open.
@@ -310,16 +367,19 @@ func (s *Store) apply(rec Record) {
 	case RecSubmit:
 		sub := rec.Submit
 		j := &Job{
-			ID:        sub.ID,
-			Key:       sub.Key,
-			Tenant:    sub.Tenant,
-			State:     StateQueued,
-			ChunkSize: sub.ChunkSize,
-			Pairs:     sub.Pairs,
-			Chunks:    make(map[int][]int),
-			SubmitSeq: rec.Seq,
-			Created:   t,
-			Updated:   t,
+			ID:           sub.ID,
+			Key:          sub.Key,
+			Tenant:       sub.Tenant,
+			Kind:         sub.Kind,
+			State:        StateQueued,
+			ChunkSize:    sub.ChunkSize,
+			Pairs:        sub.Pairs,
+			Search:       sub.Search,
+			Chunks:       make(map[int][]int),
+			SearchChunks: make(map[int][]HitData),
+			SubmitSeq:    rec.Seq,
+			Created:      t,
+			Updated:      t,
 		}
 		s.jobs[sub.ID] = j
 		if sub.Key != "" {
@@ -333,7 +393,15 @@ func (s *Store) apply(rec Record) {
 		}
 	case RecChunk:
 		if j, ok := s.jobs[rec.Chunk.ID]; ok {
-			j.Chunks[rec.Chunk.Index] = rec.Chunk.Scores
+			if rec.Chunk.Search {
+				hits := rec.Chunk.Hits
+				if hits == nil {
+					hits = []HitData{}
+				}
+				j.SearchChunks[rec.Chunk.Index] = hits
+			} else {
+				j.Chunks[rec.Chunk.Index] = rec.Chunk.Scores
+			}
 			j.Updated = t
 		}
 	case RecDrop:
@@ -389,6 +457,31 @@ func (s *Store) SubmitOwned(id, key, tenant string, chunkSize int, pairs []PairD
 	return s.jobs[id].clone(), nil
 }
 
+// SubmitSearch persists a new corpus-search job in StateQueued. The spec
+// must arrive fully resolved (positive TopK and SeqCount, corpus name,
+// fingerprint and query set) so a replayed job re-derives the exact same
+// candidate set; ChunkSize divides the corpus sequence-ID space.
+func (s *Store) SubmitSearch(id, key, tenant string, chunkSize int, spec SearchSpec) (*Job, error) {
+	if id == "" || chunkSize <= 0 {
+		return nil, fmt.Errorf("jobstore: search submit needs id and positive chunk size")
+	}
+	if spec.Corpus == "" || spec.Query == "" || spec.SeqCount <= 0 || spec.TopK <= 0 {
+		return nil, fmt.Errorf("jobstore: search submit needs corpus, query, positive seq count and top-k")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.jobs[id]; exists {
+		return nil, fmt.Errorf("jobstore: job %s already exists", id)
+	}
+	sp := spec
+	err := s.appendLocked(Record{Type: RecSubmit,
+		Submit: &SubmitRecord{ID: id, Key: key, Tenant: tenant, Kind: KindSearch, ChunkSize: chunkSize, Search: &sp}})
+	if err != nil {
+		return nil, err
+	}
+	return s.jobs[id].clone(), nil
+}
+
 // SetState transitions a job, returning its previous state (for callers
 // maintaining per-state gauges). Invalid transitions — including any write
 // to a terminal job — fail with ErrBadTransition.
@@ -418,6 +511,9 @@ func (s *Store) AddChunk(id string, idx int, scores []int) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
+	if j.Kind != "" {
+		return fmt.Errorf("%w: job %s is a %s job", ErrWrongKind, id, j.Kind)
+	}
 	if j.State != StateRunning {
 		return fmt.Errorf("%w: %s: chunk checkpoint in state %s", ErrBadTransition, id, j.State)
 	}
@@ -433,6 +529,36 @@ func (s *Store) AddChunk(id string, idx int, scores []int) error {
 	}
 	return s.appendLocked(Record{Type: RecChunk,
 		Chunk: &ChunkRecord{ID: id, Index: idx, Scores: scores}})
+}
+
+// AddSearchChunk checkpoints chunk idx of a running search job with the
+// chunk's top-K hits (possibly empty). Like AddChunk, checkpointing the
+// same index twice fails with ErrDuplicateChunk — re-executing a
+// checkpointed chunk is a bug, and the log is the proof.
+func (s *Store) AddSearchChunk(id string, idx int, hits []HitData) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if j.Kind != KindSearch {
+		return fmt.Errorf("%w: job %s is an alignment job", ErrWrongKind, id)
+	}
+	if j.State != StateRunning {
+		return fmt.Errorf("%w: %s: chunk checkpoint in state %s", ErrBadTransition, id, j.State)
+	}
+	if idx < 0 || idx >= j.NumChunks() {
+		return fmt.Errorf("jobstore: job %s: chunk index %d out of range [0,%d)", id, idx, j.NumChunks())
+	}
+	if _, dup := j.SearchChunks[idx]; dup {
+		return fmt.Errorf("%w: job %s chunk %d", ErrDuplicateChunk, id, idx)
+	}
+	if len(hits) > j.Search.TopK {
+		return fmt.Errorf("jobstore: job %s: chunk %d got %d hits, top-k is %d", id, idx, len(hits), j.Search.TopK)
+	}
+	return s.appendLocked(Record{Type: RecChunk,
+		Chunk: &ChunkRecord{ID: id, Index: idx, Search: true, Hits: hits}})
 }
 
 // Drop garbage-collects a terminal job.

@@ -8,10 +8,12 @@
 //
 // where the CRC-32 (IEEE) covers exactly the payload bytes. Records carry a
 // strictly increasing sequence number, a timestamp, and one of four typed
-// payloads: a job submission (id, idempotency key, chunk size, pairs), a
-// state transition (queued → running → done/failed/cancelled, plus the
-// running → queued requeue used by drain), a chunk checkpoint (chunk index +
-// scores), or a drop (TTL garbage collection of a terminal job).
+// payloads: a job submission (id, idempotency key, chunk size, and either
+// the alignment pairs or a corpus-search spec), a state transition
+// (queued → running → done/failed/cancelled, plus the running → queued
+// requeue used by drain), a chunk checkpoint (chunk index + scores, or
+// per-chunk top-K hits for search jobs), or a drop (TTL garbage collection
+// of a terminal job).
 //
 // Replay tolerates crashes at any byte: a torn or corrupt tail is truncated
 // back to the last whole record (never a panic, always a typed
@@ -56,15 +58,48 @@ type PairData struct {
 	Y string `json:"y"`
 }
 
+// KindSearch marks a corpus-search job. The zero kind ("") is an
+// alignment job, so logs written before search jobs existed replay
+// unchanged.
+const KindSearch = "search"
+
+// SearchSpec is the durable description of a corpus-search job: the
+// corpus it runs against (pinned by fingerprint, so a resume against a
+// rebuilt corpus fails instead of silently mixing result sets), the
+// query, and the fully resolved search parameters — defaults are
+// resolved before submit so a replayed job re-derives the exact same
+// candidate set.
+type SearchSpec struct {
+	Corpus      string `json:"corpus"`      // registry mount name
+	Fingerprint string `json:"fingerprint"` // corpus content fingerprint at submit
+	Query       string `json:"query"`       // ACGT query string
+	TopK        int    `json:"top_k"`
+	MinKmerHits int    `json:"min_kmer_hits"`
+	MaxEdits    int    `json:"max_edits"`
+	SeqCount    int    `json:"seq_count"` // corpus size at submit; chunking divides it
+}
+
+// HitData is one ranked hit in durable form (jobstore stays
+// stdlib-only; callers convert to/from corpus.Hit).
+type HitData struct {
+	ID    int    `json:"id"`
+	Name  string `json:"name,omitempty"`
+	Score int    `json:"score"`
+}
+
 // SubmitRecord introduces a job. Tenant is the owning tenant's ID; it is
 // omitempty so logs written before multi-tenancy replay unchanged (an
-// absent tenant means the anonymous tenant).
+// absent tenant means the anonymous tenant). Kind/Search are likewise
+// omitempty: absent means an alignment job, set means a search job
+// (which carries a SearchSpec instead of pairs).
 type SubmitRecord struct {
-	ID        string     `json:"id"`
-	Key       string     `json:"key,omitempty"` // idempotency key
-	Tenant    string     `json:"tenant,omitempty"`
-	ChunkSize int        `json:"chunk_size"`
-	Pairs     []PairData `json:"pairs"`
+	ID        string      `json:"id"`
+	Key       string      `json:"key,omitempty"` // idempotency key
+	Tenant    string      `json:"tenant,omitempty"`
+	Kind      string      `json:"kind,omitempty"`
+	ChunkSize int         `json:"chunk_size"`
+	Pairs     []PairData  `json:"pairs,omitempty"`
+	Search    *SearchSpec `json:"search,omitempty"`
 }
 
 // StateRecord transitions a job's state. Error is set for StateFailed.
@@ -74,11 +109,17 @@ type StateRecord struct {
 	Error string `json:"error,omitempty"`
 }
 
-// ChunkRecord checkpoints chunk Index of job ID with its exact scores.
+// ChunkRecord checkpoints chunk Index of job ID. Alignment chunks carry
+// the chunk's exact scores; search chunks set Search and carry the
+// chunk's top-K hits instead — Hits may legitimately be empty (no
+// candidate in the chunk's ID range), which is why the Search flag
+// exists rather than inferring the kind from a non-empty Hits.
 type ChunkRecord struct {
-	ID     string `json:"id"`
-	Index  int    `json:"index"`
-	Scores []int  `json:"scores"`
+	ID     string    `json:"id"`
+	Index  int       `json:"index"`
+	Scores []int     `json:"scores,omitempty"`
+	Search bool      `json:"search,omitempty"`
+	Hits   []HitData `json:"hits,omitempty"`
 }
 
 // DropRecord removes a terminal job from the store.
@@ -178,8 +219,30 @@ func (r Record) validate() error {
 		if r.Submit == nil {
 			return errors.New("type submit without submit payload")
 		}
-		if r.Submit.ID == "" || r.Submit.ChunkSize <= 0 || len(r.Submit.Pairs) == 0 {
-			return errors.New("submit payload missing id, chunk size or pairs")
+		if r.Submit.ID == "" || r.Submit.ChunkSize <= 0 {
+			return errors.New("submit payload missing id or chunk size")
+		}
+		switch r.Submit.Kind {
+		case "":
+			if len(r.Submit.Pairs) == 0 {
+				return errors.New("submit payload missing pairs")
+			}
+			if r.Submit.Search != nil {
+				return errors.New("alignment submit carrying a search spec")
+			}
+		case KindSearch:
+			sp := r.Submit.Search
+			if sp == nil {
+				return errors.New("search submit without search spec")
+			}
+			if len(r.Submit.Pairs) != 0 {
+				return errors.New("search submit carrying pairs")
+			}
+			if sp.Corpus == "" || sp.Query == "" || sp.SeqCount <= 0 || sp.TopK <= 0 {
+				return errors.New("search spec missing corpus, query, seq count or top-k")
+			}
+		default:
+			return fmt.Errorf("unknown submit kind %q", r.Submit.Kind)
 		}
 	case RecState:
 		if r.State == nil {
@@ -192,8 +255,17 @@ func (r Record) validate() error {
 		if r.Chunk == nil {
 			return errors.New("type chunk without chunk payload")
 		}
-		if r.Chunk.ID == "" || r.Chunk.Index < 0 || len(r.Chunk.Scores) == 0 {
-			return errors.New("chunk payload missing id, index or scores")
+		if r.Chunk.ID == "" || r.Chunk.Index < 0 {
+			return errors.New("chunk payload missing id or index")
+		}
+		if r.Chunk.Search {
+			if len(r.Chunk.Scores) != 0 {
+				return errors.New("search chunk carrying scores")
+			}
+		} else if len(r.Chunk.Scores) == 0 {
+			return errors.New("chunk payload missing scores")
+		} else if len(r.Chunk.Hits) != 0 {
+			return errors.New("alignment chunk carrying hits")
 		}
 	case RecDrop:
 		if r.Drop == nil {

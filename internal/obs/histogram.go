@@ -21,6 +21,11 @@ var LatencyBuckets = []float64{
 // modelled GPU pipelines (tens to hundreds).
 var GCUPSBuckets = []float64{0.1, 0.5, 1, 5, 10, 25, 50, 100, 250, 500, 1000}
 
+// RatioBuckets are histogram bounds for observations confined to [0, 1] —
+// hit ratios, pass rates, utilisation fractions. The low end is finer
+// because that is where a selective prefilter should live.
+var RatioBuckets = []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1}
+
 // Histogram is a fixed-bucket histogram with atomic counts: Observe is one
 // atomic add per call (plus two for sum and count), with no locking.
 type Histogram struct {

@@ -18,8 +18,10 @@ import (
 	"strings"
 
 	"repro/internal/alignsvc"
+	"repro/internal/corpus"
 	"repro/internal/dna"
 	"repro/internal/jobs"
+	"repro/internal/jobstore"
 	"repro/internal/obs"
 )
 
@@ -32,21 +34,53 @@ const (
 	CodeConflict     = "state_conflict" // operation illegal in the job's current state
 )
 
-// JobSubmitRequest is the POST /jobs body. Either Pairs or Preset must be
-// set (same shapes and caps as /align). IdempotencyKey deduplicates
-// re-sent submissions per tenant; the Idempotency-Key header takes
-// precedence when both are present.
+// JobSubmitRequest is the POST /jobs body. With Kind empty (alignment)
+// either Pairs or Preset must be set (same shapes and caps as /align).
+// With Kind "search" the Corpus/Query/TopK/MinKmerHits/MaxEdits fields
+// describe a corpus search (same semantics as POST /search) and
+// Pairs/Preset must be absent. IdempotencyKey deduplicates re-sent
+// submissions per tenant; the Idempotency-Key header takes precedence
+// when both are present.
 type JobSubmitRequest struct {
 	Pairs          []PairJSON `json:"pairs,omitempty"`
 	Preset         string     `json:"preset,omitempty"`
 	N              int        `json:"n,omitempty"`
 	IdempotencyKey string     `json:"idempotency_key,omitempty"`
+
+	// Search-job fields (Kind "search").
+	Kind        string `json:"kind,omitempty"`
+	Corpus      string `json:"corpus,omitempty"`
+	Query       string `json:"query,omitempty"`
+	TopK        int    `json:"top_k,omitempty"`
+	MinKmerHits int    `json:"min_kmer_hits,omitempty"`
+	MaxEdits    int    `json:"max_edits,omitempty"`
 }
 
 // JobResultResponse is the GET /jobs/{id}/result success body.
 type JobResultResponse struct {
 	Job    jobs.Snapshot `json:"job"`
 	Scores []int         `json:"scores"`
+}
+
+// SearchJobResultResponse is the GET /jobs/{id}/result success body for
+// a search job: the merged ranked hits instead of raw scores.
+type SearchJobResultResponse struct {
+	Job  jobs.Snapshot `json:"job"`
+	Hits []corpus.Hit  `json:"hits"`
+}
+
+// jobSubmission is the parsed POST /jobs body, one of two kinds.
+type jobSubmission struct {
+	key string
+
+	// Alignment.
+	pairs []dna.Pair
+
+	// Search (search == true).
+	search bool
+	handle *corpus.Handle
+	query  dna.Seq
+	params corpus.Params
 }
 
 // handleJobs serves POST /jobs: resolve the tenant, validate, charge the
@@ -68,23 +102,39 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if t == nil {
 		return
 	}
-	pairs, key, status, code, err := s.parseJobRequest(w, r)
+	sub, status, code, err := s.parseJobRequest(w, r)
 	if err != nil {
 		s.rejected.Add(1)
 		s.writeError(w, r, status, code, err.Error())
 		return
 	}
 	// The same token buckets as /align guard the async door: a tenant
-	// cannot dodge its rate limits by submitting jobs instead.
+	// cannot dodge its rate limits by submitting jobs instead. Search
+	// jobs charge their post-prefilter candidate cells, like /search.
 	if ok, wait := t.AllowRequest(); !ok {
 		s.rejectRateLimited(w, r, t, wait, "request rate limit")
 		return
 	}
-	if ok, wait := t.AllowCells(float64(alignsvc.Cells(pairs))); !ok {
+	var cells float64
+	if sub.search {
+		cand := sub.handle.Corpus.Prefilter(sub.query, sub.params)
+		cells = float64(candidateCells(sub.handle.Corpus, len(sub.query), cand))
+	} else {
+		cells = float64(alignsvc.Cells(sub.pairs))
+	}
+	if ok, wait := t.AllowCells(cells); !ok {
 		s.rejectRateLimited(w, r, t, wait, "cell rate limit")
 		return
 	}
-	snap, created, err := s.cfg.Jobs.SubmitFor(pairs, key, t.ID)
+	var (
+		snap    jobs.Snapshot
+		created bool
+	)
+	if sub.search {
+		snap, created, err = s.cfg.Jobs.SubmitSearchFor(sub.handle.Name, sub.query, sub.params, sub.key, t.ID)
+	} else {
+		snap, created, err = s.cfg.Jobs.SubmitFor(sub.pairs, sub.key, t.ID)
+	}
 	switch {
 	case errors.Is(err, jobs.ErrQuota):
 		s.sched.NoteQuotaRejected(t.ID)
@@ -157,10 +207,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleJobResult answers with the assembled scores of a done job, or a
-// typed error explaining why there are none (yet, or ever).
+// handleJobResult answers with the assembled scores of a done job — or,
+// for a search job, its merged ranked hits — or a typed error explaining
+// why there are none (yet, or ever).
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request, id, tenantID string) {
 	scores, snap, err := s.cfg.Jobs.ResultFor(id, tenantID)
+	if errors.Is(err, jobs.ErrWrongKind) {
+		s.handleSearchJobResult(w, r, id, tenantID)
+		return
+	}
 	if err != nil {
 		s.writeJobError(w, r, err)
 		return
@@ -177,6 +232,30 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request, id, ten
 		return
 	}
 	writeJSON(w, http.StatusOK, JobResultResponse{Job: snap, Scores: scores})
+}
+
+// handleSearchJobResult is handleJobResult for kind "search": same
+// terminal-state mapping, hits instead of scores.
+func (s *Server) handleSearchJobResult(w http.ResponseWriter, r *http.Request, id, tenantID string) {
+	hits, snap, err := s.cfg.Jobs.SearchResultFor(id, tenantID)
+	if err != nil {
+		s.writeJobError(w, r, err)
+		return
+	}
+	if hits == nil && snap.State.Terminal() && snap.State != jobstore.StateDone {
+		if snap.Error != "" {
+			s.writeError(w, r, http.StatusConflict, CodeJobFailed,
+				fmt.Sprintf("job %s failed: %s", id, snap.Error))
+		} else {
+			s.writeError(w, r, http.StatusConflict, CodeJobCancelled,
+				fmt.Sprintf("job %s was cancelled", id))
+		}
+		return
+	}
+	if hits == nil {
+		hits = []corpus.Hit{}
+	}
+	writeJSON(w, http.StatusOK, SearchJobResultResponse{Job: snap, Hits: hits})
 }
 
 // handleJobEvents streams a job's progress feed as Server-Sent Events: a
@@ -236,44 +315,76 @@ func (s *Server) writeJobError(w http.ResponseWriter, r *http.Request, err error
 }
 
 // parseJobRequest decodes and bounds the POST /jobs body, reusing the
-// /align pair and preset validation so both entry points enforce identical
-// caps.
-func (s *Server) parseJobRequest(w http.ResponseWriter, r *http.Request) (pairs []dna.Pair, key string, status int, code string, err error) {
+// /align pair and preset validation (alignment kind) or the /search
+// query validation (search kind) so every entry point enforces
+// identical caps.
+func (s *Server) parseJobRequest(w http.ResponseWriter, r *http.Request) (sub jobSubmission, status int, code string, err error) {
 	var req JobSubmitRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return nil, "", http.StatusRequestEntityTooLarge, CodeTooLarge,
+			return sub, http.StatusRequestEntityTooLarge, CodeTooLarge,
 				fmt.Errorf("body exceeds %d bytes", s.cfg.MaxBodyBytes)
 		}
-		return nil, "", http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad JSON: %w", err)
+		return sub, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad JSON: %w", err)
 	}
-	key = req.IdempotencyKey
+	sub.key = req.IdempotencyKey
 	if h := r.Header.Get("Idempotency-Key"); h != "" {
-		key = h
+		sub.key = h
 	}
-	if strings.ContainsRune(key, 0) {
+	if strings.ContainsRune(sub.key, 0) {
 		// NUL is the store's tenant-namespacing separator: a key like
 		// "tenantA\x00k" would collide with tenant A's namespaced key and
 		// clobber its idempotent dedup.
-		return nil, "", http.StatusBadRequest, CodeBadRequest,
+		return sub, http.StatusBadRequest, CodeBadRequest,
 			errors.New("idempotency key must not contain NUL bytes")
 	}
+
+	switch req.Kind {
+	case jobstore.KindSearch:
+		if s.cfg.Corpora == nil {
+			return sub, http.StatusBadRequest, CodeBadRequest,
+				errors.New("search jobs are not enabled (no corpora mounted)")
+		}
+		if len(req.Pairs) > 0 || req.Preset != "" {
+			return sub, http.StatusBadRequest, CodeBadRequest,
+				errors.New("search jobs take a query, not pairs or preset")
+		}
+		h, err := s.corpusHandle(req.Corpus)
+		if err != nil {
+			return sub, http.StatusNotFound, CodeNoCorpus, err
+		}
+		q, err := s.parseSearchQuery(req.Query)
+		if err != nil {
+			return sub, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("query: %w", err)
+		}
+		sub.search = true
+		sub.handle = h
+		sub.query = q
+		sub.params = corpus.Params{TopK: req.TopK, MinKmerHits: req.MinKmerHits, MaxEdits: req.MaxEdits}
+		return sub, 0, "", nil
+	case "":
+		// Alignment, below.
+	default:
+		return sub, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("unknown job kind %q", req.Kind)
+	}
+
 	switch {
 	case len(req.Pairs) > 0 && req.Preset != "":
-		return nil, "", http.StatusBadRequest, CodeBadRequest,
+		return sub, http.StatusBadRequest, CodeBadRequest,
 			errors.New("pairs and preset are mutually exclusive")
 	case req.Preset != "":
-		pairs, status, code, err = s.presetPairs(AlignRequest{Preset: req.Preset, N: req.N})
+		sub.pairs, status, code, err = s.presetPairs(AlignRequest{Preset: req.Preset, N: req.N})
 	case len(req.Pairs) > 0:
-		pairs, status, code, err = s.parsePairs(req.Pairs)
+		sub.pairs, status, code, err = s.parsePairs(req.Pairs)
 	default:
-		return nil, "", http.StatusBadRequest, CodeBadRequest,
+		return sub, http.StatusBadRequest, CodeBadRequest,
 			errors.New("request needs pairs or preset")
 	}
 	if err != nil {
-		return nil, "", status, code, err
+		return sub, status, code, err
 	}
-	return pairs, key, 0, "", nil
+	return sub, 0, "", nil
 }

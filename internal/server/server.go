@@ -33,6 +33,7 @@ import (
 	"repro/internal/aligncache"
 	"repro/internal/alignsvc"
 	"repro/internal/cluster"
+	"repro/internal/corpus"
 	"repro/internal/dna"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -86,6 +87,12 @@ type Config struct {
 	// to the anonymous-only registry, which reproduces untenanted
 	// admission exactly: one weight-1 queue bounded by MaxQueued.
 	Tenants *tenant.Registry
+	// Corpora, when set, mounts the corpus-search API: POST /search for
+	// synchronous ranked top-K queries against the mounted reference
+	// corpora, plus kind "search" on POST /jobs (when Jobs is also set)
+	// for durable chunk-checkpointed searches. Adds a search section to
+	// /statsz with per-corpus inventory.
+	Corpora *corpus.Registry
 	// Cluster, when set, routes non-forwarded align batches through the
 	// coordinator-free peer layer (consistent-hash ownership with local
 	// fallback), mounts POST /cluster/warm for drain handoffs, enforces the
@@ -245,6 +252,7 @@ type StatszResponse struct {
 	Cache   *aligncache.Stats       `json:"cache,omitempty"`
 	Jobs    *jobs.Stats             `json:"jobs,omitempty"`
 	Cluster *cluster.Stats          `json:"cluster,omitempty"`
+	Search  *SearchStats            `json:"search,omitempty"`
 	Tenants map[string]tenant.Stats `json:"tenants,omitempty"`
 }
 
@@ -264,6 +272,9 @@ type Server struct {
 	requests, completed, shed, rejected atomic.Int64
 	rateLimited, badTenant              atomic.Int64
 	deadlines, drainRefusals            atomic.Int64
+
+	searchRequests, searchCompleted atomic.Int64
+	searchCandidates, searchCells   atomic.Int64
 }
 
 // New builds the server around an existing service.
@@ -316,6 +327,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Jobs != nil {
 		s.mux.Handle("/jobs", s.instrument("jobs", s.handleJobs))
 		s.mux.Handle("/jobs/", s.instrument("jobs_id", s.handleJob))
+	}
+	if cfg.Corpora != nil {
+		s.mux.Handle("/search", s.instrument("search", s.handleSearch))
 	}
 	s.mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("/readyz", s.instrument("readyz", s.handleReadyz))
@@ -470,6 +484,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Cluster != nil {
 		cs := s.cfg.Cluster.Stats()
 		resp.Cluster = &cs
+	}
+	if s.cfg.Corpora != nil {
+		resp.Search = s.searchStats()
 	}
 	if ts := s.sched.Snapshot(); len(ts) > 0 {
 		resp.Tenants = ts

@@ -1,0 +1,42 @@
+package stats
+
+import "math"
+
+// Summary holds the order statistics and moments of an integer score
+// sample — the per-search score statistics attached to ranked top-K
+// results (mean/std separate a lone spurious hit from a dense cluster of
+// homologs at a glance).
+type Summary struct {
+	N    int     // sample size
+	Min  int     // smallest observation (0 when N == 0)
+	Max  int     // largest observation (0 when N == 0)
+	Mean float64 // arithmetic mean (0 when N == 0)
+	Std  float64 // population standard deviation (0 when N < 2)
+}
+
+// Summarize computes the Summary of a score sample in one pass
+// (Welford's online algorithm, so huge samples neither overflow nor
+// lose precision to a naive sum-of-squares).
+func Summarize(scores []int) Summary {
+	if len(scores) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(scores), Min: scores[0], Max: scores[0]}
+	var mean, m2 float64
+	for i, v := range scores {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		d := float64(v) - mean
+		mean += d / float64(i+1)
+		m2 += d * (float64(v) - mean)
+	}
+	s.Mean = mean
+	if s.N > 1 {
+		s.Std = math.Sqrt(m2 / float64(s.N))
+	}
+	return s
+}

@@ -1,0 +1,43 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	if got := Summarize(nil); got != (Summary{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero", got)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	got := Summarize([]int{7})
+	want := Summary{N: 1, Min: 7, Max: 7, Mean: 7}
+	if got != want {
+		t.Errorf("Summarize([7]) = %+v, want %+v", got, want)
+	}
+}
+
+func TestSummarizeMoments(t *testing.T) {
+	got := Summarize([]int{2, 4, 4, 4, 5, 5, 7, 9}) // the classic σ=2 sample
+	if got.N != 8 || got.Min != 2 || got.Max != 9 {
+		t.Errorf("order stats: %+v", got)
+	}
+	if math.Abs(got.Mean-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", got.Mean)
+	}
+	if math.Abs(got.Std-2) > 1e-12 {
+		t.Errorf("std = %v, want 2", got.Std)
+	}
+}
+
+func TestSummarizeNegative(t *testing.T) {
+	got := Summarize([]int{-3, -1, -2})
+	if got.Min != -3 || got.Max != -1 {
+		t.Errorf("min/max on negatives: %+v", got)
+	}
+	if math.Abs(got.Mean+2) > 1e-12 {
+		t.Errorf("mean = %v, want -2", got.Mean)
+	}
+}
